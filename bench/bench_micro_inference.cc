@@ -1,0 +1,89 @@
+// google-benchmark microbenchmarks for estimator inference latency (§6.1):
+// one EstimateCard call on representative single-table and 3-way-join
+// sub-plan queries for each always-available method. Complements the
+// wall-clock planning times of Table 3/Figure 3 with controlled per-call
+// numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cardest/registry.h"
+#include "datagen/stats_gen.h"
+#include "exec/true_card.h"
+#include "query/parser.h"
+
+namespace cardbench {
+namespace {
+
+struct MicroEnv {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<TrueCardService> truecard;
+  Query single;
+  Query join3;
+
+  MicroEnv() {
+    StatsGenConfig config;
+    config.scale = 0.1;
+    db = GenerateStatsDatabase(config);
+    truecard = std::make_unique<TrueCardService>(*db);
+    single = *ParseSql(
+        "SELECT COUNT(*) FROM posts WHERE posts.Score >= 10 AND "
+        "posts.PostTypeId = 1;");
+    join3 = *ParseSql(
+        "SELECT COUNT(*) FROM users, posts, comments WHERE users.Id = "
+        "posts.OwnerUserId AND posts.Id = comments.PostId AND posts.Score >= "
+        "5 AND users.Reputation >= 20;");
+  }
+};
+
+MicroEnv& Env() {
+  static MicroEnv* env = new MicroEnv();
+  return *env;
+}
+
+std::unique_ptr<CardinalityEstimator>& Estimator(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<CardinalityEstimator>>* cache =
+      new std::map<std::string, std::unique_ptr<CardinalityEstimator>>();
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    EstimatorConfig config;
+    config.fast = true;
+    auto est = MakeEstimator(name, *Env().db, *Env().truecard, nullptr, config);
+    if (!est.ok()) std::abort();
+    it = cache->emplace(name, std::move(*est)).first;
+  }
+  return it->second;
+}
+
+void BM_Inference(benchmark::State& state, const std::string& name,
+                  bool join) {
+  auto& est = Estimator(name);
+  const Query& query = join ? Env().join3 : Env().single;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est->EstimateCard(query));
+  }
+}
+
+#define CARDBENCH_MICRO(method)                                          \
+  BENCHMARK_CAPTURE(BM_Inference, method##_single_table, #method, false); \
+  BENCHMARK_CAPTURE(BM_Inference, method##_join3, #method, true)
+
+CARDBENCH_MICRO(PostgreSQL);
+CARDBENCH_MICRO(MultiHist);
+CARDBENCH_MICRO(UniSample);
+CARDBENCH_MICRO(WJSample);
+CARDBENCH_MICRO(PessEst);
+CARDBENCH_MICRO(BayesCard);
+CARDBENCH_MICRO(DeepDB);
+CARDBENCH_MICRO(FLAT);
+CARDBENCH_MICRO(NeuroCardE);
+
+#undef CARDBENCH_MICRO
+
+}  // namespace
+}  // namespace cardbench
+
+BENCHMARK_MAIN();

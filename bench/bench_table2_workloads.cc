@@ -1,0 +1,106 @@
+// Reproduces paper Table 2: comparison of the JOB-LIGHT and STATS-CEB
+// query workloads (query counts, join sizes, template counts, predicate
+// counts, join types, true-cardinality range).
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common/str_util.h"
+#include "harness/bench_env.h"
+
+namespace cardbench {
+namespace {
+
+struct WorkloadSummary {
+  size_t queries = 0;
+  size_t min_tables = 99, max_tables = 0;
+  size_t templates = 0;
+  size_t min_preds = 99, max_preds = 0;
+  bool has_fk_fk = false;
+  double min_card = 1e300, max_card = 0.0;
+};
+
+WorkloadSummary Summarize(BenchEnv& env) {
+  WorkloadSummary s;
+  std::set<std::string> template_keys;
+  for (const auto& ctx : env.query_contexts()) {
+    const Query& q = *ctx.query;
+    ++s.queries;
+    s.min_tables = std::min(s.min_tables, q.tables.size());
+    s.max_tables = std::max(s.max_tables, q.tables.size());
+    s.min_preds = std::min(s.min_preds, q.predicates.size());
+    s.max_preds = std::max(s.max_preds, q.predicates.size());
+    Query tmpl = q;
+    tmpl.predicates.clear();
+    template_keys.insert(tmpl.CanonicalKey());
+    for (const auto& edge : q.joins) {
+      // FK-FK: neither endpoint is a schema-relation PK side.
+      bool pk_side = false;
+      for (const auto& rel : env.db().join_relations()) {
+        if ((rel.left_table == edge.left_table &&
+             rel.left_column == edge.left_column) ||
+            (rel.left_table == edge.right_table &&
+             rel.left_column == edge.right_column)) {
+          pk_side = true;
+          break;
+        }
+      }
+      if (!pk_side) s.has_fk_fk = true;
+    }
+    const double card = ctx.true_cards.at(q.FullMask());
+    s.min_card = std::min(s.min_card, card);
+    s.max_card = std::max(s.max_card, card);
+  }
+  s.templates = template_keys.size();
+  return s;
+}
+
+}  // namespace
+}  // namespace cardbench
+
+int main(int argc, char** argv) {
+  using namespace cardbench;
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+
+  auto imdb_env = BenchEnv::Create(BenchDataset::kImdb, flags);
+  auto stats_env = BenchEnv::Create(BenchDataset::kStats, flags);
+  if (!imdb_env.ok() || !stats_env.ok()) {
+    std::fprintf(stderr, "env creation failed\n");
+    return 1;
+  }
+
+  const WorkloadSummary a = Summarize(**imdb_env);
+  const WorkloadSummary b = Summarize(**stats_env);
+
+  std::printf("Table 2: JOB-LIGHT vs STATS-CEB workload statistics "
+              "(scale=%.2f)\n", flags.scale);
+  std::printf("paper values in [brackets]\n\n");
+  std::printf("%-40s %14s %14s\n", "Item", "JOB-LIGHT", "STATS-CEB");
+  std::printf("%-40s %14zu %14zu\n", "# of queries [70 / 146]", a.queries,
+              b.queries);
+  std::printf("%-40s %10zu-%-3zu %10zu-%-3zu\n", "# of joined tables [2-5 / 2-8]",
+              a.min_tables, a.max_tables, b.min_tables, b.max_tables);
+  std::printf("%-40s %14zu %14zu\n", "# of join templates [23 / 70]",
+              a.templates, b.templates);
+  std::printf("%-40s %10zu-%-3zu %10zu-%-3zu\n",
+              "# of filtering predicates [1-4 / 1-16]", a.min_preds,
+              a.max_preds, b.min_preds, b.max_preds);
+  std::printf("%-40s %14s %14s\n", "join type [PK-FK / PK-FK+FK-FK]",
+              a.has_fk_fk ? "PK-FK/FK-FK" : "PK-FK",
+              b.has_fk_fk ? "PK-FK/FK-FK" : "PK-FK");
+  std::printf("%-40s %6s-%-8s %6s-%-8s\n",
+              "true cardinality range [9-9e9 / 200-2e10]",
+              FormatCount(a.min_card).c_str(), FormatCount(a.max_card).c_str(),
+              FormatCount(b.min_card).c_str(), FormatCount(b.max_card).c_str());
+
+  const bool shape_holds =
+      b.queries > a.queries && b.max_tables > a.max_tables &&
+      b.templates > a.templates && b.max_preds > a.max_preds &&
+      b.has_fk_fk && !a.has_fk_fk &&
+      (b.max_card / std::max(b.min_card, 1.0)) >
+          (a.max_card / std::max(a.min_card, 1.0));
+  std::printf("\nshape check (STATS-CEB more diverse on every axis): %s\n",
+              shape_holds ? "PASS" : "FAIL");
+  return shape_holds ? 0 : 1;
+}

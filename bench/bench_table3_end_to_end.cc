@@ -1,0 +1,82 @@
+// Reproduces paper Table 3: overall end-to-end performance of every
+// CardEst method on JOB-LIGHT and STATS-CEB — total end-to-end time,
+// execution + planning split, and relative improvement over the
+// PostgreSQL baseline. The shape to verify: data-driven PGM methods
+// (BayesCard/DeepDB/FLAT) and PessEst approach TrueCard; histogram and
+// sampling baselines lag or regress; query-driven methods hover near
+// PostgreSQL.
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "harness/bench_env.h"
+
+namespace cardbench {
+namespace {
+
+void RunDataset(BenchDataset dataset, const BenchFlags& flags) {
+  auto env_result = BenchEnv::Create(dataset, flags);
+  CARDBENCH_CHECK(env_result.ok(), "env creation failed: %s",
+                  env_result.status().ToString().c_str());
+  BenchEnv& env = **env_result;
+
+  std::vector<std::string> estimators = flags.estimators;
+  if (estimators.empty()) estimators = AllEstimatorNames();
+
+  std::printf("\n=== %s (%s workload, %zu queries) ===\n",
+              env.dataset_name().c_str(), env.workload().name.c_str(),
+              env.query_contexts().size());
+  // At simulator scale, inference overhead is proportionally much larger
+  // than on the paper's hours-long workloads (the whole workload behaves
+  // like the paper's OLTP split, O7). Improvement is therefore reported
+  // both end-to-end and execution-only; the exec-only column is the
+  // Table 3 shape target, the E2E column reproduces the Table 5 (TP)
+  // behaviour.
+  std::printf("%-12s %14s %22s %11s %11s %8s\n", "Method", "End-to-End",
+              "Exec + Plan", "Impr(E2E)", "Impr(Exec)", "Timeouts");
+
+  double postgres_e2e = -1.0;
+  double postgres_exec = -1.0;
+  for (const auto& name : estimators) {
+    auto est = env.MakeNamedEstimator(name);
+    if (!est.ok()) {
+      std::printf("%-12s   skipped (%s)\n", name.c_str(),
+                  est.status().ToString().c_str());
+      continue;
+    }
+    const BenchEnv::RunResult run = env.RunEstimator(**est);
+    const double e2e = run.EndToEndSeconds();
+    const double exec = run.TotalExecSeconds();
+    if (name == "PostgreSQL") {
+      postgres_e2e = e2e;
+      postgres_exec = exec;
+    }
+    std::string impr_e2e = "--", impr_exec = "--";
+    if (postgres_e2e > 0) {
+      impr_e2e =
+          StrFormat("%+.1f%%", 100.0 * (postgres_e2e - e2e) / postgres_e2e);
+      impr_exec = StrFormat("%+.1f%%",
+                            100.0 * (postgres_exec - exec) / postgres_exec);
+    }
+    std::printf("%-12s %14s %12s + %-9s %11s %11s %5zu%s\n", name.c_str(),
+                FormatDuration(e2e).c_str(), FormatDuration(exec).c_str(),
+                FormatDuration(run.TotalPlanSeconds()).c_str(),
+                impr_e2e.c_str(), impr_exec.c_str(), run.timeouts,
+                run.timeouts > 0 ? " (capped)" : "");
+  }
+}
+
+}  // namespace
+}  // namespace cardbench
+
+int main(int argc, char** argv) {
+  using namespace cardbench;
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  std::printf("Table 3: overall end-to-end performance "
+              "(scale=%.2f, exec cap %.0fs/query)\n",
+              flags.scale, flags.exec_timeout);
+  RunDataset(BenchDataset::kImdb, flags);
+  RunDataset(BenchDataset::kStats, flags);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces paper Table 5: OLTP vs OLAP breakdown of execution and
+// planning time on STATS-CEB. Queries are split by their TrueCard-plan
+// execution time (the fast half is the "TP" workload, the slow half "AP").
+// The shape to verify (O7): planning/inference time is a significant share
+// of the TP workload's end-to-end time for the slow-inference learned
+// methods, and negligible for the AP workload.
+
+#include <cstdio>
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "harness/bench_env.h"
+
+int main(int argc, char** argv) {
+  using namespace cardbench;
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  auto env_result = BenchEnv::Create(BenchDataset::kStats, flags);
+  CARDBENCH_CHECK(env_result.ok(), "env creation failed: %s",
+                  env_result.status().ToString().c_str());
+  BenchEnv& env = **env_result;
+
+  std::vector<std::string> estimators = flags.estimators;
+  if (estimators.empty()) {
+    estimators = {"PostgreSQL", "TrueCard", "PessEst",   "MSCN",
+                  "NeuroCardE", "BayesCard", "DeepDB",   "FLAT"};
+  }
+
+  // Split by the oracle plan's execution time.
+  auto oracle = env.MakeNamedEstimator("TrueCard");
+  CARDBENCH_CHECK(oracle.ok(), "TrueCard failed");
+  const auto oracle_run = env.RunEstimator(**oracle);
+  std::vector<double> times;
+  for (const auto& q : oracle_run.queries) times.push_back(q.exec_seconds);
+  std::vector<double> sorted = times;
+  std::sort(sorted.begin(), sorted.end());
+  const double threshold = sorted[sorted.size() / 2];
+  std::vector<bool> is_tp(times.size());
+  size_t tp_count = 0;
+  for (size_t i = 0; i < times.size(); ++i) {
+    is_tp[i] = times[i] <= threshold;
+    tp_count += is_tp[i];
+  }
+
+  std::printf("Table 5: OLTP/OLAP performance on STATS-CEB (scale=%.2f)\n",
+              flags.scale);
+  std::printf("TP = %zu fastest queries (oracle exec <= %s), AP = %zu rest\n\n",
+              tp_count, FormatDuration(threshold).c_str(),
+              times.size() - tp_count);
+  std::printf("%-12s %14s %20s %14s %20s\n", "Method", "TP Exec", "TP Plan (%)",
+              "AP Exec", "AP Plan (%)");
+
+  for (const auto& name : estimators) {
+    auto est = env.MakeNamedEstimator(name);
+    if (!est.ok()) {
+      std::printf("%-12s   skipped (%s)\n", name.c_str(),
+                  est.status().ToString().c_str());
+      continue;
+    }
+    const auto run = env.RunEstimator(**est);
+    double tp_exec = 0, tp_plan = 0, ap_exec = 0, ap_plan = 0;
+    for (size_t i = 0; i < run.queries.size(); ++i) {
+      if (is_tp[i]) {
+        tp_exec += run.queries[i].exec_seconds;
+        tp_plan += run.queries[i].plan_seconds;
+      } else {
+        ap_exec += run.queries[i].exec_seconds;
+        ap_plan += run.queries[i].plan_seconds;
+      }
+    }
+    std::printf("%-12s %14s %12s (%4.1f%%) %14s %12s (%4.1f%%)\n", name.c_str(),
+                FormatDuration(tp_exec).c_str(),
+                FormatDuration(tp_plan).c_str(),
+                100.0 * tp_plan / std::max(1e-9, tp_exec + tp_plan),
+                FormatDuration(ap_exec).c_str(),
+                FormatDuration(ap_plan).c_str(),
+                100.0 * ap_plan / std::max(1e-9, ap_exec + ap_plan));
+  }
+  std::printf("\n(paper shape O7: plan share large on TP, trivial on AP for "
+              "slow-inference methods)\n");
+  return 0;
+}

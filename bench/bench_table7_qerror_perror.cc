@@ -1,0 +1,97 @@
+// Reproduces paper Table 7 and observation O14: Q-Error and P-Error
+// distributions (50/90/99 percentiles) of every method, with methods
+// sorted by descending execution time, plus the correlation of each
+// metric against execution time across methods. The shape to verify:
+// P-Error percentiles order methods by runtime far better than Q-Error
+// does (the paper reports ~0.8 vs ~0.04 correlation).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "harness/bench_env.h"
+#include "metrics/metrics.h"
+
+namespace cardbench {
+namespace {
+
+struct MethodSummary {
+  std::string name;
+  double exec_seconds = 0.0;
+  Percentiles qerror;
+  Percentiles perror;
+};
+
+void RunDataset(BenchDataset dataset, const BenchFlags& flags) {
+  auto env_result = BenchEnv::Create(dataset, flags);
+  CARDBENCH_CHECK(env_result.ok(), "env creation failed: %s",
+                  env_result.status().ToString().c_str());
+  BenchEnv& env = **env_result;
+
+  std::vector<std::string> estimators = flags.estimators;
+  if (estimators.empty()) estimators = AllEstimatorNames();
+
+  std::vector<MethodSummary> summaries;
+  for (const auto& name : estimators) {
+    auto est = env.MakeNamedEstimator(name);
+    if (!est.ok()) continue;
+    const auto run = env.RunEstimator(**est);
+    MethodSummary s;
+    s.name = name;
+    s.exec_seconds = run.TotalExecSeconds();
+    s.qerror = ComputePercentiles(run.AllQErrors());
+    s.perror = ComputePercentiles(run.AllPErrors());
+    summaries.push_back(std::move(s));
+  }
+  std::sort(summaries.begin(), summaries.end(),
+            [](const MethodSummary& a, const MethodSummary& b) {
+              return a.exec_seconds > b.exec_seconds;
+            });
+
+  std::printf("\n=== %s (%s) — methods sorted by descending exec time ===\n",
+              env.dataset_name().c_str(), env.workload().name.c_str());
+  std::printf("%-12s %10s | %10s %10s %10s | %8s %8s %8s\n", "Method", "Exec",
+              "Q-50%", "Q-90%", "Q-99%", "P-50%", "P-90%", "P-99%");
+  for (const auto& s : summaries) {
+    std::printf("%-12s %10s | %10s %10s %10s | %8.3f %8.3f %8.3f\n",
+                s.name.c_str(), FormatDuration(s.exec_seconds).c_str(),
+                FormatCount(s.qerror.p50).c_str(),
+                FormatCount(s.qerror.p90).c_str(),
+                FormatCount(s.qerror.p99).c_str(), s.perror.p50, s.perror.p90,
+                s.perror.p99);
+  }
+
+  // O14: correlation of each metric's percentiles with execution time.
+  std::vector<double> exec, q50, q90, p50, p90;
+  for (const auto& s : summaries) {
+    exec.push_back(s.exec_seconds);
+    q50.push_back(s.qerror.p50);
+    q90.push_back(s.qerror.p90);
+    p50.push_back(s.perror.p50);
+    p90.push_back(s.perror.p90);
+  }
+  std::printf("\ncorrelation with exec time (Spearman):  Q-50%% %.3f  Q-90%% "
+              "%.3f  |  P-50%% %.3f  P-90%% %.3f\n",
+              SpearmanCorrelationOf(q50, exec),
+              SpearmanCorrelationOf(q90, exec),
+              SpearmanCorrelationOf(p50, exec),
+              SpearmanCorrelationOf(p90, exec));
+  std::printf("(paper O14: P-Error correlates with runtime ~0.8, Q-Error "
+              "~0.04)\n");
+}
+
+}  // namespace
+}  // namespace cardbench
+
+int main(int argc, char** argv) {
+  using namespace cardbench;
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  std::printf("Table 7: Q-Error vs P-Error (scale=%.2f)\n", flags.scale);
+  // The paper's O11-O14 analysis (and its correlation numbers) are made on
+  // STATS-CEB; run that by default. JOB-LIGHT columns of Table 7 can be
+  // produced by adding the IMDB dataset here — omitted from the default
+  // run to keep the full-suite wall time bounded.
+  RunDataset(BenchDataset::kStats, flags);
+  return 0;
+}

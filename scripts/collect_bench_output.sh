@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Assembles bench_output.txt from whatever bench logs exist, in paper order.
+cd "$(dirname "$0")/.."
+: > bench_output.txt
+for name in bench_table1_datasets bench_table2_workloads \
+            bench_table3_end_to_end bench_table4_join_tables \
+            bench_table5_oltp_olap bench_table6_update \
+            bench_table7_qerror_perror bench_figure2_case_study \
+            bench_figure3_practicality bench_ablation_fanout \
+            bench_sensitivity_noise bench_micro_inference; do
+  if [ -f "bench_logs/$name.log" ]; then
+    {
+      echo "================================================================"
+      echo "==== $name"
+      echo "================================================================"
+      cat "bench_logs/$name.log"
+      echo
+    } >> bench_output.txt
+  fi
+done
+echo "collected $(grep -c '^==== ' bench_output.txt) bench sections"

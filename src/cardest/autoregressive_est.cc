@@ -1,0 +1,446 @@
+#include "cardest/autoregressive_est.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace cardbench {
+
+namespace {
+
+Value ClampToValue(double v) {
+  return static_cast<Value>(std::min(v, 4.0e18));
+}
+
+/// Materializes a vector of doubles as a storage Column for binning.
+Column DoubleColumn(const std::vector<double>& values) {
+  Column col("tmp", ColumnKind::kNumeric);
+  col.Reserve(values.size());
+  for (double v : values) col.Append(ClampToValue(v));
+  return col;
+}
+
+}  // namespace
+
+AutoregressiveEstimator::AutoregressiveEstimator(
+    const Database& db, ArTraining mode,
+    const std::vector<TrainingQuery>* training_queries, ArOptions options)
+    : db_(db),
+      mode_(mode),
+      training_queries_(training_queries),
+      options_(options),
+      inference_rng_(options.seed ^ 0xABCDEF) {
+  CARDBENCH_CHECK(
+      mode_ == ArTraining::kData || training_queries_ != nullptr,
+      "query-driven autoregressive estimators need training queries");
+  Stopwatch watch;
+  sampler_ = std::make_unique<FojSampler>(db_);
+  BuildColumns();
+  Train();
+  train_seconds_ = watch.ElapsedSeconds();
+}
+
+void AutoregressiveEstimator::BuildColumns() {
+  columns_.clear();
+  const auto& order = sampler_->bfs_order();
+  for (size_t t = 0; t < order.size(); ++t) {
+    const Table& table = db_.TableOrDie(order[t]);
+    {
+      ModelColumn presence;
+      presence.kind = ModelColumn::Kind::kPresence;
+      presence.table_idx = t;
+      presence.domain = 2;
+      columns_.push_back(std::move(presence));
+    }
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Column& col = table.column(c);
+      if (col.kind() != ColumnKind::kNumeric &&
+          col.kind() != ColumnKind::kCategorical) {
+        continue;
+      }
+      ModelColumn attr;
+      attr.kind = ModelColumn::Kind::kAttr;
+      attr.table_idx = t;
+      attr.attr = col.name();
+      attr.binner =
+          std::make_unique<ColumnBinner>(col, options_.bins_per_column);
+      attr.domain = attr.binner->num_bins();
+      columns_.push_back(std::move(attr));
+    }
+    {
+      // Upward-duplication column U_t.
+      std::vector<double> values;
+      values.reserve(table.num_rows());
+      for (size_t row = 0; row < table.num_rows(); ++row) {
+        values.push_back(
+            std::max(1.0, sampler_->Upward(t, static_cast<uint32_t>(row))));
+      }
+      ModelColumn up;
+      up.kind = ModelColumn::Kind::kUpward;
+      up.table_idx = t;
+      const Column tmp = DoubleColumn(values);
+      up.binner = std::make_unique<ColumnBinner>(tmp, options_.bins_per_column);
+      up.domain = up.binner->num_bins();
+      columns_.push_back(std::move(up));
+    }
+    // Edge-duplication columns D_e for edges whose parent is this table.
+    for (size_t e = 0; e < sampler_->edges().size(); ++e) {
+      if (sampler_->edges()[e].parent_idx != t) continue;
+      const Table& parent = db_.TableOrDie(order[t]);
+      std::vector<double> values;
+      values.reserve(parent.num_rows());
+      for (size_t row = 0; row < parent.num_rows(); ++row) {
+        values.push_back(sampler_->EdgeDup(e, static_cast<uint32_t>(row)));
+      }
+      ModelColumn dup;
+      dup.kind = ModelColumn::Kind::kEdgeDup;
+      dup.table_idx = t;
+      dup.edge_idx = static_cast<int>(e);
+      const Column tmp = DoubleColumn(values);
+      dup.binner =
+          std::make_unique<ColumnBinner>(tmp, options_.bins_per_column);
+      dup.domain = dup.binner->num_bins();
+      columns_.push_back(std::move(dup));
+    }
+  }
+}
+
+std::vector<uint16_t> AutoregressiveEstimator::BinTuple(
+    const std::vector<int64_t>& tuple) const {
+  std::vector<uint16_t> binned(columns_.size(), 0);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const ModelColumn& mc = columns_[i];
+    const int64_t row = tuple[mc.table_idx];
+    switch (mc.kind) {
+      case ModelColumn::Kind::kPresence:
+        binned[i] = row >= 0 ? 1 : 0;
+        break;
+      case ModelColumn::Kind::kAttr: {
+        if (row < 0) {
+          binned[i] = 0;  // absent -> NULL bin
+        } else {
+          const Column& col = db_.TableOrDie(sampler_->bfs_order()[mc.table_idx])
+                                  .ColumnByName(mc.attr);
+          binned[i] = mc.binner->BinOf(
+              col.IsValid(static_cast<size_t>(row))
+                  ? std::optional<Value>(col.Get(static_cast<size_t>(row)))
+                  : std::nullopt);
+        }
+        break;
+      }
+      case ModelColumn::Kind::kUpward:
+        binned[i] = mc.binner->BinOf(
+            row >= 0 ? ClampToValue(std::max(
+                           1.0, sampler_->Upward(mc.table_idx,
+                                                 static_cast<uint32_t>(row))))
+                     : Value{1});
+        break;
+      case ModelColumn::Kind::kEdgeDup:
+        binned[i] = mc.binner->BinOf(
+            row >= 0
+                ? ClampToValue(sampler_->EdgeDup(
+                      static_cast<size_t>(mc.edge_idx),
+                      static_cast<uint32_t>(row)))
+                : Value{1});
+        break;
+    }
+  }
+  return binned;
+}
+
+std::vector<std::vector<uint16_t>> AutoregressiveEstimator::DrawDataTuples(
+    size_t count, Rng& rng) const {
+  std::vector<std::vector<uint16_t>> rows;
+  rows.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    rows.push_back(BinTuple(sampler_->SampleTuple(rng)));
+  }
+  return rows;
+}
+
+std::vector<std::vector<uint16_t>> AutoregressiveEstimator::DrawQueryTuples(
+    size_t count, Rng& rng) const {
+  // Pseudo-tuples consistent with (query, cardinality) pairs: queries are
+  // drawn with probability proportional to log2(1 + cardinality); within a
+  // query, constrained attribute bins are drawn from the statistics-level
+  // marginal restricted to the predicate region, everything else from the
+  // marginal. A deliberately coarse reconstruction of the FOJ distribution
+  // — the workload can only reveal so much (the paper's O1/O9 weaknesses).
+  std::vector<std::vector<uint16_t>> rows;
+  rows.reserve(count);
+  const auto& queries = *training_queries_;
+  std::vector<double> query_weight;
+  query_weight.reserve(queries.size());
+  for (const auto& tq : queries) {
+    query_weight.push_back(std::log2(2.0 + tq.cardinality));
+  }
+  WeightedSampler query_sampler(query_weight);
+
+  // Precomputed per-column marginal samplers.
+  std::vector<std::unique_ptr<WeightedSampler>> marginals(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].binner == nullptr) continue;
+    std::vector<double> mass(columns_[i].domain);
+    for (uint16_t b = 0; b < columns_[i].domain; ++b) {
+      mass[b] = columns_[i].binner->BinMass(b);
+    }
+    marginals[i] = std::make_unique<WeightedSampler>(mass);
+  }
+
+  for (size_t i = 0; i < count; ++i) {
+    const Query& query = queries[query_sampler.Sample(rng)].query;
+    std::vector<uint16_t> row(columns_.size(), 0);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      const ModelColumn& mc = columns_[c];
+      const std::string& table = sampler_->bfs_order()[mc.table_idx];
+      const bool in_query = query.TableIndex(table) >= 0;
+      if (mc.kind == ModelColumn::Kind::kPresence) {
+        row[c] = in_query ? 1 : 0;
+        continue;
+      }
+      if (mc.binner == nullptr) continue;
+      if (mc.kind == ModelColumn::Kind::kAttr && in_query) {
+        std::vector<Predicate> preds;
+        for (const auto& pred : query.predicates) {
+          if (pred.table == table && pred.column == mc.attr) {
+            preds.push_back(pred);
+          }
+        }
+        if (!preds.empty()) {
+          const std::vector<double> frac =
+              mc.binner->PredicateFractions(preds);
+          std::vector<double> mass(mc.domain);
+          for (uint16_t b = 0; b < mc.domain; ++b) {
+            mass[b] = mc.binner->BinMass(b) * frac[b];
+          }
+          WeightedSampler restricted(mass);
+          row[c] = static_cast<uint16_t>(restricted.Sample(rng));
+          continue;
+        }
+      }
+      row[c] = static_cast<uint16_t>(marginals[c]->Sample(rng));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void AutoregressiveEstimator::Train() {
+  Rng rng(options_.seed);
+  std::vector<size_t> domains;
+  domains.reserve(columns_.size());
+  for (const auto& mc : columns_) domains.push_back(mc.domain);
+  made_ = std::make_unique<MadeModel>(domains, options_.hidden_units,
+                                      options_.hidden_layers, rng);
+
+  std::vector<std::vector<uint16_t>> rows;
+  switch (mode_) {
+    case ArTraining::kData:
+      rows = DrawDataTuples(options_.training_samples, rng);
+      break;
+    case ArTraining::kQuery:
+      rows = DrawQueryTuples(options_.training_samples, rng);
+      break;
+    case ArTraining::kHybrid: {
+      rows = DrawDataTuples(options_.training_samples / 2, rng);
+      auto extra = DrawQueryTuples(options_.training_samples / 2, rng);
+      rows.insert(rows.end(), extra.begin(), extra.end());
+      break;
+    }
+  }
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    const double nll = made_->TrainEpoch(rows, options_.batch_size,
+                                         options_.learning_rate, rng,
+                                         options_.mask_prob);
+    CARDBENCH_DLOG("%s epoch %zu nll %.3f", name().c_str(), epoch, nll);
+  }
+}
+
+Status AutoregressiveEstimator::Update() {
+  // Fanouts and FOJ weights changed: rebuild the sampler, draw fresh
+  // samples (binned with the frozen binners) and fine-tune.
+  Stopwatch watch;
+  sampler_ = std::make_unique<FojSampler>(db_);
+  Rng rng(options_.seed ^ 0x5555);
+  const auto rows = DrawDataTuples(options_.training_samples, rng);
+  for (size_t epoch = 0; epoch < std::max<size_t>(2, options_.epochs / 2);
+       ++epoch) {
+    made_->TrainEpoch(rows, options_.batch_size, options_.learning_rate, rng,
+                      options_.mask_prob);
+  }
+  train_seconds_ += watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+bool AutoregressiveEstimator::MapToTree(const Query& query,
+                                        std::vector<bool>* table_in_s) const {
+  table_in_s->assign(sampler_->bfs_order().size(), false);
+  for (const auto& table : query.tables) {
+    const int idx = sampler_->TableIndex(table);
+    if (idx < 0) return false;
+    (*table_in_s)[static_cast<size_t>(idx)] = true;
+  }
+  for (const auto& edge : query.joins) {
+    bool matched = false;
+    for (const auto& tree_edge : sampler_->edges()) {
+      const std::string& parent = sampler_->bfs_order()[tree_edge.parent_idx];
+      const std::string& child = sampler_->bfs_order()[tree_edge.child_idx];
+      const bool forward = edge.left_table == parent &&
+                           edge.left_column == tree_edge.parent_col &&
+                           edge.right_table == child &&
+                           edge.right_column == tree_edge.child_col;
+      const bool backward = edge.right_table == parent &&
+                            edge.right_column == tree_edge.parent_col &&
+                            edge.left_table == child &&
+                            edge.left_column == tree_edge.child_col;
+      if (forward || backward) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+double AutoregressiveEstimator::ProgressiveEstimate(
+    const std::vector<std::pair<size_t, std::vector<double>>>& factors) {
+  const size_t batch = options_.progressive_samples;
+  Matrix encoded(batch, made_->input_dim());
+  std::vector<double> weights(batch, 1.0);
+
+  // Factors sorted by column order (the autoregressive order).
+  std::vector<std::pair<size_t, const std::vector<double>*>> ordered;
+  for (const auto& [col, per_bin] : factors) ordered.push_back({col, &per_bin});
+  std::sort(ordered.begin(), ordered.end());
+
+  for (const auto& [col, per_bin] : ordered) {
+    const Matrix probs = made_->ConditionalProbs(encoded, col);
+    const size_t offset = made_->ColumnOffset(col);
+    for (size_t s = 0; s < batch; ++s) {
+      if (weights[s] <= 0.0) continue;
+      double mass = 0.0;
+      for (size_t b = 0; b < columns_[col].domain; ++b) {
+        mass += probs.At(s, b) * (*per_bin)[b];
+      }
+      weights[s] *= mass;
+      if (mass <= 1e-300) {
+        weights[s] = 0.0;
+        continue;
+      }
+      // Sample the conditioning bin proportionally to prob * factor.
+      double pick = inference_rng_.NextDouble() * mass;
+      size_t chosen = columns_[col].domain - 1;
+      for (size_t b = 0; b < columns_[col].domain; ++b) {
+        pick -= probs.At(s, b) * (*per_bin)[b];
+        if (pick <= 0) {
+          chosen = b;
+          break;
+        }
+      }
+      encoded.At(s, offset + chosen) = 1.0;
+    }
+  }
+  double mean = 0.0;
+  for (double w : weights) mean += w;
+  return mean / static_cast<double>(batch);
+}
+
+double AutoregressiveEstimator::EstimateCard(const Query& subquery) {
+  std::vector<bool> in_s;
+  if (!MapToTree(subquery, &in_s)) {
+    // Off-tree join (FK-FK shortcut): independence fallback — single-table
+    // estimates combined with 1/max(ndv) per edge (tree-schema limitation).
+    double card = 1.0;
+    for (const auto& table : subquery.tables) {
+      Query single;
+      single.tables = {table};
+      for (const auto& pred : subquery.predicates) {
+        if (pred.table == table) single.predicates.push_back(pred);
+      }
+      card *= EstimateCard(single);
+    }
+    for (const auto& edge : subquery.joins) {
+      const Table& lt = db_.TableOrDie(edge.left_table);
+      const Table& rt = db_.TableOrDie(edge.right_table);
+      const double lndv = std::max<double>(
+          1.0, static_cast<double>(
+                   lt.GetIndex(lt.ColumnIndexOrDie(edge.left_column))
+                       .num_distinct()));
+      const double rndv = std::max<double>(
+          1.0, static_cast<double>(
+                   rt.GetIndex(rt.ColumnIndexOrDie(edge.right_column))
+                       .num_distinct()));
+      card /= std::max(lndv, rndv);
+    }
+    return std::max(card, 1.0);
+  }
+
+  // Top of S: the BFS-shallowest table (parents precede children).
+  size_t top = 0;
+  for (size_t t = 0; t < in_s.size(); ++t) {
+    if (in_s[t]) {
+      top = t;
+      break;
+    }
+  }
+
+  std::vector<std::pair<size_t, std::vector<double>>> factors;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const ModelColumn& mc = columns_[c];
+    const bool table_in_query = in_s[mc.table_idx];
+    switch (mc.kind) {
+      case ModelColumn::Kind::kPresence:
+        if (table_in_query) factors.push_back({c, {0.0, 1.0}});
+        break;
+      case ModelColumn::Kind::kAttr: {
+        if (!table_in_query) break;
+        std::vector<Predicate> preds;
+        const std::string& table = sampler_->bfs_order()[mc.table_idx];
+        for (const auto& pred : subquery.predicates) {
+          if (pred.table == table && pred.column == mc.attr) {
+            preds.push_back(pred);
+          }
+        }
+        if (!preds.empty()) {
+          factors.push_back({c, mc.binner->PredicateFractions(preds)});
+        }
+        break;
+      }
+      case ModelColumn::Kind::kUpward: {
+        if (mc.table_idx != top) break;
+        std::vector<double> inv(mc.domain);
+        for (uint16_t b = 0; b < mc.domain; ++b) {
+          inv[b] = mc.binner->BinInverseMean(b);
+        }
+        factors.push_back({c, std::move(inv)});
+        break;
+      }
+      case ModelColumn::Kind::kEdgeDup: {
+        if (!table_in_query) break;
+        const auto& edge = sampler_->edges()[static_cast<size_t>(mc.edge_idx)];
+        if (in_s[edge.child_idx]) break;  // child joined: no duplication
+        std::vector<double> inv(mc.domain);
+        for (uint16_t b = 0; b < mc.domain; ++b) {
+          inv[b] = mc.binner->BinInverseMean(b);
+        }
+        factors.push_back({c, std::move(inv)});
+        break;
+      }
+    }
+  }
+  const double expectation = ProgressiveEstimate(factors);
+  return std::max(1.0, sampler_->foj_size() * expectation);
+}
+
+size_t AutoregressiveEstimator::ModelBytes() const {
+  size_t bytes = made_->ParamBytes();
+  for (const auto& mc : columns_) {
+    if (mc.binner != nullptr) bytes += mc.binner->MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace cardbench

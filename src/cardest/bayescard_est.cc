@@ -1,0 +1,278 @@
+#include "cardest/bayescard_est.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace cardbench {
+
+namespace {
+constexpr double kLaplace = 0.1;
+}  // namespace
+
+ChowLiuTreeModel::ChowLiuTreeModel(const ExtendedTable& ext) {
+  num_cols_ = ext.num_columns();
+  domains_ = ext.BinDomains();
+  total_rows_ = static_cast<double>(ext.num_rows());
+  parent_.assign(num_cols_, -1);
+  children_.assign(num_cols_, {});
+  counts_.assign(num_cols_, {});
+  if (num_cols_ == 0) return;
+
+  // --- Pairwise mutual information over binned values. ---
+  const size_t n = ext.num_rows();
+  std::vector<std::vector<double>> mi(num_cols_,
+                                      std::vector<double>(num_cols_, 0.0));
+  for (size_t i = 0; i < num_cols_; ++i) {
+    for (size_t j = i + 1; j < num_cols_; ++j) {
+      const size_t di = domains_[i], dj = domains_[j];
+      std::vector<double> joint(di * dj, 0.0), pi(di, 0.0), pj(dj, 0.0);
+      for (size_t r = 0; r < n; ++r) {
+        const uint16_t bi = ext.column(i).bins[r];
+        const uint16_t bj = ext.column(j).bins[r];
+        joint[bi * dj + bj] += 1.0;
+        pi[bi] += 1.0;
+        pj[bj] += 1.0;
+      }
+      double value = 0.0;
+      const double dn = std::max(1.0, static_cast<double>(n));
+      for (size_t a = 0; a < di; ++a) {
+        for (size_t b = 0; b < dj; ++b) {
+          const double pab = joint[a * dj + b] / dn;
+          if (pab <= 0) continue;
+          value += pab * std::log(pab / ((pi[a] / dn) * (pj[b] / dn)));
+        }
+      }
+      mi[i][j] = mi[j][i] = value;
+    }
+  }
+
+  // --- Maximum spanning tree (Prim). ---
+  root_ = 0;
+  std::vector<bool> in_tree(num_cols_, false);
+  std::vector<double> best(num_cols_, -1.0);
+  std::vector<int> best_from(num_cols_, -1);
+  in_tree[root_] = true;
+  for (size_t j = 0; j < num_cols_; ++j) {
+    if (j != root_) {
+      best[j] = mi[root_][j];
+      best_from[j] = static_cast<int>(root_);
+    }
+  }
+  for (size_t it = 1; it < num_cols_; ++it) {
+    int pick = -1;
+    for (size_t j = 0; j < num_cols_; ++j) {
+      if (!in_tree[j] && (pick < 0 || best[j] > best[static_cast<size_t>(pick)])) {
+        pick = static_cast<int>(j);
+      }
+    }
+    if (pick < 0) break;
+    in_tree[static_cast<size_t>(pick)] = true;
+    parent_[static_cast<size_t>(pick)] = best_from[static_cast<size_t>(pick)];
+    children_[static_cast<size_t>(best_from[static_cast<size_t>(pick)])]
+        .push_back(static_cast<size_t>(pick));
+    for (size_t j = 0; j < num_cols_; ++j) {
+      if (!in_tree[j] && mi[static_cast<size_t>(pick)][j] > best[j]) {
+        best[j] = mi[static_cast<size_t>(pick)][j];
+        best_from[j] = pick;
+      }
+    }
+  }
+
+  // --- CPT counts. ---
+  for (size_t c = 0; c < num_cols_; ++c) {
+    if (parent_[c] < 0) {
+      counts_[c].assign(domains_[c], 0.0);
+    } else {
+      counts_[c].assign(domains_[static_cast<size_t>(parent_[c])] * domains_[c],
+                        0.0);
+    }
+  }
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < num_cols_; ++c) {
+      const uint16_t b = ext.column(c).bins[r];
+      if (parent_[c] < 0) {
+        counts_[c][b] += 1.0;
+      } else {
+        const uint16_t pb = ext.column(static_cast<size_t>(parent_[c])).bins[r];
+        counts_[c][pb * domains_[c] + b] += 1.0;
+      }
+    }
+  }
+}
+
+double ChowLiuTreeModel::NodeMessage(
+    size_t node,
+    const std::vector<const std::vector<double>*>& factor_of_col,
+    std::vector<double>* out_msg) const {
+  // Returns the message of `node` to its parent as a vector over the
+  // parent's bins: m(b_p) = sum_b P(b|b_p) phi(b) prod child messages(b).
+  // For the root (out_msg == nullptr) returns the scalar expectation.
+  const size_t dom = domains_[node];
+
+  // Subtree pruning: an all-ones subtree contributes exactly 1.
+  std::vector<double> phi(dom, 1.0);
+  bool has_factor = factor_of_col[node] != nullptr;
+  if (has_factor) phi = *factor_of_col[node];
+  std::vector<std::vector<double>> child_msgs;
+  for (size_t child : children_[node]) {
+    std::vector<double> msg;
+    (void)NodeMessage(child, factor_of_col, &msg);
+    if (!msg.empty()) {
+      child_msgs.push_back(std::move(msg));
+      has_factor = true;
+    }
+  }
+  if (!has_factor) {
+    if (out_msg != nullptr) out_msg->clear();  // identity message
+    return 1.0;
+  }
+  for (const auto& msg : child_msgs) {
+    for (size_t b = 0; b < dom; ++b) phi[b] *= msg[b];
+  }
+
+  if (parent_[node] < 0) {
+    // Root: expectation under the smoothed marginal.
+    double total = 0.0, mass = 0.0;
+    for (size_t b = 0; b < dom; ++b) {
+      const double c = counts_[node][b] + kLaplace;
+      total += c * phi[b];
+      mass += c;
+    }
+    return mass > 0 ? total / mass : 0.0;
+  }
+
+  const size_t pdom = domains_[static_cast<size_t>(parent_[node])];
+  out_msg->assign(pdom, 0.0);
+  for (size_t pb = 0; pb < pdom; ++pb) {
+    double total = 0.0, mass = 0.0;
+    for (size_t b = 0; b < dom; ++b) {
+      const double c = counts_[node][pb * dom + b] + kLaplace;
+      total += c * phi[b];
+      mass += c;
+    }
+    (*out_msg)[pb] = mass > 0 ? total / mass : 1.0;
+  }
+  return 0.0;
+}
+
+double ChowLiuTreeModel::ExpectProduct(
+    const std::vector<ColumnFactor>& factors) const {
+  if (num_cols_ == 0) return 1.0;
+  std::vector<const std::vector<double>*> factor_of_col(num_cols_, nullptr);
+  for (const auto& factor : factors) {
+    CARDBENCH_CHECK(factor.col_idx < num_cols_, "factor column out of range");
+    factor_of_col[factor.col_idx] = &factor.per_bin;
+  }
+  return NodeMessage(root_, factor_of_col, nullptr);
+}
+
+size_t ChowLiuTreeModel::ModelBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& counts : counts_) bytes += counts.size() * sizeof(double);
+  bytes += parent_.size() * sizeof(int);
+  return bytes;
+}
+
+void ChowLiuTreeModel::Serialize(std::ostream& out) const {
+  out << "chowliu " << num_cols_ << ' ' << root_ << ' ' << total_rows_
+      << '\n';
+  for (size_t c = 0; c < num_cols_; ++c) {
+    out << domains_[c] << ' ' << parent_[c] << ' ' << counts_[c].size();
+    for (double v : counts_[c]) out << ' ' << v;
+    out << '\n';
+  }
+}
+
+Result<std::unique_ptr<ChowLiuTreeModel>> ChowLiuTreeModel::Deserialize(
+    std::istream& in) {
+  std::string tag;
+  auto model = std::unique_ptr<ChowLiuTreeModel>(new ChowLiuTreeModel());
+  if (!(in >> tag >> model->num_cols_ >> model->root_ >> model->total_rows_) ||
+      tag != "chowliu") {
+    return Status::InvalidArgument("bad Chow-Liu model header");
+  }
+  model->domains_.resize(model->num_cols_);
+  model->parent_.resize(model->num_cols_);
+  model->children_.assign(model->num_cols_, {});
+  model->counts_.resize(model->num_cols_);
+  for (size_t c = 0; c < model->num_cols_; ++c) {
+    size_t count_size = 0;
+    if (!(in >> model->domains_[c] >> model->parent_[c] >> count_size)) {
+      return Status::InvalidArgument("bad Chow-Liu column entry");
+    }
+    model->counts_[c].resize(count_size);
+    for (double& v : model->counts_[c]) {
+      if (!(in >> v)) return Status::InvalidArgument("bad Chow-Liu count");
+    }
+    if (model->parent_[c] >= 0) {
+      model->children_[static_cast<size_t>(model->parent_[c])].push_back(c);
+    }
+  }
+  return model;
+}
+
+Status BayesCardEstimator::SaveModel(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "bayescard " << ext_tables().size() << '\n';
+  for (const auto& [name, ext] : ext_tables()) {
+    out << name << '\n';
+    ext->SerializeMeta(out);
+    const auto* bn = dynamic_cast<const ChowLiuTreeModel*>(models().at(name).get());
+    CARDBENCH_CHECK(bn != nullptr, "BayesCard model is not a Chow-Liu tree");
+    bn->Serialize(out);
+  }
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<std::unique_ptr<BayesCardEstimator>> BayesCardEstimator::LoadModel(
+    const Database& db, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string tag;
+  size_t num_tables = 0;
+  if (!(in >> tag >> num_tables) || tag != "bayescard") {
+    return Status::InvalidArgument("bad BayesCard model header in " + path);
+  }
+  std::map<std::string, std::unique_ptr<ExtendedTable>> ext_tables;
+  std::map<std::string, std::unique_ptr<TableDistribution>> models;
+  size_t max_bins = 48;
+  for (size_t t = 0; t < num_tables; ++t) {
+    std::string name;
+    if (!(in >> name)) return Status::InvalidArgument("bad table entry");
+    CARDBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ExtendedTable> ext,
+                               ExtendedTable::DeserializeMeta(db, in));
+    CARDBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ChowLiuTreeModel> bn,
+                               ChowLiuTreeModel::Deserialize(in));
+    ext_tables[name] = std::move(ext);
+    models[name] = std::move(bn);
+  }
+  auto est = std::unique_ptr<BayesCardEstimator>(
+      new BayesCardEstimator(db, max_bins, DeferredInit{}));
+  est->InjectState(std::move(ext_tables), std::move(models));
+  return est;
+}
+
+void ChowLiuTreeModel::UpdateWithRows(const ExtendedTable& ext,
+                                      const std::vector<size_t>& new_rows) {
+  // Structure preserved; only CPT counts absorb the inserted rows.
+  for (size_t r : new_rows) {
+    for (size_t c = 0; c < num_cols_; ++c) {
+      const uint16_t b = ext.column(c).bins[r];
+      if (parent_[c] < 0) {
+        counts_[c][b] += 1.0;
+      } else {
+        const uint16_t pb = ext.column(static_cast<size_t>(parent_[c])).bins[r];
+        counts_[c][pb * domains_[c] + b] += 1.0;
+      }
+    }
+  }
+  total_rows_ += static_cast<double>(new_rows.size());
+}
+
+}  // namespace cardbench

@@ -1,0 +1,87 @@
+#ifndef CARDBENCH_CARDEST_BAYESCARD_EST_H_
+#define CARDBENCH_CARDEST_BAYESCARD_EST_H_
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "cardest/fanout_estimator.h"
+
+namespace cardbench {
+
+/// Chow–Liu tree Bayesian network over one extended table: the dependence
+/// structure is the maximum-spanning tree of pairwise mutual information
+/// (the construction BayesCard uses, §4.1), parameters are Laplace-smoothed
+/// conditional probability tables over bins. Expectation queries run as
+/// exact bottom-up sum-product over the tree (compiled variable
+/// elimination). Updates add counts without touching the structure — the
+/// reason BayesCard's update is near-instant and accuracy-preserving (O10).
+class ChowLiuTreeModel : public TableDistribution {
+ public:
+  explicit ChowLiuTreeModel(const ExtendedTable& ext);
+
+  double ExpectProduct(const std::vector<ColumnFactor>& factors) const override;
+  size_t ModelBytes() const override;
+  void UpdateWithRows(const ExtendedTable& ext,
+                      const std::vector<size_t>& new_rows) override;
+
+  /// Parent column of each column in the learned tree (-1 for the root).
+  const std::vector<int>& parents() const { return parent_; }
+
+  /// Writes / restores the learned structure and CPT counts.
+  void Serialize(std::ostream& out) const;
+  static Result<std::unique_ptr<ChowLiuTreeModel>> Deserialize(
+      std::istream& in);
+
+ private:
+  ChowLiuTreeModel() = default;  // for Deserialize
+
+  double NodeMessage(size_t node, const std::vector<const std::vector<double>*>&
+                                       factor_of_col,
+                     std::vector<double>* out_msg) const;
+
+  size_t num_cols_ = 0;
+  std::vector<size_t> domains_;
+  std::vector<int> parent_;                  // -1 = root
+  std::vector<std::vector<size_t>> children_;
+  size_t root_ = 0;
+  // CPT counts with Laplace smoothing applied at query time:
+  // root: counts_[root][b]; child c: counts_[c][parent_bin * domain + b].
+  std::vector<std::vector<double>> counts_;
+  double total_rows_ = 0.0;
+};
+
+/// The BayesCard estimator: one Chow–Liu BN per table + the shared fanout
+/// join method.
+class BayesCardEstimator : public FanoutModelEstimator {
+ public:
+  explicit BayesCardEstimator(const Database& db, size_t max_bins = 48)
+      : FanoutModelEstimator(db, max_bins) {
+    TrainAll();
+  }
+
+  std::string name() const override { return "BayesCard"; }
+
+  /// Persists all per-table BNs plus the extended-table metadata, and
+  /// restores a ready-to-serve estimator without retraining — the paper's
+  /// model-transfer deployment path (§4.3). The loaded estimator still
+  /// supports incremental Update() (bins are recomputed lazily).
+  Status SaveModel(const std::string& path) const;
+  static Result<std::unique_ptr<BayesCardEstimator>> LoadModel(
+      const Database& db, const std::string& path);
+
+ protected:
+  std::unique_ptr<TableDistribution> BuildModel(
+      const ExtendedTable& ext) override {
+    return std::make_unique<ChowLiuTreeModel>(ext);
+  }
+
+ private:
+  /// Load path: constructs without training; state injected by LoadModel.
+  BayesCardEstimator(const Database& db, size_t max_bins, DeferredInit tag)
+      : FanoutModelEstimator(db, max_bins, tag) {}
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_CARDEST_BAYESCARD_EST_H_

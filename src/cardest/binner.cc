@@ -1,0 +1,238 @@
+#include "cardest/binner.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <map>
+
+#include "common/logging.h"
+
+namespace cardbench {
+
+ColumnBinner::ColumnBinner(const Column& column, size_t max_bins) {
+  CARDBENCH_CHECK(max_bins >= 2, "need at least the NULL bin plus one");
+  std::map<Value, size_t> freq;
+  size_t non_null = 0;
+  for (size_t row = 0; row < column.size(); ++row) {
+    if (!column.IsValid(row)) continue;
+    ++freq[column.Get(row)];
+    ++non_null;
+  }
+  total_rows_ = static_cast<double>(column.size());
+
+  // Greedy equi-depth partition of the sorted distinct values.
+  const size_t value_bins =
+      std::max<size_t>(1, std::min(max_bins - 1, freq.size()));
+  const double target = static_cast<double>(non_null) /
+                        static_cast<double>(value_bins);
+  std::vector<std::vector<BinValue>> bins;
+  std::vector<BinValue> current;
+  double acc = 0.0;
+  for (const auto& [value, count] : freq) {
+    current.push_back({value, count});
+    acc += static_cast<double>(count);
+    if (acc >= target && bins.size() + 1 < value_bins) {
+      bins.push_back(std::move(current));
+      current.clear();
+      acc = 0.0;
+    }
+  }
+  if (!current.empty()) bins.push_back(std::move(current));
+  if (bins.empty()) bins.push_back({});  // all-NULL column
+
+  starts_.resize(bins.size());
+  ends_.resize(bins.size());
+  for (size_t i = 0; i < bins.size(); ++i) {
+    starts_[i] = bins[i].empty() ? 0 : bins[i].front().value;
+    ends_[i] = bins[i].empty() ? 0 : bins[i].back().value;
+  }
+  bin_values_ = std::move(bins);
+
+  means_.assign(num_bins(), 0.0);
+  masses_.assign(num_bins(), 0.0);
+  masses_[0] = total_rows_ - static_cast<double>(non_null);
+  for (size_t b = 0; b < bin_values_.size(); ++b) {
+    double sum = 0.0, mass = 0.0;
+    for (const auto& bv : bin_values_[b]) {
+      sum += static_cast<double>(bv.value) * static_cast<double>(bv.count);
+      mass += static_cast<double>(bv.count);
+    }
+    masses_[b + 1] = mass;
+    means_[b + 1] = mass > 0 ? sum / mass : 0.0;
+  }
+}
+
+uint16_t ColumnBinner::BinOf(std::optional<Value> v) const {
+  if (!v.has_value()) return 0;
+  // Last bin whose start is <= v (values below the first start clamp to
+  // bin 1, above the last end to the last bin).
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), *v);
+  const size_t idx =
+      it == starts_.begin() ? 0 : static_cast<size_t>(it - starts_.begin()) - 1;
+  return static_cast<uint16_t>(idx + 1);
+}
+
+double ColumnBinner::RangeOverlap(uint16_t bin, const ValueRange& range) const {
+  if (bin == 0) return 0.0;
+  const auto& values = bin_values_[bin - 1];
+  if (masses_[bin] <= 0) return 0.0;
+  double pass = 0.0;
+  for (const auto& bv : values) {
+    if (range.Contains(bv.value)) pass += static_cast<double>(bv.count);
+  }
+  return pass / masses_[bin];
+}
+
+double ColumnBinner::EqualFraction(uint16_t bin, Value v) const {
+  if (bin == 0 || masses_[bin] <= 0) return 0.0;
+  const auto& values = bin_values_[bin - 1];
+  const auto it = std::lower_bound(
+      values.begin(), values.end(), v,
+      [](const BinValue& bv, Value target) { return bv.value < target; });
+  if (it == values.end() || it->value != v) return 0.0;
+  return static_cast<double>(it->count) / masses_[bin];
+}
+
+std::vector<double> ColumnBinner::PredicateFractions(
+    const std::vector<Predicate>& preds) const {
+  std::vector<double> fractions(num_bins(), 1.0);
+  if (preds.empty()) return fractions;
+  fractions[0] = 0.0;  // NULL satisfies nothing
+
+  ValueRange range;
+  std::vector<Value> excluded;
+  for (const auto& pred : preds) {
+    if (pred.op == CompareOp::kNeq) {
+      excluded.push_back(pred.value);
+    } else {
+      range.Apply(pred.op, pred.value);
+    }
+  }
+  for (uint16_t b = 1; b < num_bins(); ++b) {
+    double frac = RangeOverlap(b, range);
+    for (Value v : excluded) {
+      if (range.Contains(v)) frac -= EqualFraction(b, v);
+    }
+    fractions[b] = std::max(0.0, frac);
+  }
+  return fractions;
+}
+
+double ColumnBinner::BinInverseMean(uint16_t bin) const {
+  if (bin == 0 || masses_[bin] <= 0) return 1.0;
+  double total = 0.0;
+  for (const auto& bv : bin_values_[bin - 1]) {
+    total += static_cast<double>(bv.count) /
+             std::max<double>(1.0, static_cast<double>(bv.value));
+  }
+  return total / masses_[bin];
+}
+
+double ColumnBinner::BinMass(uint16_t bin) const {
+  return total_rows_ > 0 ? masses_[bin] / total_rows_ : 0.0;
+}
+
+void ColumnBinner::Refresh(const Column& column) {
+  // Fixed boundaries; recount masses, means and per-bin value counts.
+  for (auto& bin : bin_values_) {
+    for (auto& bv : bin) bv.count = 0;
+  }
+  std::vector<std::map<Value, size_t>> extras(bin_values_.size());
+  std::fill(masses_.begin(), masses_.end(), 0.0);
+  total_rows_ = static_cast<double>(column.size());
+  for (size_t row = 0; row < column.size(); ++row) {
+    if (!column.IsValid(row)) {
+      masses_[0] += 1.0;
+      continue;
+    }
+    const Value v = column.Get(row);
+    const uint16_t bin = BinOf(v);
+    masses_[bin] += 1.0;
+    auto& values = bin_values_[bin - 1];
+    const auto it = std::lower_bound(
+        values.begin(), values.end(), v,
+        [](const BinValue& bv, Value target) { return bv.value < target; });
+    if (it != values.end() && it->value == v) {
+      ++it->count;
+    } else {
+      ++extras[bin - 1][v];  // unseen value; merged below
+    }
+  }
+  for (size_t b = 0; b < bin_values_.size(); ++b) {
+    if (extras[b].empty()) continue;
+    for (const auto& [value, count] : extras[b]) {
+      bin_values_[b].push_back({value, count});
+    }
+    std::sort(bin_values_[b].begin(), bin_values_[b].end(),
+              [](const BinValue& x, const BinValue& y) {
+                return x.value < y.value;
+              });
+  }
+  for (size_t b = 0; b < bin_values_.size(); ++b) {
+    double sum = 0.0, mass = 0.0;
+    for (const auto& bv : bin_values_[b]) {
+      sum += static_cast<double>(bv.value) * static_cast<double>(bv.count);
+      mass += static_cast<double>(bv.count);
+    }
+    means_[b + 1] = mass > 0 ? sum / mass : 0.0;
+  }
+}
+
+void ColumnBinner::Serialize(std::ostream& out) const {
+  out << "binner " << bin_values_.size() << ' ' << total_rows_ << ' '
+      << masses_[0] << '\n';
+  for (size_t b = 0; b < bin_values_.size(); ++b) {
+    out << starts_[b] << ' ' << ends_[b] << ' ' << bin_values_[b].size();
+    for (const auto& bv : bin_values_[b]) {
+      out << ' ' << bv.value << ' ' << bv.count;
+    }
+    out << '\n';
+  }
+}
+
+Result<ColumnBinner> ColumnBinner::Deserialize(std::istream& in) {
+  std::string tag;
+  size_t num_value_bins = 0;
+  ColumnBinner binner;
+  double null_mass = 0.0;
+  if (!(in >> tag >> num_value_bins >> binner.total_rows_ >> null_mass) ||
+      tag != "binner") {
+    return Status::InvalidArgument("bad binner header");
+  }
+  binner.starts_.resize(num_value_bins);
+  binner.ends_.resize(num_value_bins);
+  binner.bin_values_.resize(num_value_bins);
+  binner.means_.assign(num_value_bins + 1, 0.0);
+  binner.masses_.assign(num_value_bins + 1, 0.0);
+  binner.masses_[0] = null_mass;
+  for (size_t b = 0; b < num_value_bins; ++b) {
+    size_t num_values = 0;
+    if (!(in >> binner.starts_[b] >> binner.ends_[b] >> num_values)) {
+      return Status::InvalidArgument("bad binner bin");
+    }
+    binner.bin_values_[b].resize(num_values);
+    double sum = 0.0, mass = 0.0;
+    for (size_t v = 0; v < num_values; ++v) {
+      if (!(in >> binner.bin_values_[b][v].value >>
+            binner.bin_values_[b][v].count)) {
+        return Status::InvalidArgument("bad binner value");
+      }
+      sum += static_cast<double>(binner.bin_values_[b][v].value) *
+             static_cast<double>(binner.bin_values_[b][v].count);
+      mass += static_cast<double>(binner.bin_values_[b][v].count);
+    }
+    binner.masses_[b + 1] = mass;
+    binner.means_[b + 1] = mass > 0 ? sum / mass : 0.0;
+  }
+  return binner;
+}
+
+size_t ColumnBinner::MemoryBytes() const {
+  size_t bytes = sizeof(*this) +
+                 (starts_.size() + ends_.size()) * sizeof(Value) +
+                 (means_.size() + masses_.size()) * sizeof(double);
+  for (const auto& bin : bin_values_) bytes += bin.size() * sizeof(BinValue);
+  return bytes;
+}
+
+}  // namespace cardbench

@@ -1,0 +1,395 @@
+#include "cardest/deepdb_est.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "ml/clustering.h"
+
+namespace cardbench {
+
+namespace {
+constexpr double kLeafSmoothing = 0.05;
+}  // namespace
+
+SpnModel::SpnModel(const ExtendedTable& ext, const SpnOptions& options)
+    : options_(options), num_cols_(ext.num_columns()) {
+  Rng rng(options_.seed);
+  std::vector<size_t> rows(ext.num_rows());
+  for (size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+  std::vector<size_t> cols(num_cols_);
+  for (size_t c = 0; c < cols.size(); ++c) cols[c] = c;
+  if (ext.num_rows() == 0) {
+    // Degenerate empty table: a single uniform leaf.
+    root_ = MakeLeaf(ext, rows, 0, 0, 0);
+    return;
+  }
+  root_ = Learn(ext, rows, 0, rows.size(), std::move(cols), rng, 0);
+}
+
+size_t SpnModel::MakeLeaf(const ExtendedTable& ext,
+                          const std::vector<size_t>& rows, size_t begin,
+                          size_t end, size_t col) {
+  Node leaf;
+  leaf.type = Node::Type::kLeaf;
+  leaf.cols = {col};
+  leaf.histogram.assign(ext.column(col).binner->num_bins(), 0.0);
+  for (size_t i = begin; i < end; ++i) {
+    leaf.histogram[ext.column(col).bins[rows[i]]] += 1.0;
+  }
+  leaf.total = static_cast<double>(end - begin);
+  nodes_.push_back(std::move(leaf));
+  return nodes_.size() - 1;
+}
+
+size_t SpnModel::MakeMultiLeaf(const ExtendedTable& ext,
+                               const std::vector<size_t>& rows, size_t begin,
+                               size_t end, std::vector<size_t> cols) {
+  Node leaf;
+  leaf.type = Node::Type::kMultiLeaf;
+  leaf.cols = std::move(cols);
+  for (size_t i = begin; i < end; ++i) {
+    std::vector<uint16_t> key(leaf.cols.size());
+    for (size_t k = 0; k < leaf.cols.size(); ++k) {
+      key[k] = ext.column(leaf.cols[k]).bins[rows[i]];
+    }
+    leaf.joint[key] += 1.0;
+  }
+  leaf.total = static_cast<double>(end - begin);
+  nodes_.push_back(std::move(leaf));
+  return nodes_.size() - 1;
+}
+
+size_t SpnModel::Learn(const ExtendedTable& ext, std::vector<size_t>& rows,
+                       size_t begin, size_t end, std::vector<size_t> cols,
+                       Rng& rng, size_t depth) {
+  const size_t n = end - begin;
+  const size_t min_slice = std::max(
+      options_.min_slice_rows,
+      static_cast<size_t>(options_.min_slice_fraction *
+                          static_cast<double>(ext.num_rows())));
+
+  if (cols.size() == 1) return MakeLeaf(ext, rows, begin, end, cols[0]);
+
+  // Too small to split further: assume independence (naive factorization).
+  auto naive_product = [&]() {
+    Node product;
+    product.type = Node::Type::kProduct;
+    std::vector<size_t> children;
+    for (size_t col : cols) children.push_back(MakeLeaf(ext, rows, begin, end, col));
+    product.children = std::move(children);
+    nodes_.push_back(std::move(product));
+    return nodes_.size() - 1;
+  };
+  if (n < 2 * min_slice || depth > 24) return naive_product();
+
+  // Pairwise dependence on a row subsample.
+  const size_t sample_n = std::min(n, options_.dependence_sample);
+  std::vector<std::vector<double>> feature(cols.size(),
+                                           std::vector<double>(sample_n));
+  const size_t stride = std::max<size_t>(1, n / sample_n);
+  for (size_t c = 0; c < cols.size(); ++c) {
+    for (size_t s = 0; s < sample_n; ++s) {
+      feature[c][s] = static_cast<double>(
+          ext.column(cols[c]).bins[rows[begin + s * stride]]);
+    }
+  }
+  std::vector<std::vector<double>> dep(cols.size(),
+                                       std::vector<double>(cols.size(), 0.0));
+  for (size_t i = 0; i < cols.size(); ++i) {
+    for (size_t j = i + 1; j < cols.size(); ++j) {
+      dep[i][j] = dep[j][i] = DependenceScore(feature[i], feature[j]);
+    }
+  }
+
+  // FSPN extension: carve out highly correlated groups as joint
+  // multi-leaves (FLAT's factorize + multi-leaf, simplified).
+  if (options_.enable_multi_leaf) {
+    std::vector<bool> taken(cols.size(), false);
+    std::vector<std::vector<size_t>> groups;  // indexes into cols
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (taken[i]) continue;
+      std::vector<size_t> group = {i};
+      for (size_t j = i + 1;
+           j < cols.size() && group.size() < options_.max_multi_leaf_cols;
+           ++j) {
+        if (taken[j]) continue;
+        bool high_with_all = true;
+        for (size_t g : group) {
+          if (dep[g][j] < options_.high_correlation_threshold) {
+            high_with_all = false;
+            break;
+          }
+        }
+        if (high_with_all) group.push_back(j);
+      }
+      if (group.size() >= 2) {
+        for (size_t g : group) taken[g] = true;
+        groups.push_back(std::move(group));
+      }
+    }
+    if (!groups.empty()) {
+      std::vector<size_t> children;
+      for (const auto& group : groups) {
+        std::vector<size_t> group_cols;
+        for (size_t g : group) group_cols.push_back(cols[g]);
+        children.push_back(
+            MakeMultiLeaf(ext, rows, begin, end, std::move(group_cols)));
+      }
+      std::vector<size_t> rest;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (!taken[i]) rest.push_back(cols[i]);
+      }
+      if (!rest.empty()) {
+        if (rest.size() == 1) {
+          children.push_back(MakeLeaf(ext, rows, begin, end, rest[0]));
+        } else {
+          children.push_back(
+              Learn(ext, rows, begin, end, std::move(rest), rng, depth + 1));
+        }
+      }
+      Node product;
+      product.type = Node::Type::kProduct;
+      product.children = std::move(children);
+      nodes_.push_back(std::move(product));
+      return nodes_.size() - 1;
+    }
+  }
+
+  // Independence split: connected components under dep >= threshold.
+  {
+    std::vector<int> comp(cols.size(), -1);
+    int num_comp = 0;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (comp[i] >= 0) continue;
+      comp[i] = num_comp;
+      std::vector<size_t> stack = {i};
+      while (!stack.empty()) {
+        const size_t at = stack.back();
+        stack.pop_back();
+        for (size_t j = 0; j < cols.size(); ++j) {
+          if (comp[j] < 0 && dep[at][j] >= options_.independence_threshold) {
+            comp[j] = num_comp;
+            stack.push_back(j);
+          }
+        }
+      }
+      ++num_comp;
+    }
+    if (num_comp > 1) {
+      Node product;
+      product.type = Node::Type::kProduct;
+      std::vector<size_t> children;
+      for (int g = 0; g < num_comp; ++g) {
+        std::vector<size_t> group;
+        for (size_t i = 0; i < cols.size(); ++i) {
+          if (comp[i] == g) group.push_back(cols[i]);
+        }
+        if (group.size() == 1) {
+          children.push_back(MakeLeaf(ext, rows, begin, end, group[0]));
+        } else {
+          children.push_back(
+              Learn(ext, rows, begin, end, std::move(group), rng, depth + 1));
+        }
+      }
+      product.children = std::move(children);
+      nodes_.push_back(std::move(product));
+      return nodes_.size() - 1;
+    }
+  }
+
+  // Sum split: two-means row clustering.
+  {
+    std::vector<std::vector<double>> points(n,
+                                            std::vector<double>(cols.size()));
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < cols.size(); ++c) {
+        points[i][c] =
+            static_cast<double>(ext.column(cols[c]).bins[rows[begin + i]]);
+      }
+    }
+    const std::vector<int> labels = TwoMeans(points, rng);
+    // Partition rows[begin,end) stably by label.
+    std::vector<size_t> left, right;
+    for (size_t i = 0; i < n; ++i) {
+      (labels[i] == 0 ? left : right).push_back(rows[begin + i]);
+    }
+    if (left.empty() || right.empty()) return naive_product();
+    std::copy(left.begin(), left.end(), rows.begin() + static_cast<long>(begin));
+    std::copy(right.begin(), right.end(),
+              rows.begin() + static_cast<long>(begin + left.size()));
+    const size_t mid = begin + left.size();
+    Node sum;
+    sum.type = Node::Type::kSum;
+    sum.weights = {static_cast<double>(left.size()),
+                   static_cast<double>(right.size())};
+    const size_t a = Learn(ext, rows, begin, mid, cols, rng, depth + 1);
+    const size_t b = Learn(ext, rows, mid, end, cols, rng, depth + 1);
+    sum.children = {a, b};
+    nodes_.push_back(std::move(sum));
+    return nodes_.size() - 1;
+  }
+}
+
+double SpnModel::Eval(
+    size_t node,
+    const std::vector<const std::vector<double>*>& factor_of_col) const {
+  const Node& nd = nodes_[node];
+  switch (nd.type) {
+    case Node::Type::kLeaf: {
+      const std::vector<double>* factor = factor_of_col[nd.cols[0]];
+      if (factor == nullptr) return 1.0;
+      const double denom =
+          nd.total + kLeafSmoothing * static_cast<double>(nd.histogram.size());
+      if (denom <= 0) return 0.0;
+      double total = 0.0;
+      for (size_t b = 0; b < nd.histogram.size(); ++b) {
+        total += (nd.histogram[b] + kLeafSmoothing) * (*factor)[b];
+      }
+      return total / denom;
+    }
+    case Node::Type::kMultiLeaf: {
+      bool any = false;
+      for (size_t col : nd.cols) any |= factor_of_col[col] != nullptr;
+      if (!any) return 1.0;
+      if (nd.total <= 0) return 0.0;
+      double total = 0.0;
+      for (const auto& [key, count] : nd.joint) {
+        double phi = 1.0;
+        for (size_t k = 0; k < nd.cols.size(); ++k) {
+          const std::vector<double>* factor = factor_of_col[nd.cols[k]];
+          if (factor != nullptr) phi *= (*factor)[key[k]];
+        }
+        total += count * phi;
+      }
+      return total / nd.total;
+    }
+    case Node::Type::kProduct: {
+      double product = 1.0;
+      for (size_t child : nd.children) {
+        product *= Eval(child, factor_of_col);
+      }
+      return product;
+    }
+    case Node::Type::kSum: {
+      double total_weight = 0.0;
+      for (double w : nd.weights) total_weight += w;
+      if (total_weight <= 0) return 0.0;
+      double total = 0.0;
+      for (size_t i = 0; i < nd.children.size(); ++i) {
+        total += nd.weights[i] * Eval(nd.children[i], factor_of_col);
+      }
+      return total / total_weight;
+    }
+  }
+  return 0.0;
+}
+
+double SpnModel::ExpectProduct(const std::vector<ColumnFactor>& factors) const {
+  std::vector<const std::vector<double>*> factor_of_col(num_cols_, nullptr);
+  for (const auto& factor : factors) {
+    CARDBENCH_CHECK(factor.col_idx < num_cols_, "factor column out of range");
+    factor_of_col[factor.col_idx] = &factor.per_bin;
+  }
+  return Eval(root_, factor_of_col);
+}
+
+double SpnModel::PointLikelihood(size_t node,
+                                 const std::vector<uint16_t>& row) const {
+  const Node& nd = nodes_[node];
+  switch (nd.type) {
+    case Node::Type::kLeaf: {
+      const double denom =
+          nd.total + kLeafSmoothing * static_cast<double>(nd.histogram.size());
+      return denom > 0 ? (nd.histogram[row[nd.cols[0]]] + kLeafSmoothing) / denom
+                       : 0.0;
+    }
+    case Node::Type::kMultiLeaf: {
+      if (nd.total <= 0) return 0.0;
+      std::vector<uint16_t> key(nd.cols.size());
+      for (size_t k = 0; k < nd.cols.size(); ++k) key[k] = row[nd.cols[k]];
+      auto it = nd.joint.find(key);
+      const double count = it == nd.joint.end() ? 0.0 : it->second;
+      return (count + kLeafSmoothing) / (nd.total + kLeafSmoothing);
+    }
+    case Node::Type::kProduct: {
+      double p = 1.0;
+      for (size_t child : nd.children) p *= PointLikelihood(child, row);
+      return p;
+    }
+    case Node::Type::kSum: {
+      double total_weight = 0.0;
+      for (double w : nd.weights) total_weight += w;
+      if (total_weight <= 0) return 0.0;
+      double p = 0.0;
+      for (size_t i = 0; i < nd.children.size(); ++i) {
+        p += nd.weights[i] / total_weight *
+             PointLikelihood(nd.children[i], row);
+      }
+      return p;
+    }
+  }
+  return 0.0;
+}
+
+void SpnModel::Route(size_t node, const std::vector<uint16_t>& row) {
+  Node& nd = nodes_[node];
+  switch (nd.type) {
+    case Node::Type::kLeaf:
+      nd.histogram[row[nd.cols[0]]] += 1.0;
+      nd.total += 1.0;
+      return;
+    case Node::Type::kMultiLeaf: {
+      std::vector<uint16_t> key(nd.cols.size());
+      for (size_t k = 0; k < nd.cols.size(); ++k) key[k] = row[nd.cols[k]];
+      nd.joint[key] += 1.0;
+      nd.total += 1.0;
+      return;
+    }
+    case Node::Type::kProduct:
+      for (size_t child : nd.children) Route(child, row);
+      return;
+    case Node::Type::kSum: {
+      // Route to the child that explains the row best and grow its weight —
+      // structure is frozen, so clusters drift and accuracy decays (the
+      // update-accuracy drop the paper observes for SPN/FSPN, O10).
+      size_t best = 0;
+      double best_p = -1.0;
+      for (size_t i = 0; i < nd.children.size(); ++i) {
+        const double p = PointLikelihood(nd.children[i], row);
+        if (p > best_p) {
+          best_p = p;
+          best = i;
+        }
+      }
+      nd.weights[best] += 1.0;
+      const size_t child = nd.children[best];
+      Route(child, row);
+      return;
+    }
+  }
+}
+
+void SpnModel::UpdateWithRows(const ExtendedTable& ext,
+                              const std::vector<size_t>& new_rows) {
+  for (size_t r : new_rows) {
+    Route(root_, ext.BinnedRow(r));
+  }
+}
+
+size_t SpnModel::ModelBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& nd : nodes_) {
+    bytes += sizeof(nd);
+    bytes += nd.children.size() * sizeof(size_t);
+    bytes += nd.weights.size() * sizeof(double);
+    bytes += nd.cols.size() * sizeof(size_t);
+    bytes += nd.histogram.size() * sizeof(double);
+    for (const auto& [key, count] : nd.joint) {
+      bytes += key.size() * sizeof(uint16_t) + sizeof(double) + 32;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace cardbench

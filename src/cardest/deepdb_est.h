@@ -1,0 +1,128 @@
+#ifndef CARDBENCH_CARDEST_DEEPDB_EST_H_
+#define CARDBENCH_CARDEST_DEEPDB_EST_H_
+
+#include <memory>
+#include <vector>
+
+#include "cardest/fanout_estimator.h"
+#include "common/rng.h"
+
+namespace cardbench {
+
+/// Learning knobs shared by the SPN (DeepDB) and FSPN (FLAT) learners.
+struct SpnOptions {
+  /// RDC-style dependence threshold below which column groups are treated
+  /// as independent (paper: 0.3).
+  double independence_threshold = 0.3;
+  /// Dependence threshold above which FLAT factorizes a group into a joint
+  /// multi-leaf (paper: 0.7). Ignored by the plain SPN.
+  double high_correlation_threshold = 0.7;
+  /// Do not split a slice holding less than this fraction of the table
+  /// (paper: 1%).
+  double min_slice_fraction = 0.01;
+  size_t min_slice_rows = 64;
+  /// Rows subsampled for dependence tests (speed).
+  size_t dependence_sample = 2000;
+  /// Enables factorize/multi-leaf nodes (the FSPN extension).
+  bool enable_multi_leaf = false;
+  /// Cap on multi-leaf group size.
+  size_t max_multi_leaf_cols = 4;
+  uint64_t seed = 1234;
+};
+
+/// Sum-product network over one extended table, learned top-down à la
+/// DeepDB: product nodes from independence tests, sum nodes from two-means
+/// row clustering, histogram leaves. With `enable_multi_leaf` it becomes
+/// the simplified FSPN of FLAT: highly correlated column groups are kept
+/// joint in sparse multi-leaves instead of being split further.
+class SpnModel : public TableDistribution {
+ public:
+  SpnModel(const ExtendedTable& ext, const SpnOptions& options);
+
+  double ExpectProduct(const std::vector<ColumnFactor>& factors) const override;
+  size_t ModelBytes() const override;
+  void UpdateWithRows(const ExtendedTable& ext,
+                      const std::vector<size_t>& new_rows) override;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    enum class Type : uint8_t { kSum, kProduct, kLeaf, kMultiLeaf };
+    Type type = Type::kLeaf;
+    std::vector<size_t> children;
+    std::vector<double> weights;  // sum node: child row counts
+    std::vector<size_t> cols;     // column scope (leaf: 1; multi-leaf: >1)
+    std::vector<double> histogram;          // leaf: counts per bin
+    std::map<std::vector<uint16_t>, double> joint;  // multi-leaf counts
+    double total = 0.0;
+  };
+
+  size_t Learn(const ExtendedTable& ext, std::vector<size_t>& rows,
+               size_t begin, size_t end, std::vector<size_t> cols, Rng& rng,
+               size_t depth);
+  size_t MakeLeaf(const ExtendedTable& ext, const std::vector<size_t>& rows,
+                  size_t begin, size_t end, size_t col);
+  size_t MakeMultiLeaf(const ExtendedTable& ext,
+                       const std::vector<size_t>& rows, size_t begin,
+                       size_t end, std::vector<size_t> cols);
+  double Eval(size_t node,
+              const std::vector<const std::vector<double>*>& factor_of_col)
+      const;
+  double PointLikelihood(size_t node, const std::vector<uint16_t>& row) const;
+  void Route(size_t node, const std::vector<uint16_t>& row);
+
+  SpnOptions options_;
+  std::vector<Node> nodes_;
+  size_t root_ = 0;
+  size_t num_cols_ = 0;
+};
+
+/// The DeepDB estimator: one SPN per table + the shared fanout join method.
+class DeepDbEstimator : public FanoutModelEstimator {
+ public:
+  explicit DeepDbEstimator(const Database& db, size_t max_bins = 48,
+                           SpnOptions options = SpnOptions())
+      : FanoutModelEstimator(db, max_bins), options_(options) {
+    options_.enable_multi_leaf = false;
+    TrainAll();
+  }
+
+  std::string name() const override { return "DeepDB"; }
+
+ protected:
+  std::unique_ptr<TableDistribution> BuildModel(
+      const ExtendedTable& ext) override {
+    return std::make_unique<SpnModel>(ext, options_);
+  }
+
+ private:
+  SpnOptions options_;
+};
+
+/// The FLAT estimator: FSPN = SPN + factorize/multi-leaf handling of highly
+/// correlated column groups.
+class FlatEstimator : public FanoutModelEstimator {
+ public:
+  explicit FlatEstimator(const Database& db, size_t max_bins = 48,
+                         SpnOptions options = SpnOptions())
+      : FanoutModelEstimator(db, max_bins), options_(options) {
+    options_.enable_multi_leaf = true;
+    TrainAll();
+  }
+
+  std::string name() const override { return "FLAT"; }
+
+ protected:
+  std::unique_ptr<TableDistribution> BuildModel(
+      const ExtendedTable& ext) override {
+    return std::make_unique<SpnModel>(ext, options_);
+  }
+
+ private:
+  SpnOptions options_;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_CARDEST_DEEPDB_EST_H_

@@ -1,0 +1,51 @@
+#ifndef CARDBENCH_CARDEST_ESTIMATOR_H_
+#define CARDBENCH_CARDEST_ESTIMATOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace cardbench {
+
+/// The cardinality-estimator interface, the reproduction of the paper's
+/// PostgreSQL integration point (§4.2): the optimizer derives the sub-plan
+/// query space of each query and calls EstimateCard for every sub-plan
+/// exactly as the overwritten `calc_joinrel_size_estimate` injects
+/// estimates into PostgreSQL's planner. Implementations range from the
+/// built-in histogram baseline to learned data-driven models.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  /// Method name as it appears in the paper's tables ("PostgreSQL",
+  /// "BayesCard", "FLAT", ...).
+  virtual std::string name() const = 0;
+
+  /// Estimated COUNT(*) of `subquery` (a sub-plan query: subset of tables,
+  /// induced joins and predicates). Never executes the query. Implementations
+  /// should return a non-negative finite value; the optimizer clamps to >= 1.
+  virtual double EstimateCard(const Query& subquery) = 0;
+
+  /// Approximate in-memory model size in bytes (paper Figure 3). Model-free
+  /// methods return 0.
+  virtual size_t ModelBytes() const { return 0; }
+
+  /// Offline training / construction time in seconds (paper Figure 3).
+  virtual double TrainSeconds() const { return 0.0; }
+
+  /// Whether the method supports incremental model updates after data
+  /// insertions (paper Table 6). Query-driven methods return false — they
+  /// would need to re-collect and re-execute a training workload (O9).
+  virtual bool SupportsUpdate() const { return false; }
+
+  /// Incrementally refreshes the model after rows were appended to the
+  /// database the estimator was built on. Only called when SupportsUpdate().
+  virtual Status Update() {
+    return Status::Unsupported(name() + " does not support updates");
+  }
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_CARDEST_ESTIMATOR_H_

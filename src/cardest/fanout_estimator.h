@@ -1,0 +1,128 @@
+#ifndef CARDBENCH_CARDEST_FANOUT_ESTIMATOR_H_
+#define CARDBENCH_CARDEST_FANOUT_ESTIMATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cardest/estimator.h"
+#include "cardest/extended_table.h"
+#include "storage/catalog.h"
+
+namespace cardbench {
+
+/// One multiplicative factor on one extended-table column: per-bin values
+/// (predicate pass fractions, or per-bin mean fanouts).
+struct ColumnFactor {
+  size_t col_idx = 0;
+  std::vector<double> per_bin;
+};
+
+/// A distribution model over one extended table's binned columns. The only
+/// query the join machinery needs is the expectation of a product of
+/// per-column factors — exactly what BNs (variable elimination), SPNs and
+/// FSPNs (bottom-up passes) evaluate efficiently.
+class TableDistribution {
+ public:
+  virtual ~TableDistribution() = default;
+
+  /// E[ Π_i factors[i].per_bin[bin(column factors[i].col_idx)] ] under the
+  /// modeled joint distribution. Factors arrive merged (one per column).
+  virtual double ExpectProduct(const std::vector<ColumnFactor>& factors)
+      const = 0;
+
+  virtual size_t ModelBytes() const = 0;
+
+  /// Incremental parameter update after `ext` absorbed newly inserted rows
+  /// (structure must be preserved — the paper's update protocol, §6.3).
+  virtual void UpdateWithRows(const ExtendedTable& ext,
+                              const std::vector<size_t>& new_rows) = 0;
+};
+
+/// Shared base for the ML data-driven estimators (BayesCard, DeepDB, FLAT):
+/// builds one extended table + one TableDistribution per base table, and
+/// answers multi-table queries with the fanout method over a spanning tree
+/// of the query's join graph:
+///
+///   Card = |T_r| * E_r[pred_r * Π_c F_{r→c} * ρ(c)]
+///   ρ(c) = E_c[F_{c→p} * pred_c * Π_{gc} F_{c→gc} ρ(gc)] / E_c[F_{c→p}]
+///
+/// which is exact when each per-table model captures its intra-table joint
+/// and tables are conditionally independent given the join — the "right
+/// balance of independence" the paper credits these methods with (§5.1).
+class FanoutModelEstimator : public CardinalityEstimator {
+ public:
+  /// Builds extended tables and per-table models immediately (training time
+  /// is recorded for Figure 3).
+  FanoutModelEstimator(const Database& db, size_t max_bins);
+
+  double EstimateCard(const Query& subquery) override;
+  size_t ModelBytes() const override;
+  double TrainSeconds() const override { return train_seconds_; }
+  bool SupportsUpdate() const override { return true; }
+  Status Update() override;
+
+  /// Ablation switch: when disabled, multi-table estimates fall back to the
+  /// join-uniformity combination of single-table model estimates (the
+  /// histogram/sampling methods' approach) instead of the fanout method —
+  /// isolating how much of the data-driven methods' advantage comes from
+  /// fanout-aware join handling.
+  void set_use_fanout_join(bool enabled) { use_fanout_join_ = enabled; }
+
+ protected:
+  /// Deferred-initialization tag: constructs without building extended
+  /// tables or models (used by subclass model-loading paths, which inject
+  /// deserialized state via InjectState).
+  struct DeferredInit {};
+  FanoutModelEstimator(const Database& db, size_t max_bins, DeferredInit)
+      : db_(db), max_bins_(max_bins) {}
+
+  /// Installs deserialized per-table state (model-loading path).
+  void InjectState(
+      std::map<std::string, std::unique_ptr<ExtendedTable>> ext_tables,
+      std::map<std::string, std::unique_ptr<TableDistribution>> models) {
+    ext_tables_ = std::move(ext_tables);
+    models_ = std::move(models);
+  }
+
+  const std::map<std::string, std::unique_ptr<ExtendedTable>>& ext_tables()
+      const {
+    return ext_tables_;
+  }
+  const std::map<std::string, std::unique_ptr<TableDistribution>>& models()
+      const {
+    return models_;
+  }
+
+  /// Subclasses create their model class (BN / SPN / FSPN) per table.
+  virtual std::unique_ptr<TableDistribution> BuildModel(
+      const ExtendedTable& ext) = 0;
+
+  /// Must be called at the end of the subclass constructor (virtual
+  /// dispatch is not available during base construction).
+  void TrainAll();
+
+  const Database& db_;
+
+ private:
+  double ExpectWithFactors(const std::string& table,
+                           std::vector<ColumnFactor> factors) const;
+
+  /// Recursive ρ computation for a child subtree.
+  double SubtreeRho(const Query& query, const std::string& table,
+                    const std::string& parent_table,
+                    const JoinEdge& parent_edge,
+                    const std::map<std::string, std::vector<std::pair<JoinEdge, std::string>>>&
+                        tree_children) const;
+
+  size_t max_bins_;
+  bool use_fanout_join_ = true;
+  double train_seconds_ = 0.0;
+  std::map<std::string, std::unique_ptr<ExtendedTable>> ext_tables_;
+  std::map<std::string, std::unique_ptr<TableDistribution>> models_;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_CARDEST_FANOUT_ESTIMATOR_H_

@@ -1,0 +1,92 @@
+#include "cardest/lw_est.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace cardbench {
+
+namespace {
+double TargetOf(double cardinality) { return std::log2(1.0 + cardinality); }
+double CardOf(double prediction) {
+  return std::max(1.0, std::exp2(prediction) - 1.0);
+}
+}  // namespace
+
+LwNnEstimator::LwNnEstimator(const Database& db,
+                             const std::vector<TrainingQuery>& training,
+                             LwNnOptions options)
+    : featurizer_(db) {
+  CARDBENCH_CHECK(!training.empty(), "LW-NN requires training queries");
+  Stopwatch watch;
+  Rng rng(options.seed);
+  net_ = std::make_unique<Mlp>(
+      std::vector<size_t>{featurizer_.flat_dim(), options.hidden_units,
+                          options.hidden_units / 2, 1},
+      rng);
+
+  // Pre-featurize once.
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  features.reserve(training.size());
+  for (const auto& example : training) {
+    features.push_back(featurizer_.FlatFeatures(example.query));
+    targets.push_back(TargetOf(example.cardinality));
+  }
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    const auto order = rng.Permutation(training.size());
+    for (size_t begin = 0; begin < order.size(); begin += options.batch_size) {
+      const size_t end = std::min(order.size(), begin + options.batch_size);
+      Matrix x(end - begin, featurizer_.flat_dim());
+      std::vector<double> batch_targets(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        const size_t idx = order[i];
+        for (size_t c = 0; c < features[idx].size(); ++c) {
+          x.At(i - begin, c) = features[idx][c];
+        }
+        batch_targets[i - begin] = targets[idx];
+      }
+      const Matrix y = net_->Forward(x);
+      Matrix grad;
+      MseLoss(y, batch_targets, &grad);
+      net_->Backward(grad);
+      net_->Step(options.learning_rate);
+    }
+  }
+  train_seconds_ = watch.ElapsedSeconds();
+}
+
+double LwNnEstimator::EstimateCard(const Query& subquery) {
+  const std::vector<double> features = featurizer_.FlatFeatures(subquery);
+  Matrix x(1, features.size());
+  for (size_t c = 0; c < features.size(); ++c) x.At(0, c) = features[c];
+  return CardOf(net_->Infer(x).At(0, 0));
+}
+
+LwXgbEstimator::LwXgbEstimator(const Database& db,
+                               const std::vector<TrainingQuery>& training,
+                               GbdtOptions options, uint64_t seed)
+    : featurizer_(db), gbdt_(options) {
+  CARDBENCH_CHECK(!training.empty(), "LW-XGB requires training queries");
+  (void)seed;
+  Stopwatch watch;
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  features.reserve(training.size());
+  for (const auto& example : training) {
+    features.push_back(featurizer_.FlatFeatures(example.query));
+    targets.push_back(TargetOf(example.cardinality));
+  }
+  gbdt_.Fit(features, targets);
+  train_seconds_ = watch.ElapsedSeconds();
+}
+
+double LwXgbEstimator::EstimateCard(const Query& subquery) {
+  return CardOf(gbdt_.Predict(featurizer_.FlatFeatures(subquery)));
+}
+
+}  // namespace cardbench

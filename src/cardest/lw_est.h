@@ -1,0 +1,65 @@
+#ifndef CARDBENCH_CARDEST_LW_EST_H_
+#define CARDBENCH_CARDEST_LW_EST_H_
+
+#include <memory>
+#include <vector>
+
+#include "cardest/estimator.h"
+#include "cardest/query_features.h"
+#include "ml/gbdt.h"
+#include "ml/nn.h"
+
+namespace cardbench {
+
+/// Training configuration for LW-NN.
+struct LwNnOptions {
+  size_t hidden_units = 128;
+  size_t epochs = 40;
+  size_t batch_size = 64;
+  double learning_rate = 1e-3;
+  uint64_t seed = 13;
+};
+
+/// LW-NN (§4.1 method 8, Dutt et al.): a lightweight fully connected
+/// network regressing log2(cardinality) from flat query features
+/// (tables + joins + normalized predicate ranges). Per the paper's setup,
+/// the original single-table model is extended to joins by including the
+/// join edges in the featurization.
+class LwNnEstimator : public CardinalityEstimator {
+ public:
+  LwNnEstimator(const Database& db, const std::vector<TrainingQuery>& training,
+                LwNnOptions options = LwNnOptions());
+
+  std::string name() const override { return "LW-NN"; }
+  double EstimateCard(const Query& subquery) override;
+  size_t ModelBytes() const override { return net_->ParamBytes(); }
+  double TrainSeconds() const override { return train_seconds_; }
+
+ private:
+  QueryFeaturizer featurizer_;
+  std::unique_ptr<Mlp> net_;
+  double train_seconds_ = 0.0;
+};
+
+/// LW-XGB (§4.1 method 7): the same flat features fed to gradient boosted
+/// regression trees (our from-scratch XGBoost-style GBDT).
+class LwXgbEstimator : public CardinalityEstimator {
+ public:
+  LwXgbEstimator(const Database& db,
+                 const std::vector<TrainingQuery>& training,
+                 GbdtOptions options = GbdtOptions(), uint64_t seed = 17);
+
+  std::string name() const override { return "LW-XGB"; }
+  double EstimateCard(const Query& subquery) override;
+  size_t ModelBytes() const override { return gbdt_.ModelBytes(); }
+  double TrainSeconds() const override { return train_seconds_; }
+
+ private:
+  QueryFeaturizer featurizer_;
+  GbdtRegressor gbdt_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_CARDEST_LW_EST_H_

@@ -1,0 +1,132 @@
+#include "cardest/mscn_est.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace cardbench {
+
+namespace {
+
+Matrix ToMatrix(const std::vector<std::vector<double>>& rows) {
+  Matrix m(rows.size(), rows.empty() ? 0 : rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix MeanPool(const Matrix& h) {
+  Matrix pooled(1, h.cols());
+  for (size_t r = 0; r < h.rows(); ++r) {
+    for (size_t c = 0; c < h.cols(); ++c) pooled.At(0, c) += h.At(r, c);
+  }
+  const double inv = h.rows() > 0 ? 1.0 / static_cast<double>(h.rows()) : 0.0;
+  for (double& v : pooled.data()) v *= inv;
+  return pooled;
+}
+
+double TargetOf(double cardinality) { return std::log2(1.0 + cardinality); }
+
+}  // namespace
+
+MscnEstimator::MscnEstimator(const Database& db,
+                             const std::vector<TrainingQuery>& training,
+                             MscnOptions options)
+    : featurizer_(db), options_(options) {
+  Stopwatch watch;
+  Rng rng(options_.seed);
+  const size_t h = options_.hidden_units;
+  table_module_ = std::make_unique<Mlp>(
+      std::vector<size_t>{featurizer_.table_element_dim(), h, h}, rng);
+  join_module_ = std::make_unique<Mlp>(
+      std::vector<size_t>{featurizer_.join_element_dim(), h, h}, rng);
+  pred_module_ = std::make_unique<Mlp>(
+      std::vector<size_t>{featurizer_.predicate_element_dim(), h, h}, rng);
+  head_ = std::make_unique<Mlp>(std::vector<size_t>{3 * h, 2 * h, 1}, rng);
+
+  CARDBENCH_CHECK(!training.empty(), "MSCN requires training queries");
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    const auto order = rng.Permutation(training.size());
+    double loss_sum = 0.0;
+    for (size_t idx : order) {
+      const TrainingQuery& example = training[idx];
+      const auto features = featurizer_.MscnFeatures(example.query);
+      const Matrix xt = ToMatrix(features.tables);
+      const Matrix xj = ToMatrix(features.joins);
+      const Matrix xp = ToMatrix(features.predicates);
+      const Matrix ht = table_module_->Forward(xt);
+      const Matrix hj = join_module_->Forward(xj);
+      const Matrix hp = pred_module_->Forward(xp);
+      const Matrix pt = MeanPool(ht);
+      const Matrix pj = MeanPool(hj);
+      const Matrix pp = MeanPool(hp);
+      Matrix concat(1, 3 * h);
+      for (size_t c = 0; c < h; ++c) {
+        concat.At(0, c) = pt.At(0, c);
+        concat.At(0, h + c) = pj.At(0, c);
+        concat.At(0, 2 * h + c) = pp.At(0, c);
+      }
+      const Matrix y = head_->Forward(concat);
+      const double target = TargetOf(example.cardinality);
+      const double diff = y.At(0, 0) - target;
+      loss_sum += diff * diff;
+
+      Matrix dy(1, 1);
+      dy.At(0, 0) = 2.0 * diff;
+      const Matrix dconcat = head_->Backward(dy);
+      auto backprop_module = [&](Mlp& module, const Matrix& hidden,
+                                 size_t offset) {
+        Matrix dh(hidden.rows(), h);
+        const double inv =
+            hidden.rows() > 0 ? 1.0 / static_cast<double>(hidden.rows()) : 0.0;
+        for (size_t r = 0; r < hidden.rows(); ++r) {
+          for (size_t c = 0; c < h; ++c) {
+            dh.At(r, c) = dconcat.At(0, offset + c) * inv;
+          }
+        }
+        module.Backward(dh);
+        module.Step(options_.learning_rate);
+      };
+      // Backward order mirrors forward caches (one Forward per module).
+      backprop_module(*pred_module_, hp, 2 * h);
+      backprop_module(*join_module_, hj, h);
+      backprop_module(*table_module_, ht, 0);
+      head_->Step(options_.learning_rate);
+    }
+    CARDBENCH_DLOG("MSCN epoch %zu loss %.4f", epoch,
+                   loss_sum / static_cast<double>(training.size()));
+  }
+  train_seconds_ = watch.ElapsedSeconds();
+}
+
+double MscnEstimator::Predict(const Query& query) const {
+  const auto features = featurizer_.MscnFeatures(query);
+  const size_t h = options_.hidden_units;
+  const Matrix pt = MeanPool(table_module_->Infer(ToMatrix(features.tables)));
+  const Matrix pj = MeanPool(join_module_->Infer(ToMatrix(features.joins)));
+  const Matrix pp =
+      MeanPool(pred_module_->Infer(ToMatrix(features.predicates)));
+  Matrix concat(1, 3 * h);
+  for (size_t c = 0; c < h; ++c) {
+    concat.At(0, c) = pt.At(0, c);
+    concat.At(0, h + c) = pj.At(0, c);
+    concat.At(0, 2 * h + c) = pp.At(0, c);
+  }
+  const Matrix y = head_->Infer(concat);
+  return std::max(1.0, std::exp2(y.At(0, 0)) - 1.0);
+}
+
+double MscnEstimator::EstimateCard(const Query& subquery) {
+  return Predict(subquery);
+}
+
+size_t MscnEstimator::ModelBytes() const {
+  return table_module_->ParamBytes() + join_module_->ParamBytes() +
+         pred_module_->ParamBytes() + head_->ParamBytes();
+}
+
+}  // namespace cardbench

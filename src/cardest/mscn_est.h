@@ -1,0 +1,56 @@
+#ifndef CARDBENCH_CARDEST_MSCN_EST_H_
+#define CARDBENCH_CARDEST_MSCN_EST_H_
+
+#include <memory>
+#include <vector>
+
+#include "cardest/estimator.h"
+#include "cardest/query_features.h"
+#include "ml/nn.h"
+
+namespace cardbench {
+
+/// Training configuration for MSCN.
+struct MscnOptions {
+  size_t hidden_units = 64;
+  size_t epochs = 30;
+  double learning_rate = 1e-3;
+  uint64_t seed = 11;
+};
+
+/// MSCN (§4.1 method 6, Kipf et al.): a multi-set convolutional network —
+/// three per-element two-layer MLP modules (table set with sample bitmaps,
+/// join set, predicate set), mean-pooled, concatenated into a final MLP
+/// that regresses log2(cardinality). Query-driven: trained purely on
+/// executed (query, cardinality) pairs.
+class MscnEstimator : public CardinalityEstimator {
+ public:
+  MscnEstimator(const Database& db,
+                const std::vector<TrainingQuery>& training,
+                MscnOptions options = MscnOptions());
+
+  std::string name() const override { return "MSCN"; }
+  double EstimateCard(const Query& subquery) override;
+  size_t ModelBytes() const override;
+  double TrainSeconds() const override { return train_seconds_; }
+  // Query-driven: no cheap update path (O9) — SupportsUpdate stays false.
+
+ private:
+  /// Forward through one module + mean pooling; returns (1 × hidden).
+  Matrix ModuleForward(Mlp& module,
+                       const std::vector<std::vector<double>>& elements,
+                       Matrix* cache_in) const;
+  double Predict(const Query& query) const;
+
+  QueryFeaturizer featurizer_;
+  MscnOptions options_;
+  std::unique_ptr<Mlp> table_module_;
+  std::unique_ptr<Mlp> join_module_;
+  std::unique_ptr<Mlp> pred_module_;
+  std::unique_ptr<Mlp> head_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_CARDEST_MSCN_EST_H_

@@ -1,0 +1,166 @@
+#include "cardest/multihist_est.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "ml/clustering.h"
+
+namespace cardbench {
+
+MultiHistEstimator::MultiHistEstimator(const Database& db,
+                                       size_t dims_per_group,
+                                       size_t bins_per_dim,
+                                       double correlation_threshold)
+    : db_(db),
+      dims_per_group_(dims_per_group),
+      bins_per_dim_(bins_per_dim),
+      correlation_threshold_(correlation_threshold) {
+  Stopwatch watch;
+  Build(db);
+  train_seconds_ = watch.ElapsedSeconds();
+}
+
+void MultiHistEstimator::Build(const Database& db) {
+  for (const auto& table_name : db.table_names()) {
+    const Table& table = db.TableOrDie(table_name);
+    std::vector<size_t> filterable;
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const ColumnKind kind = table.column(c).kind();
+      if (kind == ColumnKind::kNumeric || kind == ColumnKind::kCategorical) {
+        filterable.push_back(c);
+      }
+    }
+
+    // Greedy correlated grouping: a column joins a group if it correlates
+    // above threshold with the group's seed.
+    const size_t n = table.num_rows();
+    const size_t sample = std::min<size_t>(n, 2000);
+    const size_t stride = std::max<size_t>(1, n / std::max<size_t>(1, sample));
+    auto column_sample = [&](size_t c) {
+      std::vector<double> values;
+      values.reserve(sample);
+      const Column& col = table.column(c);
+      for (size_t i = 0; i < n && values.size() < sample; i += stride) {
+        values.push_back(col.IsValid(i) ? static_cast<double>(col.Get(i))
+                                        : -1e18);
+      }
+      return values;
+    };
+    std::vector<std::vector<double>> samples;
+    samples.reserve(filterable.size());
+    for (size_t c : filterable) samples.push_back(column_sample(c));
+
+    std::vector<bool> taken(filterable.size(), false);
+    std::vector<std::vector<size_t>> members;
+    for (size_t i = 0; i < filterable.size(); ++i) {
+      if (taken[i]) continue;
+      taken[i] = true;
+      std::vector<size_t> group = {i};
+      for (size_t j = i + 1;
+           j < filterable.size() && group.size() < dims_per_group_; ++j) {
+        if (taken[j]) continue;
+        if (DependenceScore(samples[i], samples[j]) >=
+            correlation_threshold_) {
+          taken[j] = true;
+          group.push_back(j);
+        }
+      }
+      members.push_back(std::move(group));
+    }
+
+    for (const auto& member : members) {
+      Group group;
+      const bool multi = member.size() > 1;
+      // Multi-dimensional buckets are coarse; single columns keep fine
+      // 1-D histograms.
+      const size_t bins = multi ? bins_per_dim_ : 100;
+      for (size_t m : member) {
+        const Column& col = table.column(filterable[m]);
+        group.columns.push_back(col.name());
+        group.binners.push_back(std::make_unique<ColumnBinner>(col, bins));
+      }
+      for (size_t row = 0; row < n; ++row) {
+        std::vector<uint16_t> key(member.size());
+        for (size_t k = 0; k < member.size(); ++k) {
+          const Column& col = table.column(filterable[member[k]]);
+          key[k] = group.binners[k]->BinOf(
+              col.IsValid(row) ? std::optional<Value>(col.Get(row))
+                               : std::nullopt);
+        }
+        group.joint[key] += 1.0;
+      }
+      group.total = static_cast<double>(n);
+      groups_[table_name].push_back(std::move(group));
+    }
+  }
+}
+
+double MultiHistEstimator::GroupSelectivity(
+    const Group& group,
+    const std::vector<std::vector<Predicate>>& preds) const {
+  bool any = false;
+  for (const auto& p : preds) any |= !p.empty();
+  if (!any) return 1.0;
+  if (group.total <= 0) return 0.0;
+
+  std::vector<std::vector<double>> fractions(group.columns.size());
+  for (size_t k = 0; k < group.columns.size(); ++k) {
+    fractions[k] = group.binners[k]->PredicateFractions(preds[k]);
+  }
+  double pass = 0.0;
+  for (const auto& [key, count] : group.joint) {
+    double phi = 1.0;
+    for (size_t k = 0; k < key.size(); ++k) phi *= fractions[k][key[k]];
+    pass += count * phi;
+  }
+  return pass / group.total;
+}
+
+double MultiHistEstimator::EstimateCard(const Query& subquery) {
+  double card = 1.0;
+  for (const auto& table_name : subquery.tables) {
+    const Table& table = db_.TableOrDie(table_name);
+    double selectivity = 1.0;
+    for (const auto& group : groups_.at(table_name)) {
+      std::vector<std::vector<Predicate>> preds(group.columns.size());
+      for (const auto& pred : subquery.predicates) {
+        if (pred.table != table_name) continue;
+        for (size_t k = 0; k < group.columns.size(); ++k) {
+          if (group.columns[k] == pred.column) preds[k].push_back(pred);
+        }
+      }
+      selectivity *= GroupSelectivity(group, preds);
+    }
+    card *= static_cast<double>(table.num_rows()) * selectivity;
+  }
+  // Join uniformity, like the other histogram methods.
+  for (const auto& edge : subquery.joins) {
+    const Table& lt = db_.TableOrDie(edge.left_table);
+    const Table& rt = db_.TableOrDie(edge.right_table);
+    const double lndv = std::max<double>(
+        1.0, static_cast<double>(
+                 lt.GetIndex(lt.ColumnIndexOrDie(edge.left_column))
+                     .num_distinct()));
+    const double rndv = std::max<double>(
+        1.0, static_cast<double>(
+                 rt.GetIndex(rt.ColumnIndexOrDie(edge.right_column))
+                     .num_distinct()));
+    card /= std::max(lndv, rndv);
+  }
+  return std::max(card, 1e-6);
+}
+
+size_t MultiHistEstimator::ModelBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [table, groups] : groups_) {
+    for (const auto& group : groups) {
+      for (const auto& binner : group.binners) bytes += binner->MemoryBytes();
+      for (const auto& [key, count] : group.joint) {
+        bytes += key.size() * sizeof(uint16_t) + sizeof(double) + 32;
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace cardbench

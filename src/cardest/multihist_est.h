@@ -1,0 +1,57 @@
+#ifndef CARDBENCH_CARDEST_MULTIHIST_EST_H_
+#define CARDBENCH_CARDEST_MULTIHIST_EST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cardest/binner.h"
+#include "cardest/estimator.h"
+#include "storage/catalog.h"
+
+namespace cardbench {
+
+/// MultiHist (§4.1 method 2, Poosala & Ioannidis): identifies correlated
+/// attribute subsets per table and models each with a multi-dimensional
+/// equi-depth histogram (coarse per-dimension bins, sparse joint counts);
+/// remaining attributes keep 1-D histograms. Joins use the uniformity
+/// assumption, so multi-join error still grows quickly (Table 3's -28%).
+class MultiHistEstimator : public CardinalityEstimator {
+ public:
+  /// `dims_per_group` caps group size; `bins_per_dim` the per-dimension
+  /// resolution (multi-dimensional buckets are necessarily coarse — the
+  /// classic space tradeoff of this method).
+  MultiHistEstimator(const Database& db, size_t dims_per_group = 4,
+                     size_t bins_per_dim = 8,
+                     double correlation_threshold = 0.3);
+
+  std::string name() const override { return "MultiHist"; }
+  double EstimateCard(const Query& subquery) override;
+  size_t ModelBytes() const override;
+  double TrainSeconds() const override { return train_seconds_; }
+
+ private:
+  struct Group {
+    std::vector<std::string> columns;
+    std::vector<std::unique_ptr<ColumnBinner>> binners;
+    std::map<std::vector<uint16_t>, double> joint;  // bucket counts
+    double total = 0.0;
+  };
+
+  void Build(const Database& db);
+  double GroupSelectivity(const Group& group,
+                          const std::vector<std::vector<Predicate>>& preds)
+      const;
+
+  const Database& db_;
+  size_t dims_per_group_;
+  size_t bins_per_dim_;
+  double correlation_threshold_;
+  double train_seconds_ = 0.0;
+  std::map<std::string, std::vector<Group>> groups_;  // per table
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_CARDEST_MULTIHIST_EST_H_

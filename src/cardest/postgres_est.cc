@@ -1,0 +1,125 @@
+#include "cardest/postgres_est.h"
+
+#include <algorithm>
+
+#include <fstream>
+
+#include "common/stopwatch.h"
+#include "storage/stats.h"
+
+namespace cardbench {
+
+PostgresEstimator::PostgresEstimator(const Database& db, size_t stats_target)
+    : db_(db), stats_target_(stats_target) {
+  Stopwatch watch;
+  Analyze();
+  train_seconds_ = watch.ElapsedSeconds();
+}
+
+void PostgresEstimator::Analyze() {
+  stats_.clear();
+  for (const auto& table_name : db_.table_names()) {
+    const Table& table = db_.TableOrDie(table_name);
+    const double rows = std::max<double>(1.0, static_cast<double>(table.num_rows()));
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Column& col = table.column(c);
+      ColumnStatsEntry entry;
+      entry.binner = std::make_unique<ColumnBinner>(col, stats_target_);
+      entry.null_frac = static_cast<double>(col.null_count()) / rows;
+      entry.ndv = std::max<double>(
+          1.0, static_cast<double>(ValueFrequencies(col).size()));
+      stats_[{table_name, col.name()}] = std::move(entry);
+    }
+  }
+}
+
+Status PostgresEstimator::Update() {
+  Stopwatch watch;
+  Analyze();
+  train_seconds_ += watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+double PostgresEstimator::TableSelectivity(const Query& subquery,
+                                           const std::string& table) const {
+  // Group predicates by column, fold each group through the column's
+  // histogram, multiply groups under the attribute-independence assumption.
+  std::map<std::string, std::vector<Predicate>> by_column;
+  for (const auto& pred : subquery.predicates) {
+    if (pred.table == table) by_column[pred.column].push_back(pred);
+  }
+  double selectivity = 1.0;
+  for (const auto& [column, preds] : by_column) {
+    auto it = stats_.find({table, column});
+    if (it == stats_.end()) continue;
+    const ColumnBinner& binner = *it->second.binner;
+    const std::vector<double> fractions = binner.PredicateFractions(preds);
+    double sel = 0.0;
+    for (uint16_t b = 0; b < binner.num_bins(); ++b) {
+      sel += binner.BinMass(b) * fractions[b];
+    }
+    selectivity *= sel;
+  }
+  return selectivity;
+}
+
+double PostgresEstimator::EstimateCard(const Query& subquery) {
+  double card = 1.0;
+  for (const auto& table : subquery.tables) {
+    card *= static_cast<double>(db_.TableOrDie(table).num_rows()) *
+            TableSelectivity(subquery, table);
+  }
+  for (const auto& edge : subquery.joins) {
+    const auto& left = stats_.at({edge.left_table, edge.left_column});
+    const auto& right = stats_.at({edge.right_table, edge.right_column});
+    card *= (1.0 - left.null_frac) * (1.0 - right.null_frac) /
+            std::max(left.ndv, right.ndv);
+  }
+  return std::max(card, 1e-6);
+}
+
+Status PostgresEstimator::SaveModel(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "pgstats " << stats_.size() << '\n';
+  for (const auto& [key, entry] : stats_) {
+    out << key.first << ' ' << key.second << ' ' << entry.ndv << ' '
+        << entry.null_frac << '\n';
+    entry.binner->Serialize(out);
+  }
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<std::unique_ptr<PostgresEstimator>> PostgresEstimator::LoadModel(
+    const Database& db, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string tag;
+  size_t count = 0;
+  if (!(in >> tag >> count) || tag != "pgstats") {
+    return Status::InvalidArgument("bad model header in " + path);
+  }
+  // Private-ish construction: build an empty estimator then replace stats.
+  auto est = std::unique_ptr<PostgresEstimator>(new PostgresEstimator(db, 2));
+  est->stats_.clear();
+  for (size_t i = 0; i < count; ++i) {
+    std::string table, column;
+    ColumnStatsEntry entry;
+    if (!(in >> table >> column >> entry.ndv >> entry.null_frac)) {
+      return Status::InvalidArgument("bad model entry in " + path);
+    }
+    CARDBENCH_ASSIGN_OR_RETURN(ColumnBinner binner,
+                               ColumnBinner::Deserialize(in));
+    entry.binner = std::make_unique<ColumnBinner>(std::move(binner));
+    est->stats_[{table, column}] = std::move(entry);
+  }
+  return est;
+}
+
+size_t PostgresEstimator::ModelBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [key, entry] : stats_) bytes += entry.binner->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace cardbench

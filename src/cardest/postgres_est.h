@@ -1,0 +1,65 @@
+#ifndef CARDBENCH_CARDEST_POSTGRES_EST_H_
+#define CARDBENCH_CARDEST_POSTGRES_EST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cardest/binner.h"
+#include "cardest/estimator.h"
+#include "storage/catalog.h"
+
+namespace cardbench {
+
+/// The PostgreSQL baseline (§4.1 method 1): per-attribute 1-D statistics
+/// (equi-depth histogram with per-value counts, playing the role of
+/// pg_stats' MCV list + histogram), attribute-independence multiplication
+/// of clause selectivities, and the eqjoinsel formula
+/// (1-nullfrac_l)(1-nullfrac_r)/max(ndv_l, ndv_r) per join edge.
+class PostgresEstimator : public CardinalityEstimator {
+ public:
+  /// `stats_target` bounds histogram resolution, like PostgreSQL's
+  /// default_statistics_target (default 100).
+  explicit PostgresEstimator(const Database& db, size_t stats_target = 100);
+
+  std::string name() const override { return "PostgreSQL"; }
+  double EstimateCard(const Query& subquery) override;
+  size_t ModelBytes() const override;
+  double TrainSeconds() const override { return train_seconds_; }
+  bool SupportsUpdate() const override { return true; }
+  /// Re-ANALYZE: rebuilds all per-column statistics.
+  Status Update() override;
+
+  /// Selectivity of the predicate conjunction on one table (exposed for
+  /// reuse by the sampling/bound estimators that share PostgreSQL's
+  /// single-table machinery, and for tests).
+  double TableSelectivity(const Query& subquery,
+                          const std::string& table) const;
+
+  /// Persists the collected statistics (the "model") to a file and restores
+  /// an estimator from one — deployment without re-ANALYZE (§4.3's model
+  /// transfer aspect). The database is still needed for table row counts.
+  Status SaveModel(const std::string& path) const;
+  static Result<std::unique_ptr<PostgresEstimator>> LoadModel(
+      const Database& db, const std::string& path);
+
+ private:
+  void Analyze();
+
+  struct ColumnStatsEntry {
+    std::unique_ptr<ColumnBinner> binner;
+    double ndv = 1.0;
+    double null_frac = 0.0;
+  };
+
+  const Database& db_;
+  size_t stats_target_;
+  double train_seconds_ = 0.0;
+  // (table, column) -> stats for every column (join keys included: joins
+  // need ndv/nullfrac).
+  std::map<std::pair<std::string, std::string>, ColumnStatsEntry> stats_;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_CARDEST_POSTGRES_EST_H_

@@ -1,0 +1,168 @@
+#include "cardest/query_features.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "storage/stats.h"
+
+namespace cardbench {
+
+std::string QueryFeaturizer::EdgeKey(const JoinEdge& edge) {
+  const std::string a = edge.left_table + "." + edge.left_column;
+  const std::string b = edge.right_table + "." + edge.right_column;
+  return a < b ? a + "=" + b : b + "=" + a;
+}
+
+QueryFeaturizer::QueryFeaturizer(const Database& db, uint64_t seed,
+                                 size_t bitmap_size)
+    : db_(db), bitmap_size_(bitmap_size) {
+  Rng rng(seed);
+  for (const auto& name : db.table_names()) {
+    table_index_[name] = table_index_.size();
+    const Table& table = db.TableOrDie(name);
+    std::vector<uint32_t>& rows = bitmap_rows_[name];
+    for (size_t i = 0; i < bitmap_size_; ++i) {
+      if (table.num_rows() == 0) {
+        rows.push_back(0);
+      } else {
+        rows.push_back(static_cast<uint32_t>(rng.NextUint64(table.num_rows())));
+      }
+    }
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Column& col = table.column(c);
+      if (col.kind() != ColumnKind::kNumeric &&
+          col.kind() != ColumnKind::kCategorical) {
+        continue;
+      }
+      column_index_[{name, col.name()}] = column_index_.size();
+      const ColumnStats stats = ComputeColumnStats(col);
+      ColumnInfo info;
+      info.min = static_cast<double>(stats.min);
+      info.max = std::max(static_cast<double>(stats.max), info.min + 1.0);
+      column_info_[{name, col.name()}] = info;
+    }
+  }
+  // Join vocabulary: all join-compatible unordered column pairs.
+  for (const auto& group : JoinColumnGroups(db)) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        if (group[i].table == group[j].table) continue;
+        JoinEdge edge{group[i].table, group[i].column, group[j].table,
+                      group[j].column};
+        const std::string key = EdgeKey(edge);
+        if (join_index_.count(key) == 0) {
+          join_index_[key] = join_index_.size();
+        }
+      }
+    }
+  }
+}
+
+size_t QueryFeaturizer::flat_dim() const {
+  return table_index_.size() + join_index_.size() + 3 * column_index_.size();
+}
+
+std::vector<double> QueryFeaturizer::FlatFeatures(const Query& query) const {
+  std::vector<double> features(flat_dim(), 0.0);
+  for (const auto& table : query.tables) {
+    auto it = table_index_.find(table);
+    if (it != table_index_.end()) features[it->second] = 1.0;
+  }
+  const size_t join_base = table_index_.size();
+  for (const auto& edge : query.joins) {
+    auto it = join_index_.find(EdgeKey(edge));
+    if (it != join_index_.end()) features[join_base + it->second] = 1.0;
+  }
+  const size_t col_base = join_base + join_index_.size();
+  // Fold predicates per column into a normalized range.
+  std::map<std::pair<std::string, std::string>, ValueRange> ranges;
+  for (const auto& pred : query.predicates) {
+    if (pred.op == CompareOp::kNeq) {
+      // Represent <> as "has predicate" with the full range.
+      ranges.try_emplace({pred.table, pred.column});
+      continue;
+    }
+    ranges[{pred.table, pred.column}].Apply(pred.op, pred.value);
+  }
+  // Default encoding for unconstrained columns: has_pred=0, lo=0, hi=1.
+  for (const auto& [key, idx] : column_index_) {
+    features[col_base + 3 * idx + 1] = 0.0;
+    features[col_base + 3 * idx + 2] = 1.0;
+  }
+  for (const auto& [key, range] : ranges) {
+    auto it = column_index_.find(key);
+    if (it == column_index_.end()) continue;
+    const ColumnInfo& info = column_info_.at(key);
+    auto norm = [&](double v) {
+      return std::clamp((v - info.min) / (info.max - info.min), 0.0, 1.0);
+    };
+    features[col_base + 3 * it->second] = 1.0;
+    features[col_base + 3 * it->second + 1] =
+        norm(static_cast<double>(range.lo));
+    features[col_base + 3 * it->second + 2] =
+        norm(static_cast<double>(range.hi));
+  }
+  return features;
+}
+
+QueryFeaturizer::SetFeatures QueryFeaturizer::MscnFeatures(
+    const Query& query) const {
+  SetFeatures out;
+
+  // Table elements: one-hot table plus predicate-satisfaction bitmap over
+  // the table's materialized sample (MSCN's signature feature).
+  for (const auto& table_name : query.tables) {
+    std::vector<double> element(table_element_dim(), 0.0);
+    auto it = table_index_.find(table_name);
+    if (it != table_index_.end()) element[it->second] = 1.0;
+    const Table& table = db_.TableOrDie(table_name);
+    const auto& rows = bitmap_rows_.at(table_name);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      bool pass = table.num_rows() > 0;
+      for (const auto& pred : query.predicates) {
+        if (pred.table != table_name) continue;
+        const Column& col = table.ColumnByName(pred.column);
+        if (!col.IsValid(rows[i]) ||
+            !EvalCompare(col.Get(rows[i]), pred.op, pred.value)) {
+          pass = false;
+          break;
+        }
+      }
+      element[table_index_.size() + i] = pass ? 1.0 : 0.0;
+    }
+    out.tables.push_back(std::move(element));
+  }
+
+  for (const auto& edge : query.joins) {
+    std::vector<double> element(join_element_dim(), 0.0);
+    auto it = join_index_.find(EdgeKey(edge));
+    if (it != join_index_.end()) element[it->second] = 1.0;
+    out.joins.push_back(std::move(element));
+  }
+  if (out.joins.empty()) {
+    out.joins.push_back(std::vector<double>(join_element_dim(), 0.0));
+  }
+
+  for (const auto& pred : query.predicates) {
+    std::vector<double> element(predicate_element_dim(), 0.0);
+    auto it = column_index_.find({pred.table, pred.column});
+    if (it != column_index_.end()) element[it->second] = 1.0;
+    element[column_index_.size() + static_cast<size_t>(pred.op)] = 1.0;
+    const auto info_it = column_info_.find({pred.table, pred.column});
+    if (info_it != column_info_.end()) {
+      const ColumnInfo& info = info_it->second;
+      element[column_index_.size() + 6] =
+          std::clamp((static_cast<double>(pred.value) - info.min) /
+                         (info.max - info.min),
+                     0.0, 1.0);
+    }
+    out.predicates.push_back(std::move(element));
+  }
+  if (out.predicates.empty()) {
+    out.predicates.push_back(
+        std::vector<double>(predicate_element_dim(), 0.0));
+  }
+  return out;
+}
+
+}  // namespace cardbench

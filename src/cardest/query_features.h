@@ -1,0 +1,70 @@
+#ifndef CARDBENCH_CARDEST_QUERY_FEATURES_H_
+#define CARDBENCH_CARDEST_QUERY_FEATURES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cardest/extended_table.h"
+#include "common/rng.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+
+namespace cardbench {
+
+/// A training example for query-driven estimators: a query and its true
+/// cardinality (the paper's executed-query training data, §4.1).
+struct TrainingQuery {
+  Query query;
+  double cardinality = 0.0;
+};
+
+/// Shared featurization for the query-driven estimators (MSCN, LW-NN,
+/// LW-XGB), built once per database:
+///  - table vocabulary (one-hot),
+///  - join vocabulary: every join-compatible column pair of the schema,
+///  - per filterable column: [has predicate, normalized lo, normalized hi],
+///  - per table: a small materialized row sample for MSCN's bitmap feature.
+class QueryFeaturizer {
+ public:
+  explicit QueryFeaturizer(const Database& db, uint64_t seed = 3,
+                           size_t bitmap_size = 64);
+
+  /// Flat feature vector for LW-style regressors.
+  std::vector<double> FlatFeatures(const Query& query) const;
+  size_t flat_dim() const;
+
+  /// Per-set element features for MSCN's three modules. Empty sets are
+  /// represented by one all-zero element so pooling stays defined.
+  struct SetFeatures {
+    std::vector<std::vector<double>> tables;
+    std::vector<std::vector<double>> joins;
+    std::vector<std::vector<double>> predicates;
+  };
+  SetFeatures MscnFeatures(const Query& query) const;
+  size_t table_element_dim() const { return table_index_.size() + bitmap_size_; }
+  size_t join_element_dim() const { return join_index_.size(); }
+  size_t predicate_element_dim() const { return column_index_.size() + 6 + 1; }
+
+ private:
+  /// Canonical key of a join edge (endpoint-sorted).
+  static std::string EdgeKey(const JoinEdge& edge);
+
+  struct ColumnInfo {
+    double min = 0.0;
+    double max = 1.0;
+  };
+
+  const Database& db_;
+  size_t bitmap_size_;
+  std::map<std::string, size_t> table_index_;
+  std::map<std::string, size_t> join_index_;
+  std::map<std::pair<std::string, std::string>, size_t> column_index_;
+  std::map<std::pair<std::string, std::string>, ColumnInfo> column_info_;
+  // Per table: sampled row ids for the bitmap feature.
+  std::map<std::string, std::vector<uint32_t>> bitmap_rows_;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_CARDEST_QUERY_FEATURES_H_

@@ -1,0 +1,106 @@
+#include "cardest/registry.h"
+
+#include "cardest/autoregressive_est.h"
+#include "cardest/bayescard_est.h"
+#include "cardest/deepdb_est.h"
+#include "cardest/lw_est.h"
+#include "cardest/mscn_est.h"
+#include "cardest/multihist_est.h"
+#include "cardest/postgres_est.h"
+#include "cardest/sampling_est.h"
+#include "cardest/truecard_est.h"
+
+namespace cardbench {
+
+const std::vector<std::string>& AllEstimatorNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "PostgreSQL", "TrueCard",  "MultiHist", "UniSample", "WJSample",
+      "PessEst",    "MSCN",      "LW-XGB",    "LW-NN",     "UAE-Q",
+      "NeuroCardE", "BayesCard", "DeepDB",    "FLAT",      "UAE",
+  };
+  return *names;
+}
+
+Result<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
+    const std::string& name, const Database& db, TrueCardService& truecard,
+    const std::vector<TrainingQuery>* training,
+    const EstimatorConfig& config) {
+  auto require_training = [&]() -> Status {
+    if (training == nullptr || training->empty()) {
+      return Status::InvalidArgument(name + " needs a training workload");
+    }
+    return Status::OK();
+  };
+
+  if (name == "TrueCard") {
+    return std::unique_ptr<CardinalityEstimator>(
+        new TrueCardEstimator(truecard));
+  }
+  if (name == "PostgreSQL") {
+    return std::unique_ptr<CardinalityEstimator>(new PostgresEstimator(db));
+  }
+  if (name == "MultiHist") {
+    return std::unique_ptr<CardinalityEstimator>(new MultiHistEstimator(db));
+  }
+  if (name == "UniSample") {
+    return std::unique_ptr<CardinalityEstimator>(
+        new UniSampleEstimator(db, config.fast ? 1000 : 10000));
+  }
+  if (name == "WJSample") {
+    return std::unique_ptr<CardinalityEstimator>(
+        new WjSampleEstimator(db, config.fast ? 100 : 600));
+  }
+  if (name == "PessEst") {
+    return std::unique_ptr<CardinalityEstimator>(new PessEstEstimator(db));
+  }
+  if (name == "MSCN") {
+    CARDBENCH_RETURN_IF_ERROR(require_training());
+    MscnOptions options;
+    if (config.fast) options.epochs = 3;
+    return std::unique_ptr<CardinalityEstimator>(
+        new MscnEstimator(db, *training, options));
+  }
+  if (name == "LW-NN") {
+    CARDBENCH_RETURN_IF_ERROR(require_training());
+    LwNnOptions options;
+    if (config.fast) options.epochs = 5;
+    return std::unique_ptr<CardinalityEstimator>(
+        new LwNnEstimator(db, *training, options));
+  }
+  if (name == "LW-XGB") {
+    CARDBENCH_RETURN_IF_ERROR(require_training());
+    GbdtOptions options;
+    if (config.fast) options.num_trees = 20;
+    return std::unique_ptr<CardinalityEstimator>(
+        new LwXgbEstimator(db, *training, options));
+  }
+  if (name == "BayesCard") {
+    return std::unique_ptr<CardinalityEstimator>(new BayesCardEstimator(db));
+  }
+  if (name == "DeepDB") {
+    return std::unique_ptr<CardinalityEstimator>(new DeepDbEstimator(db));
+  }
+  if (name == "FLAT") {
+    return std::unique_ptr<CardinalityEstimator>(new FlatEstimator(db));
+  }
+  if (name == "NeuroCardE" || name == "UAE-Q" || name == "UAE") {
+    ArOptions options;
+    if (config.fast) {
+      options.training_samples = 1500;
+      options.epochs = 2;
+      options.hidden_units = 48;
+      options.progressive_samples = 64;
+    }
+    ArTraining mode = ArTraining::kData;
+    if (name == "UAE-Q") mode = ArTraining::kQuery;
+    if (name == "UAE") mode = ArTraining::kHybrid;
+    if (mode != ArTraining::kData) {
+      CARDBENCH_RETURN_IF_ERROR(require_training());
+    }
+    return std::unique_ptr<CardinalityEstimator>(
+        new AutoregressiveEstimator(db, mode, training, options));
+  }
+  return Status::NotFound("unknown estimator: " + name);
+}
+
+}  // namespace cardbench

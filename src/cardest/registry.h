@@ -1,0 +1,35 @@
+#ifndef CARDBENCH_CARDEST_REGISTRY_H_
+#define CARDBENCH_CARDEST_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cardest/estimator.h"
+#include "cardest/query_features.h"
+#include "exec/true_card.h"
+#include "storage/catalog.h"
+
+namespace cardbench {
+
+/// Construction-time knobs shared across the zoo.
+struct EstimatorConfig {
+  /// Shrinks learned models (fewer epochs/samples) for tests and smoke
+  /// runs; benches default to false.
+  bool fast = false;
+};
+
+/// All method names in the paper's Table 3 order.
+const std::vector<std::string>& AllEstimatorNames();
+
+/// Instantiates (and trains, where applicable) the named estimator.
+/// `truecard` backs the TrueCard oracle; `training` supplies the executed
+/// query workload for the query-driven methods (may be null for the rest).
+Result<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
+    const std::string& name, const Database& db, TrueCardService& truecard,
+    const std::vector<TrainingQuery>* training,
+    const EstimatorConfig& config = EstimatorConfig());
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_CARDEST_REGISTRY_H_

@@ -1,0 +1,288 @@
+#include "cardest/sampling_est.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "common/logging.h"
+
+namespace cardbench {
+
+namespace {
+
+bool RowPasses(const Table& table, uint32_t row, const Query& query,
+               const std::string& table_name) {
+  for (const auto& pred : query.predicates) {
+    if (pred.table != table_name) continue;
+    const Column& col = table.ColumnByName(pred.column);
+    if (!col.IsValid(row) || !EvalCompare(col.Get(row), pred.op, pred.value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double JoinUniformitySelectivity(const Database& db, const JoinEdge& edge) {
+  const Table& lt = db.TableOrDie(edge.left_table);
+  const Table& rt = db.TableOrDie(edge.right_table);
+  const double lndv = std::max<double>(
+      1.0,
+      static_cast<double>(
+          lt.GetIndex(lt.ColumnIndexOrDie(edge.left_column)).num_distinct()));
+  const double rndv = std::max<double>(
+      1.0,
+      static_cast<double>(
+          rt.GetIndex(rt.ColumnIndexOrDie(edge.right_column)).num_distinct()));
+  return 1.0 / std::max(lndv, rndv);
+}
+
+/// BFS spanning tree of the query graph rooted at `root`: returns edges in
+/// visit order as (edge, new table) pairs plus the unused (non-tree) edges.
+struct QueryTree {
+  std::vector<std::pair<JoinEdge, std::string>> steps;
+  std::vector<JoinEdge> non_tree;
+};
+
+QueryTree BuildQueryTree(const Query& query, const std::string& root) {
+  QueryTree tree;
+  std::set<std::string> visited = {root};
+  std::queue<std::string> frontier;
+  frontier.push(root);
+  std::vector<bool> used(query.joins.size(), false);
+  while (!frontier.empty()) {
+    const std::string at = frontier.front();
+    frontier.pop();
+    for (size_t e = 0; e < query.joins.size(); ++e) {
+      if (used[e]) continue;
+      const JoinEdge& edge = query.joins[e];
+      std::string other;
+      if (edge.left_table == at) {
+        other = edge.right_table;
+      } else if (edge.right_table == at) {
+        other = edge.left_table;
+      } else {
+        continue;
+      }
+      if (visited.count(other) > 0) continue;
+      used[e] = true;
+      visited.insert(other);
+      tree.steps.push_back({edge, other});
+      frontier.push(other);
+    }
+  }
+  for (size_t e = 0; e < query.joins.size(); ++e) {
+    if (!used[e]) tree.non_tree.push_back(query.joins[e]);
+  }
+  return tree;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- UniSample
+
+UniSampleEstimator::UniSampleEstimator(const Database& db, size_t sample_size,
+                                       uint64_t seed)
+    : db_(db), sample_size_(sample_size), rng_(seed) {
+  Resample();
+}
+
+void UniSampleEstimator::Resample() {
+  samples_.clear();
+  for (const auto& name : db_.table_names()) {
+    const size_t n = db_.TableOrDie(name).num_rows();
+    std::vector<uint32_t>& sample = samples_[name];
+    if (n <= sample_size_) {
+      sample.resize(n);
+      for (size_t i = 0; i < n; ++i) sample[i] = static_cast<uint32_t>(i);
+    } else {
+      sample.reserve(sample_size_);
+      for (size_t i = 0; i < sample_size_; ++i) {
+        sample.push_back(static_cast<uint32_t>(rng_.NextUint64(n)));
+      }
+    }
+  }
+}
+
+Status UniSampleEstimator::Update() {
+  Resample();
+  return Status::OK();
+}
+
+double UniSampleEstimator::EstimateCard(const Query& subquery) {
+  double card = 1.0;
+  for (const auto& table_name : subquery.tables) {
+    const Table& table = db_.TableOrDie(table_name);
+    const auto& sample = samples_.at(table_name);
+    size_t pass = 0;
+    for (uint32_t row : sample) {
+      pass += RowPasses(table, row, subquery, table_name);
+    }
+    const double sel = sample.empty()
+                           ? 1.0
+                           : static_cast<double>(pass) /
+                                 static_cast<double>(sample.size());
+    card *= static_cast<double>(table.num_rows()) * sel;
+  }
+  for (const auto& edge : subquery.joins) {
+    card *= JoinUniformitySelectivity(db_, edge);
+  }
+  return std::max(card, 1e-6);
+}
+
+size_t UniSampleEstimator::ModelBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [name, sample] : samples_) {
+    bytes += sample.size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+// ------------------------------------------------------------ WJSample
+
+WjSampleEstimator::WjSampleEstimator(const Database& db, size_t num_walks,
+                                     uint64_t seed)
+    : db_(db), num_walks_(num_walks), rng_(seed) {}
+
+double WjSampleEstimator::EstimateCard(const Query& subquery) {
+  // Root the walk at the smallest table (fewer wasted walks).
+  std::string root = subquery.tables[0];
+  for (const auto& t : subquery.tables) {
+    if (db_.TableOrDie(t).num_rows() < db_.TableOrDie(root).num_rows()) {
+      root = t;
+    }
+  }
+  const QueryTree tree = BuildQueryTree(subquery, root);
+  const Table& root_table = db_.TableOrDie(root);
+  if (root_table.num_rows() == 0) return 1e-6;
+
+  double total = 0.0;
+  for (size_t w = 0; w < num_walks_; ++w) {
+    std::map<std::string, uint32_t> walk_rows;
+    const uint32_t start =
+        static_cast<uint32_t>(rng_.NextUint64(root_table.num_rows()));
+    if (!RowPasses(root_table, start, subquery, root)) continue;
+    walk_rows[root] = start;
+    double weight = static_cast<double>(root_table.num_rows());
+    bool dead = false;
+    for (const auto& [edge, next_table] : tree.steps) {
+      const bool next_is_left = edge.left_table == next_table;
+      const std::string& prev_table =
+          next_is_left ? edge.right_table : edge.left_table;
+      const std::string& prev_col =
+          next_is_left ? edge.right_column : edge.left_column;
+      const std::string& next_col =
+          next_is_left ? edge.left_column : edge.right_column;
+      const Table& prev = db_.TableOrDie(prev_table);
+      const Table& next = db_.TableOrDie(next_table);
+      const Column& key = prev.ColumnByName(prev_col);
+      const uint32_t prev_row = walk_rows.at(prev_table);
+      if (!key.IsValid(prev_row)) {
+        dead = true;
+        break;
+      }
+      const auto& matches =
+          next.GetIndex(next.ColumnIndexOrDie(next_col)).Lookup(key.Get(prev_row));
+      if (matches.empty()) {
+        dead = true;
+        break;
+      }
+      const uint32_t pick = matches[rng_.NextUint64(matches.size())];
+      if (!RowPasses(next, pick, subquery, next_table)) {
+        dead = true;
+        break;
+      }
+      walk_rows[next_table] = pick;
+      weight *= static_cast<double>(matches.size());
+    }
+    if (dead) continue;
+    // Non-tree edges act as rejection filters on the completed walk.
+    bool pass = true;
+    for (const auto& edge : tree.non_tree) {
+      const Column& lcol =
+          db_.TableOrDie(edge.left_table).ColumnByName(edge.left_column);
+      const Column& rcol =
+          db_.TableOrDie(edge.right_table).ColumnByName(edge.right_column);
+      const uint32_t lrow = walk_rows.at(edge.left_table);
+      const uint32_t rrow = walk_rows.at(edge.right_table);
+      if (!lcol.IsValid(lrow) || !rcol.IsValid(rrow) ||
+          lcol.Get(lrow) != rcol.Get(rrow)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) total += weight;
+  }
+  const double estimate = total / static_cast<double>(num_walks_);
+  return std::max(estimate, 1e-6);
+}
+
+// ------------------------------------------------------------- PessEst
+
+PessEstEstimator::PessEstEstimator(const Database& db) : db_(db) {
+  BuildDegreeSketches();
+}
+
+void PessEstEstimator::BuildDegreeSketches() {
+  // Degrees are computed lazily per (table, column) on first use and cached
+  // here; an update simply drops the cache.
+  max_degree_.clear();
+}
+
+Status PessEstEstimator::Update() {
+  BuildDegreeSketches();
+  return Status::OK();
+}
+
+double PessEstEstimator::FilteredCard(const Query& subquery,
+                                      const std::string& table_name) const {
+  const Table& table = db_.TableOrDie(table_name);
+  size_t count = 0;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    count += RowPasses(table, static_cast<uint32_t>(row), subquery, table_name);
+  }
+  return static_cast<double>(count);
+}
+
+double PessEstEstimator::EstimateCard(const Query& subquery) {
+  // Exact filtered base cardinalities (the bound must hold).
+  std::map<std::string, double> base;
+  for (const auto& table : subquery.tables) {
+    base[table] = FilteredCard(subquery, table);
+  }
+  if (subquery.tables.size() == 1) {
+    return std::max(base.begin()->second, 1e-6);
+  }
+
+  // Tightest bound over root choices: |σT_r| × Π max-degree of each tree
+  // step's target column (unfiltered degrees keep it a true upper bound).
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& root : subquery.tables) {
+    const QueryTree tree = BuildQueryTree(subquery, root);
+    double bound = base.at(root);
+    for (const auto& [edge, next_table] : tree.steps) {
+      const bool next_is_left = edge.left_table == next_table;
+      const std::string& next_col =
+          next_is_left ? edge.left_column : edge.right_column;
+      const Table& next = db_.TableOrDie(next_table);
+      const HashIndex& index =
+          next.GetIndex(next.ColumnIndexOrDie(next_col));
+      double max_deg = 0.0;
+      const auto key = std::make_pair(next_table, next_col);
+      auto it = max_degree_.find(key);
+      if (it != max_degree_.end()) {
+        max_deg = it->second;
+      } else {
+        for (const auto& [value, rows] : index.entries()) {
+          max_deg = std::max(max_deg, static_cast<double>(rows.size()));
+        }
+        max_degree_[key] = max_deg;
+      }
+      bound *= std::max(1.0, max_deg);
+    }
+    best = std::min(best, bound);
+  }
+  return std::max(best, 1e-6);
+}
+
+}  // namespace cardbench

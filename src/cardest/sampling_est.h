@@ -1,0 +1,86 @@
+#ifndef CARDBENCH_CARDEST_SAMPLING_EST_H_
+#define CARDBENCH_CARDEST_SAMPLING_EST_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cardest/estimator.h"
+#include "common/rng.h"
+#include "storage/catalog.h"
+
+namespace cardbench {
+
+/// UniSample (§4.1 method 3): per-table uniform row samples estimate the
+/// filter selectivities; joins fall back to the join-uniformity assumption
+/// (1/max(ndv) per edge), the combination used by MySQL/MariaDB-style
+/// sampling estimators. Its error explodes with the number of joined
+/// tables — the behaviour Table 3 shows.
+class UniSampleEstimator : public CardinalityEstimator {
+ public:
+  UniSampleEstimator(const Database& db, size_t sample_size = 10000,
+                     uint64_t seed = 101);
+
+  std::string name() const override { return "UniSample"; }
+  double EstimateCard(const Query& subquery) override;
+  size_t ModelBytes() const override;
+  bool SupportsUpdate() const override { return true; }
+  /// Resamples (cheap: sampling is the whole model).
+  Status Update() override;
+
+ private:
+  void Resample();
+
+  const Database& db_;
+  size_t sample_size_;
+  Rng rng_;
+  std::map<std::string, std::vector<uint32_t>> samples_;
+};
+
+/// WJSample (§4.1 method 4): wander join — random walks along the query's
+/// join tree through key indexes, each walk contributing the product of the
+/// branch counts it traversed (Horvitz–Thompson). Zero successful walks
+/// yield an estimate of 0 (clamped by the optimizer), the failure mode that
+/// hurts it on large joins with selective predicates.
+class WjSampleEstimator : public CardinalityEstimator {
+ public:
+  WjSampleEstimator(const Database& db, size_t num_walks = 600,
+                    uint64_t seed = 202);
+
+  std::string name() const override { return "WJSample"; }
+  double EstimateCard(const Query& subquery) override;
+
+ private:
+  const Database& db_;
+  size_t num_walks_;
+  Rng rng_;
+};
+
+/// PessEst (§4.1 method 5, Cai et al.): pessimistic bound estimation —
+/// exact filtered base cardinalities combined with per-edge maximum join
+/// degrees give an upper bound on the join cardinality; the tightest bound
+/// over all root choices is returned. Never underestimates, which avoids
+/// the catastrophic nested-loop plans underestimation causes.
+class PessEstEstimator : public CardinalityEstimator {
+ public:
+  explicit PessEstEstimator(const Database& db);
+
+  std::string name() const override { return "PessEst"; }
+  double EstimateCard(const Query& subquery) override;
+  size_t ModelBytes() const override { return sizeof(*this); }
+  bool SupportsUpdate() const override { return true; }
+  /// Refreshes the degree sketches.
+  Status Update() override;
+
+ private:
+  void BuildDegreeSketches();
+  double FilteredCard(const Query& subquery, const std::string& table) const;
+
+  const Database& db_;
+  // (table, column) -> maximum join degree of any key value.
+  std::map<std::pair<std::string, std::string>, double> max_degree_;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_CARDEST_SAMPLING_EST_H_

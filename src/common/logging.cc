@@ -1,0 +1,10 @@
+#include "common/logging.h"
+
+namespace cardbench {
+
+int& LogLevel() {
+  static int level = 1;
+  return level;
+}
+
+}  // namespace cardbench

@@ -1,0 +1,49 @@
+#ifndef CARDBENCH_COMMON_LOGGING_H_
+#define CARDBENCH_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cardbench {
+
+/// Global log verbosity: 0 = silent, 1 = info (default), 2 = debug.
+/// Benches set this from --verbose flags.
+int& LogLevel();
+
+}  // namespace cardbench
+
+/// Informational progress message (model training epochs, bench phases).
+#define CARDBENCH_LOG(...)                          \
+  do {                                              \
+    if (::cardbench::LogLevel() >= 1) {             \
+      std::fprintf(stderr, "[cardbench] ");         \
+      std::fprintf(stderr, __VA_ARGS__);            \
+      std::fprintf(stderr, "\n");                   \
+    }                                               \
+  } while (0)
+
+/// Detailed debug message, off by default.
+#define CARDBENCH_DLOG(...)                         \
+  do {                                              \
+    if (::cardbench::LogLevel() >= 2) {             \
+      std::fprintf(stderr, "[cardbench:dbg] ");     \
+      std::fprintf(stderr, __VA_ARGS__);            \
+      std::fprintf(stderr, "\n");                   \
+    }                                               \
+  } while (0)
+
+/// Invariant check that stays on in release builds: these guard internal
+/// consistency of the optimizer/executor where silent corruption would
+/// invalidate benchmark results.
+#define CARDBENCH_CHECK(cond, ...)                                        \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CARDBENCH_CHECK failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, #cond);                            \
+      std::fprintf(stderr, "  " __VA_ARGS__);                             \
+      std::fprintf(stderr, "\n");                                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // CARDBENCH_COMMON_LOGGING_H_

@@ -1,0 +1,87 @@
+#ifndef CARDBENCH_COMMON_RNG_H_
+#define CARDBENCH_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cardbench {
+
+/// Deterministic, seedable pseudo-random number generator used everywhere in
+/// the library so that datasets, workloads and model training are fully
+/// reproducible across runs. The core generator is xoshiro256**, seeded via
+/// SplitMix64 (public-domain algorithms by Blackman & Vigna).
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed. Equal seeds produce equal
+  /// streams on all platforms.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal variate (Box–Muller).
+  double NextGaussian();
+
+  /// Bernoulli draw with success probability p.
+  bool NextBool(double p = 0.5);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s = 0 is uniform).
+  /// Uses inverse-CDF on a precomputable harmonic table for small n and
+  /// rejection-inversion for large n; here we keep the simple cached-CDF
+  /// variant since our domains are bounded.
+  int64_t NextZipf(int64_t n, double s);
+
+  /// Samples an index from an explicit (unnormalized, non-negative) weight
+  /// vector. Linear scan; use WeightedSampler for repeated draws.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle of the index range [0, n); returns the permutation.
+  std::vector<size_t> Permutation(size_t n);
+
+  /// Forks an independent stream (e.g. one per table/model) so that adding a
+  /// consumer does not perturb the draws of existing consumers.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  // Cache for NextZipf: rebuilt when (n, s) changes.
+  int64_t zipf_n_ = -1;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+  // Spare Gaussian from Box–Muller.
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Alias-method sampler for repeated draws from a fixed discrete
+/// distribution in O(1) per draw. Used by the data generators and by
+/// progressive sampling in the autoregressive estimators.
+class WeightedSampler {
+ public:
+  /// Builds the alias table from unnormalized non-negative weights.
+  /// An all-zero weight vector degenerates to uniform.
+  explicit WeightedSampler(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_COMMON_RNG_H_

@@ -1,0 +1,141 @@
+#ifndef CARDBENCH_COMMON_STATUS_H_
+#define CARDBENCH_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cardbench {
+
+/// Error-code taxonomy used across the library. We follow the RocksDB idiom:
+/// no exceptions cross library boundaries; fallible functions return a
+/// Status (or Result<T> below) that the caller must inspect.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnsupported,
+  kInternal,
+  kIOError,
+};
+
+/// Lightweight status object carrying a code and a human-readable message.
+/// Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kUnsupported: return "Unsupported";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kIOError: return "IOError";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error return type. Holds either a T or a non-OK Status.
+/// Accessing value() on an error aborts in debug builds (callers must check
+/// ok() first), mirroring absl::StatusOr semantics without the dependency.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// Result<T>, mirroring absl::StatusOr ergonomics.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status; an OK status is a programming error and is
+  /// converted to an Internal error to keep the invariant "holds T xor error".
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).ok()) {
+      data_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define CARDBENCH_RETURN_IF_ERROR(expr)            \
+  do {                                             \
+    ::cardbench::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define CARDBENCH_CONCAT_INNER_(a, b) a##b
+#define CARDBENCH_CONCAT_(a, b) CARDBENCH_CONCAT_INNER_(a, b)
+#define CARDBENCH_ASSIGN_OR_RETURN(lhs, expr)                             \
+  auto CARDBENCH_CONCAT_(_cardbench_res_, __LINE__) = (expr);             \
+  if (!CARDBENCH_CONCAT_(_cardbench_res_, __LINE__).ok())                 \
+    return CARDBENCH_CONCAT_(_cardbench_res_, __LINE__).status();         \
+  lhs = std::move(CARDBENCH_CONCAT_(_cardbench_res_, __LINE__)).value()
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_COMMON_STATUS_H_

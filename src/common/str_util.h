@@ -1,0 +1,42 @@
+#ifndef CARDBENCH_COMMON_STR_UTIL_H_
+#define CARDBENCH_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cardbench {
+
+/// Splits `text` on `sep`, keeping empty fields. Split("a,,b", ',') yields
+/// {"a", "", "b"}.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable duration: picks s / ms / h formatting as the paper's
+/// tables do (e.g. "3.67h", "25s", "4.3ms").
+std::string FormatDuration(double seconds);
+
+/// Human-readable byte count ("1.2MB", "340KB").
+std::string FormatBytes(size_t bytes);
+
+/// Compact scientific-ish count formatting for large cardinalities
+/// ("2.0e12", "146").
+std::string FormatCount(double count);
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_COMMON_STR_UTIL_H_

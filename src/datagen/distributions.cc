@@ -1,0 +1,36 @@
+#include "datagen/distributions.h"
+
+#include <cmath>
+
+namespace cardbench {
+
+Value HeavyTailValue(Rng& rng, int64_t n, double s, double alpha,
+                     double base) {
+  const int64_t rank = rng.NextZipf(n, s) + 1;
+  const double v = base * std::pow(static_cast<double>(rank), alpha) *
+                   LogNoise(rng, 0.3);
+  return static_cast<Value>(v);
+}
+
+double LogNoise(Rng& rng, double sigma) {
+  return std::exp(sigma * rng.NextGaussian());
+}
+
+std::vector<Value> SkewedForeignKeys(Rng& rng,
+                                     const std::vector<Value>& parent_ids,
+                                     const std::vector<double>& parent_weights,
+                                     size_t count) {
+  WeightedSampler sampler(parent_weights);
+  std::vector<Value> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(parent_ids[sampler.Sample(rng)]);
+  }
+  return out;
+}
+
+Value ZipfCategory(Rng& rng, int64_t domain, double s) {
+  return rng.NextZipf(domain, s) + 1;
+}
+
+}  // namespace cardbench

@@ -1,0 +1,40 @@
+#ifndef CARDBENCH_DATAGEN_DISTRIBUTIONS_H_
+#define CARDBENCH_DATAGEN_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/value.h"
+
+namespace cardbench {
+
+/// Building blocks for the synthetic dataset generators. All functions are
+/// deterministic given the Rng state, so datasets are reproducible from the
+/// generator seed.
+
+/// Heavy-tailed positive value: floor(base * rank^alpha * lognoise) where
+/// rank is Zipf(n, s). Produces the skewed marginals (reputation, view
+/// counts, scores) that make STATS hard for independence-based estimators.
+Value HeavyTailValue(Rng& rng, int64_t n, double s, double alpha, double base);
+
+/// Multiplicative log-normal noise factor exp(sigma * N(0,1)).
+double LogNoise(Rng& rng, double sigma);
+
+/// Assigns `count` foreign-key references over `parent_ids`, weighted by
+/// `parent_weights` (heavier parents get more children — the skewed join-key
+/// degree distribution that the paper identifies as a NeuroCard failure
+/// mode). Some parents receive zero children. Returns one parent id per
+/// child.
+std::vector<Value> SkewedForeignKeys(Rng& rng,
+                                     const std::vector<Value>& parent_ids,
+                                     const std::vector<double>& parent_weights,
+                                     size_t count);
+
+/// Zipf-weighted categorical value in [1, domain]: value 1 is the most
+/// common, mimicking type-id columns (PostTypeId, VoteTypeId, ...).
+Value ZipfCategory(Rng& rng, int64_t domain, double s);
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_DATAGEN_DISTRIBUTIONS_H_

@@ -1,0 +1,22 @@
+#ifndef CARDBENCH_DATAGEN_GEN_UTIL_H_
+#define CARDBENCH_DATAGEN_GEN_UTIL_H_
+
+#include <string>
+
+#include "common/logging.h"
+#include "storage/catalog.h"
+
+namespace cardbench {
+
+/// Creates a table in `db`, aborting on schema errors — generator schemas
+/// are static, so a failure is a programming error, not a runtime condition.
+inline Table* AddTableOrDie(Database& db, const std::string& name) {
+  auto result = db.AddTable(name);
+  CARDBENCH_CHECK(result.ok(), "AddTable(%s): %s", name.c_str(),
+                  result.status().ToString().c_str());
+  return result.value();
+}
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_DATAGEN_GEN_UTIL_H_

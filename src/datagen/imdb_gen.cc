@@ -1,0 +1,126 @@
+#include "datagen/imdb_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "datagen/distributions.h"
+#include "datagen/gen_util.h"
+
+namespace cardbench {
+
+namespace {
+
+size_t Scaled(double scale, size_t base) {
+  return std::max<size_t>(8, static_cast<size_t>(base * scale));
+}
+
+}  // namespace
+
+std::unique_ptr<Database> GenerateImdbDatabase(const ImdbGenConfig& config) {
+  auto db = std::make_unique<Database>("imdb");
+  Rng rng(config.seed);
+
+  const size_t n_title = Scaled(config.scale, 25000);
+  const size_t n_cast = Scaled(config.scale, 60000);
+  const size_t n_info = Scaled(config.scale, 45000);
+  const size_t n_keyword = Scaled(config.scale, 30000);
+  const size_t n_companies = Scaled(config.scale, 20000);
+  const size_t n_info_idx = Scaled(config.scale, 12000);
+
+  // ----------------------------------------------------------------- title
+  // Central table of the star. production_year mildly skewed toward recent
+  // years, kind_id a small categorical domain.
+  Table* title = AddTableOrDie(*db, "title");
+  CARDBENCH_CHECK(title->AddColumn("id", ColumnKind::kKey).ok(), "schema");
+  CARDBENCH_CHECK(title->AddColumn("kind_id", ColumnKind::kCategorical).ok(), "schema");
+  CARDBENCH_CHECK(title->AddColumn("production_year", ColumnKind::kNumeric).ok(), "schema");
+
+  Rng title_rng = rng.Fork();
+  std::vector<Value> title_ids(n_title);
+  std::vector<double> title_weight(n_title);
+  for (size_t i = 0; i < n_title; ++i) {
+    title_ids[i] = static_cast<Value>(i + 1);
+    // Popularity drives FK degree; milder skew than STATS.
+    title_weight[i] = static_cast<double>(title_rng.NextZipf(400, 0.8) + 1);
+    const Value kind = ZipfCategory(title_rng, 7, 1.0);
+    const Value year = 2020 - title_rng.NextZipf(110, 0.6);
+    CARDBENCH_CHECK(title->AppendRow({title_ids[i], kind, year}).ok(),
+                    "title row");
+  }
+
+  struct SatelliteSpec {
+    const char* table;
+    const char* fk;
+    const char* attr1;
+    int64_t domain1;
+    double skew1;
+    const char* attr2;  // nullptr if single-attribute table
+    int64_t domain2;
+    double skew2;
+    size_t rows;
+  };
+  const SatelliteSpec satellites[] = {
+      {"cast_info", "movie_id", "role_id", 11, 0.5, nullptr, 0, 0, n_cast},
+      {"movie_info", "movie_id", "info_type_id", 110, 0.3, nullptr, 0, 0,
+       n_info},
+      {"movie_keyword", "movie_id", "keyword_id", 8000, 0.25, nullptr, 0, 0,
+       n_keyword},
+      {"movie_companies", "movie_id", "company_id", 5000, 0.3,
+       "company_type_id", 2, 0.5, n_companies},
+      {"movie_info_idx", "movie_id", "info_type_id", 5, 0.5, nullptr, 0, 0,
+       n_info_idx},
+  };
+
+  for (const auto& spec : satellites) {
+    Table* table = AddTableOrDie(*db, spec.table);
+    CARDBENCH_CHECK(table->AddColumn("id", ColumnKind::kKey).ok(), "schema");
+    CARDBENCH_CHECK(table->AddColumn(spec.fk, ColumnKind::kKey).ok(), "schema");
+    CARDBENCH_CHECK(
+        table->AddColumn(spec.attr1, ColumnKind::kCategorical).ok(), "schema");
+    if (spec.attr2 != nullptr) {
+      CARDBENCH_CHECK(
+          table->AddColumn(spec.attr2, ColumnKind::kCategorical).ok(),
+          "schema");
+    }
+    Rng sat_rng = rng.Fork();
+    const std::vector<Value> fks =
+        SkewedForeignKeys(sat_rng, title_ids, title_weight, spec.rows);
+    // Attribute values correlate with the referenced title's popularity
+    // (popular movies attract different keywords/roles/info types): this is
+    // the real-IMDB dependency between satellite attributes and join-key
+    // degree that independence-based join estimation cannot see.
+    double max_weight = 1.0;
+    for (double w : title_weight) max_weight = std::max(max_weight, w);
+    for (size_t i = 0; i < spec.rows; ++i) {
+      const double pop_norm =
+          title_weight[static_cast<size_t>(fks[i] - 1)] / max_weight;
+      auto correlated_value = [&](int64_t domain, double skew) {
+        const Value band = static_cast<Value>(
+            pop_norm * 0.5 * static_cast<double>(domain));
+        const int64_t span = std::max<int64_t>(1, domain - band);
+        return band + ZipfCategory(sat_rng, span, skew);
+      };
+      std::vector<std::optional<Value>> row = {
+          static_cast<Value>(i + 1), fks[i],
+          correlated_value(spec.domain1, spec.skew1)};
+      if (spec.attr2 != nullptr) {
+        row.push_back(correlated_value(spec.domain2, spec.skew2));
+      }
+      CARDBENCH_CHECK(table->AppendRow(row).ok(), "%s row", spec.table);
+    }
+    CARDBENCH_CHECK(
+        db->AddJoinRelation(
+              {"title", "id", spec.table, spec.fk, JoinKind::kPkFk})
+            .ok(),
+        "relation");
+  }
+
+  CARDBENCH_LOG("generated IMDB-like db: %zu tables, %zu total rows",
+                db->num_tables(),
+                n_title + n_cast + n_info + n_keyword + n_companies +
+                    n_info_idx);
+  return db;
+}
+
+}  // namespace cardbench

@@ -1,0 +1,25 @@
+#ifndef CARDBENCH_DATAGEN_IMDB_GEN_H_
+#define CARDBENCH_DATAGEN_IMDB_GEN_H_
+
+#include <memory>
+
+#include "storage/catalog.h"
+
+namespace cardbench {
+
+/// Configuration of the synthetic simplified-IMDB dataset, the easier
+/// counterpart benchmark (paper Table 1, left column): 6 tables, 8
+/// filterable attributes (1-2 per table), a pure star join schema centered
+/// on `title` (5 PK-FK relations), and milder skew/correlation than STATS.
+struct ImdbGenConfig {
+  uint64_t seed = 7;
+  /// Multiplies every table's row count; scale=1.0 yields ~190k total rows.
+  double scale = 1.0;
+};
+
+/// Generates the IMDB-like database (JOB-LIGHT's simplified subset).
+std::unique_ptr<Database> GenerateImdbDatabase(const ImdbGenConfig& config);
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_DATAGEN_IMDB_GEN_H_

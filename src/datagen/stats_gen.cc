@@ -1,0 +1,347 @@
+#include "datagen/stats_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "datagen/distributions.h"
+#include "datagen/gen_util.h"
+
+namespace cardbench {
+
+namespace {
+
+// Abstract time axis: creation dates live in [0, kDateMax]. Parents get
+// uniform dates over the first 80% of the axis; children are created an
+// exponentially distributed delay after their newest parent.
+constexpr Value kDateMax = 1000000;
+
+Value ParentDate(Rng& rng) {
+  return static_cast<Value>(rng.NextDouble() * 0.8 * kDateMax);
+}
+
+Value ChildDate(Rng& rng, Value parent_date, double mean_delay_frac) {
+  const double delay = -std::log(std::max(rng.NextDouble(), 1e-12)) *
+                       mean_delay_frac * kDateMax;
+  return std::min<Value>(kDateMax, parent_date + static_cast<Value>(delay));
+}
+
+size_t Scaled(double scale, size_t base) {
+  return std::max<size_t>(8, static_cast<size_t>(base * scale));
+}
+
+std::optional<Value> MaybeNull(Rng& rng, double null_prob, Value v) {
+  if (rng.NextBool(null_prob)) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::string StatsTimestampColumn(const std::string& table_name) {
+  if (table_name == "badges") return "Date";
+  if (table_name == "users" || table_name == "posts" ||
+      table_name == "comments" || table_name == "votes" ||
+      table_name == "postHistory" || table_name == "postLinks") {
+    return "CreationDate";
+  }
+  return "";  // tags has no timestamp
+}
+
+std::unique_ptr<Database> GenerateStatsDatabase(const StatsGenConfig& config) {
+  auto db = std::make_unique<Database>("stats");
+  Rng rng(config.seed);
+
+  const size_t n_users = Scaled(config.scale, 4000);
+  const size_t n_posts = Scaled(config.scale, 9100);
+  const size_t n_comments = Scaled(config.scale, 17500);
+  const size_t n_badges = Scaled(config.scale, 8000);
+  const size_t n_votes = Scaled(config.scale, 33000);
+  const size_t n_history = Scaled(config.scale, 30000);
+  const size_t n_links = Scaled(config.scale, 1100);
+  const size_t n_tags = Scaled(config.scale, 250);
+
+  // ---------------------------------------------------------------- users
+  // Latent "activity" drives reputation/views/votes (intra-table
+  // correlation) and the user's share of child rows (skewed FK degrees).
+  Table* users = AddTableOrDie(*db, "users");
+  CARDBENCH_CHECK(users->AddColumn("Id", ColumnKind::kKey).ok(), "schema");
+  CARDBENCH_CHECK(users->AddColumn("Reputation", ColumnKind::kNumeric).ok(), "schema");
+  CARDBENCH_CHECK(users->AddColumn("CreationDate", ColumnKind::kNumeric).ok(), "schema");
+  CARDBENCH_CHECK(users->AddColumn("Views", ColumnKind::kNumeric).ok(), "schema");
+  CARDBENCH_CHECK(users->AddColumn("UpVotes", ColumnKind::kNumeric).ok(), "schema");
+  CARDBENCH_CHECK(users->AddColumn("DownVotes", ColumnKind::kNumeric).ok(), "schema");
+
+  std::vector<Value> user_ids(n_users);
+  std::vector<double> user_weight(n_users);
+  std::vector<Value> user_date(n_users);
+  Rng user_rng = rng.Fork();
+  for (size_t i = 0; i < n_users; ++i) {
+    const double activity =
+        static_cast<double>(user_rng.NextZipf(1000, 1.05) + 1);
+    const Value date = ParentDate(user_rng);
+    user_ids[i] = static_cast<Value>(i + 1);
+    // Super-linear weight: hot users own a disproportionate share of child
+    // rows (skewed join-key degrees, a deliberate STATS pathology).
+    user_weight[i] = std::pow(activity, 1.6);
+    user_date[i] = date;
+    const Value reputation =
+        1 + static_cast<Value>(std::pow(activity, 2.0) *
+                               LogNoise(user_rng, 0.4));
+    const Value views = static_cast<Value>(
+        0.5 * std::pow(activity, 1.6) * LogNoise(user_rng, 0.5));
+    const Value upvotes = static_cast<Value>(
+        0.2 * std::pow(activity, 1.8) * LogNoise(user_rng, 0.5));
+    const Value downvotes = static_cast<Value>(
+        0.05 * std::pow(activity, 1.4) * LogNoise(user_rng, 0.6));
+    CARDBENCH_CHECK(users
+                        ->AppendRow({user_ids[i], reputation, date, views,
+                                     upvotes, downvotes})
+                        .ok(),
+                    "users row");
+  }
+
+  // ---------------------------------------------------------------- posts
+  Table* posts = AddTableOrDie(*db, "posts");
+  for (const auto& [name, kind] :
+       std::vector<std::pair<std::string, ColumnKind>>{
+           {"Id", ColumnKind::kKey},
+           {"PostTypeId", ColumnKind::kCategorical},
+           {"CreationDate", ColumnKind::kNumeric},
+           {"Score", ColumnKind::kNumeric},
+           {"ViewCount", ColumnKind::kNumeric},
+           {"OwnerUserId", ColumnKind::kKey},
+           {"AnswerCount", ColumnKind::kNumeric},
+           {"CommentCount", ColumnKind::kNumeric},
+           {"FavoriteCount", ColumnKind::kNumeric},
+           {"LastEditorUserId", ColumnKind::kKey}}) {
+    CARDBENCH_CHECK(posts->AddColumn(name, kind).ok(), "schema");
+  }
+
+  Rng post_rng = rng.Fork();
+  std::vector<Value> post_ids(n_posts);
+  std::vector<double> post_weight(n_posts);
+  std::vector<Value> post_date(n_posts);
+  const std::vector<Value> post_owners =
+      SkewedForeignKeys(post_rng, user_ids, user_weight, n_posts);
+  for (size_t i = 0; i < n_posts; ++i) {
+    post_ids[i] = static_cast<Value>(i + 1);
+    const double popularity =
+        static_cast<double>(post_rng.NextZipf(1500, 1.05) + 1);
+    post_weight[i] = std::pow(popularity, 1.6);
+    const Value owner = post_owners[i];
+    const Value owner_date = user_date[static_cast<size_t>(owner - 1)];
+    const Value date = ChildDate(post_rng, owner_date, 0.10);
+    post_date[i] = date;
+
+    const Value post_type = ZipfCategory(post_rng, 8, 1.6);
+    const Value score = static_cast<Value>(std::pow(popularity, 1.1) *
+                                           LogNoise(post_rng, 0.4)) -
+                        post_rng.NextInt64(0, 3);
+    const Value view_count = static_cast<Value>(
+        std::pow(popularity, 1.6) * LogNoise(post_rng, 0.5));
+    // Only questions (type 1) carry an answer count: NULL correlation with
+    // PostTypeId, a cross-attribute dependency independence-based
+    // estimators cannot see.
+    std::optional<Value> answer_count;
+    if (post_type == 1) {
+      answer_count = static_cast<Value>(std::pow(popularity, 0.4) *
+                                        LogNoise(post_rng, 0.4));
+    }
+    const Value comment_count = static_cast<Value>(
+        std::pow(popularity, 0.5) * LogNoise(post_rng, 0.4));
+    const std::optional<Value> favorite_count = MaybeNull(
+        post_rng, 0.6,
+        static_cast<Value>(0.1 * std::pow(popularity, 1.2) *
+                           LogNoise(post_rng, 0.5)));
+    const std::optional<Value> owner_opt = MaybeNull(post_rng, 0.03, owner);
+    const std::optional<Value> editor = MaybeNull(
+        post_rng, 0.5,
+        user_ids[static_cast<size_t>(post_rng.NextUint64(n_users))]);
+    CARDBENCH_CHECK(posts
+                        ->AppendRow({post_ids[i], post_type, date, score,
+                                     MaybeNull(post_rng, 0.05, view_count),
+                                     owner_opt, answer_count, comment_count,
+                                     favorite_count, editor})
+                        .ok(),
+                    "posts row");
+  }
+
+  auto post_parent_date = [&](Value post_id) {
+    return post_date[static_cast<size_t>(post_id - 1)];
+  };
+
+  // -------------------------------------------------------------- comments
+  Table* comments = AddTableOrDie(*db, "comments");
+  CARDBENCH_CHECK(comments->AddColumn("Id", ColumnKind::kKey).ok(), "schema");
+  CARDBENCH_CHECK(comments->AddColumn("PostId", ColumnKind::kKey).ok(), "schema");
+  CARDBENCH_CHECK(comments->AddColumn("Score", ColumnKind::kNumeric).ok(), "schema");
+  CARDBENCH_CHECK(comments->AddColumn("CreationDate", ColumnKind::kNumeric).ok(), "schema");
+  CARDBENCH_CHECK(comments->AddColumn("UserId", ColumnKind::kKey).ok(), "schema");
+
+  Rng comment_rng = rng.Fork();
+  const std::vector<Value> comment_posts =
+      SkewedForeignKeys(comment_rng, post_ids, post_weight, n_comments);
+  const std::vector<Value> comment_users =
+      SkewedForeignKeys(comment_rng, user_ids, user_weight, n_comments);
+  for (size_t i = 0; i < n_comments; ++i) {
+    const Value pid = comment_posts[i];
+    const Value date = ChildDate(comment_rng, post_parent_date(pid), 0.05);
+    const Value score = comment_rng.NextZipf(60, 1.9);
+    CARDBENCH_CHECK(
+        comments
+            ->AppendRow({static_cast<Value>(i + 1), pid, score, date,
+                         MaybeNull(comment_rng, 0.10, comment_users[i])})
+            .ok(),
+        "comments row");
+  }
+
+  // ---------------------------------------------------------------- badges
+  Table* badges = AddTableOrDie(*db, "badges");
+  CARDBENCH_CHECK(badges->AddColumn("Id", ColumnKind::kKey).ok(), "schema");
+  CARDBENCH_CHECK(badges->AddColumn("UserId", ColumnKind::kKey).ok(), "schema");
+  CARDBENCH_CHECK(badges->AddColumn("Date", ColumnKind::kNumeric).ok(), "schema");
+
+  Rng badge_rng = rng.Fork();
+  const std::vector<Value> badge_users =
+      SkewedForeignKeys(badge_rng, user_ids, user_weight, n_badges);
+  for (size_t i = 0; i < n_badges; ++i) {
+    const Value uid = badge_users[i];
+    const Value date =
+        ChildDate(badge_rng, user_date[static_cast<size_t>(uid - 1)], 0.15);
+    CARDBENCH_CHECK(
+        badges->AppendRow({static_cast<Value>(i + 1), uid, date}).ok(),
+        "badges row");
+  }
+
+  // ----------------------------------------------------------------- votes
+  Table* votes = AddTableOrDie(*db, "votes");
+  CARDBENCH_CHECK(votes->AddColumn("Id", ColumnKind::kKey).ok(), "schema");
+  CARDBENCH_CHECK(votes->AddColumn("PostId", ColumnKind::kKey).ok(), "schema");
+  CARDBENCH_CHECK(votes->AddColumn("VoteTypeId", ColumnKind::kCategorical).ok(), "schema");
+  CARDBENCH_CHECK(votes->AddColumn("CreationDate", ColumnKind::kNumeric).ok(), "schema");
+  CARDBENCH_CHECK(votes->AddColumn("UserId", ColumnKind::kKey).ok(), "schema");
+  CARDBENCH_CHECK(votes->AddColumn("BountyAmount", ColumnKind::kNumeric).ok(), "schema");
+
+  Rng vote_rng = rng.Fork();
+  const std::vector<Value> vote_posts =
+      SkewedForeignKeys(vote_rng, post_ids, post_weight, n_votes);
+  const std::vector<Value> vote_users =
+      SkewedForeignKeys(vote_rng, user_ids, user_weight, n_votes);
+  for (size_t i = 0; i < n_votes; ++i) {
+    const Value pid = vote_posts[i];
+    const Value date = ChildDate(vote_rng, post_parent_date(pid), 0.05);
+    const Value vote_type = ZipfCategory(vote_rng, 10, 1.4);
+    // Only bounty votes (rare) carry an amount and a user: correlated NULLs.
+    const bool is_bounty = vote_type == 8 || vote_rng.NextBool(0.02);
+    std::optional<Value> bounty;
+    std::optional<Value> user;
+    if (is_bounty) {
+      bounty = 50 * vote_rng.NextInt64(1, 10);
+      user = vote_users[i];
+    } else if (vote_rng.NextBool(0.2)) {
+      user = vote_users[i];
+    }
+    CARDBENCH_CHECK(votes
+                        ->AppendRow({static_cast<Value>(i + 1), pid, vote_type,
+                                     date, user, bounty})
+                        .ok(),
+                    "votes row");
+  }
+
+  // ------------------------------------------------------------ postHistory
+  Table* history = AddTableOrDie(*db, "postHistory");
+  CARDBENCH_CHECK(history->AddColumn("Id", ColumnKind::kKey).ok(), "schema");
+  CARDBENCH_CHECK(history->AddColumn("PostHistoryTypeId", ColumnKind::kCategorical).ok(), "schema");
+  CARDBENCH_CHECK(history->AddColumn("PostId", ColumnKind::kKey).ok(), "schema");
+  CARDBENCH_CHECK(history->AddColumn("CreationDate", ColumnKind::kNumeric).ok(), "schema");
+  CARDBENCH_CHECK(history->AddColumn("UserId", ColumnKind::kKey).ok(), "schema");
+
+  Rng hist_rng = rng.Fork();
+  const std::vector<Value> hist_posts =
+      SkewedForeignKeys(hist_rng, post_ids, post_weight, n_history);
+  const std::vector<Value> hist_users =
+      SkewedForeignKeys(hist_rng, user_ids, user_weight, n_history);
+  for (size_t i = 0; i < n_history; ++i) {
+    const Value pid = hist_posts[i];
+    const Value date = ChildDate(hist_rng, post_parent_date(pid), 0.08);
+    const Value type = ZipfCategory(hist_rng, 12, 1.3);
+    CARDBENCH_CHECK(history
+                        ->AppendRow({static_cast<Value>(i + 1), type, pid,
+                                     date,
+                                     MaybeNull(hist_rng, 0.2, hist_users[i])})
+                        .ok(),
+                    "postHistory row");
+  }
+
+  // -------------------------------------------------------------- postLinks
+  Table* links = AddTableOrDie(*db, "postLinks");
+  CARDBENCH_CHECK(links->AddColumn("Id", ColumnKind::kKey).ok(), "schema");
+  CARDBENCH_CHECK(links->AddColumn("PostId", ColumnKind::kKey).ok(), "schema");
+  CARDBENCH_CHECK(links->AddColumn("RelatedPostId", ColumnKind::kKey).ok(), "schema");
+  CARDBENCH_CHECK(links->AddColumn("LinkTypeId", ColumnKind::kCategorical).ok(), "schema");
+  CARDBENCH_CHECK(links->AddColumn("CreationDate", ColumnKind::kNumeric).ok(), "schema");
+
+  Rng link_rng = rng.Fork();
+  const std::vector<Value> link_posts =
+      SkewedForeignKeys(link_rng, post_ids, post_weight, n_links);
+  const std::vector<Value> link_related =
+      SkewedForeignKeys(link_rng, post_ids, post_weight, n_links);
+  for (size_t i = 0; i < n_links; ++i) {
+    const Value pid = link_posts[i];
+    const Value date = ChildDate(link_rng, post_parent_date(pid), 0.1);
+    const Value link_type = link_rng.NextBool(0.8) ? 1 : 3;
+    CARDBENCH_CHECK(links
+                        ->AppendRow({static_cast<Value>(i + 1), pid,
+                                     link_related[i], link_type, date})
+                        .ok(),
+                    "postLinks row");
+  }
+
+  // ------------------------------------------------------------------ tags
+  Table* tags = AddTableOrDie(*db, "tags");
+  CARDBENCH_CHECK(tags->AddColumn("Id", ColumnKind::kKey).ok(), "schema");
+  CARDBENCH_CHECK(tags->AddColumn("Count", ColumnKind::kNumeric).ok(), "schema");
+  CARDBENCH_CHECK(tags->AddColumn("ExcerptPostId", ColumnKind::kKey).ok(), "schema");
+
+  Rng tag_rng = rng.Fork();
+  for (size_t i = 0; i < n_tags; ++i) {
+    const Value count = HeavyTailValue(tag_rng, 1000, 1.1, 1.8, 1.0);
+    const std::optional<Value> excerpt = MaybeNull(
+        tag_rng, 0.2,
+        post_ids[static_cast<size_t>(tag_rng.NextUint64(n_posts))]);
+    CARDBENCH_CHECK(
+        tags->AppendRow({static_cast<Value>(i + 1), count, excerpt}).ok(),
+        "tags row");
+  }
+
+  // ----------------------------------------------------- join relations
+  // The 12 schema edges of Figure 1. FK-FK (many-to-many) joins between
+  // foreign keys sharing a domain (e.g. comments.UserId = badges.UserId) are
+  // derived by the workload generator from these PK-FK edges.
+  const std::vector<JoinRelation> relations = {
+      {"users", "Id", "posts", "OwnerUserId", JoinKind::kPkFk},
+      {"users", "Id", "posts", "LastEditorUserId", JoinKind::kPkFk},
+      {"users", "Id", "comments", "UserId", JoinKind::kPkFk},
+      {"users", "Id", "badges", "UserId", JoinKind::kPkFk},
+      {"users", "Id", "votes", "UserId", JoinKind::kPkFk},
+      {"users", "Id", "postHistory", "UserId", JoinKind::kPkFk},
+      {"posts", "Id", "comments", "PostId", JoinKind::kPkFk},
+      {"posts", "Id", "votes", "PostId", JoinKind::kPkFk},
+      {"posts", "Id", "postHistory", "PostId", JoinKind::kPkFk},
+      {"posts", "Id", "postLinks", "PostId", JoinKind::kPkFk},
+      {"posts", "Id", "postLinks", "RelatedPostId", JoinKind::kPkFk},
+      {"posts", "Id", "tags", "ExcerptPostId", JoinKind::kPkFk},
+  };
+  for (const auto& rel : relations) {
+    CARDBENCH_CHECK(db->AddJoinRelation(rel).ok(), "relation %s",
+                    rel.ToString().c_str());
+  }
+
+  CARDBENCH_LOG("generated STATS-like db: %zu tables, %zu total rows",
+                db->num_tables(),
+                n_users + n_posts + n_comments + n_badges + n_votes +
+                    n_history + n_links + n_tags);
+  return db;
+}
+
+}  // namespace cardbench

@@ -1,0 +1,113 @@
+#include "datagen/update_split.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "datagen/gen_util.h"
+
+namespace cardbench {
+
+namespace {
+
+std::vector<std::optional<Value>> ExtractRow(const Table& table, size_t row) {
+  std::vector<std::optional<Value>> out(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    out[c] = col.IsValid(row) ? std::optional<Value>(col.Get(row))
+                              : std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace
+
+TimeSplit SplitDatabaseByTime(const Database& db,
+                              const TimestampColumnFn& ts_column_of,
+                              double stale_fraction) {
+  TimeSplit split;
+  split.stale = std::make_unique<Database>(db.name() + "_stale");
+
+  // Pool all timestamps to pick a global cutoff at the requested quantile.
+  std::vector<Value> all_ts;
+  for (const auto& name : db.table_names()) {
+    const Table& table = db.TableOrDie(name);
+    const std::string ts_col = ts_column_of(name);
+    if (ts_col.empty()) continue;
+    const Column& col = table.ColumnByName(ts_col);
+    for (size_t row = 0; row < col.size(); ++row) {
+      if (col.IsValid(row)) all_ts.push_back(col.Get(row));
+    }
+  }
+  if (!all_ts.empty()) {
+    const size_t k = std::min(
+        all_ts.size() - 1,
+        static_cast<size_t>(stale_fraction * static_cast<double>(all_ts.size())));
+    std::nth_element(all_ts.begin(), all_ts.begin() + static_cast<long>(k),
+                     all_ts.end());
+    split.cutoff = all_ts[k];
+  }
+
+  for (const auto& name : db.table_names()) {
+    const Table& table = db.TableOrDie(name);
+    Table* stale_table = AddTableOrDie(*split.stale, name);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      CARDBENCH_CHECK(
+          stale_table->AddColumn(table.column(c).name(), table.column(c).kind())
+              .ok(),
+          "clone schema");
+    }
+
+    const std::string ts_name = ts_column_of(name);
+    std::optional<size_t> ts_idx;
+    if (!ts_name.empty()) ts_idx = table.FindColumn(ts_name);
+
+    TimeSplit::Insertion insertion;
+    insertion.table = name;
+    const size_t order_cut =
+        static_cast<size_t>(stale_fraction * static_cast<double>(table.num_rows()));
+    for (size_t row = 0; row < table.num_rows(); ++row) {
+      bool is_stale;
+      if (ts_idx.has_value() && table.column(*ts_idx).IsValid(row)) {
+        is_stale = table.column(*ts_idx).Get(row) <= split.cutoff;
+      } else {
+        is_stale = row < order_cut;
+      }
+      if (is_stale) {
+        CARDBENCH_CHECK(
+            stale_table->AppendRow(ExtractRow(table, row)).ok(), "stale row");
+        ++split.stale_rows;
+      } else {
+        insertion.rows.push_back(ExtractRow(table, row));
+        ++split.inserted_rows;
+      }
+    }
+    if (!insertion.rows.empty()) {
+      split.insertions.push_back(std::move(insertion));
+    }
+  }
+
+  for (const auto& rel : db.join_relations()) {
+    CARDBENCH_CHECK(split.stale->AddJoinRelation(rel).ok(), "clone relation");
+  }
+
+  CARDBENCH_LOG("time split of %s: cutoff=%lld, %zu stale rows, %zu inserts",
+                db.name().c_str(), static_cast<long long>(split.cutoff),
+                split.stale_rows, split.inserted_rows);
+  return split;
+}
+
+Status ApplyInsertions(Database& db,
+                       const std::vector<TimeSplit::Insertion>& insertions) {
+  for (const auto& batch : insertions) {
+    Table* table = db.FindTable(batch.table);
+    if (table == nullptr) {
+      return Status::NotFound("insertion into unknown table " + batch.table);
+    }
+    for (const auto& row : batch.rows) {
+      CARDBENCH_RETURN_IF_ERROR(table->AppendRow(row));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cardbench

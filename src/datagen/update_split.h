@@ -1,0 +1,55 @@
+#ifndef CARDBENCH_DATAGEN_UPDATE_SPLIT_H_
+#define CARDBENCH_DATAGEN_UPDATE_SPLIT_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace cardbench {
+
+/// Maps a table name to the name of its timestamp column ("" if the table
+/// has none and should be split by row order instead).
+using TimestampColumnFn = std::function<std::string(const std::string&)>;
+
+/// Result of splitting a database along the time axis for the paper's
+/// update experiment (§6.3): stale models are trained on `stale`, then the
+/// `insertions` are applied and the models are incrementally updated.
+struct TimeSplit {
+  /// Rows created before the cutoff, same schema and join relations as the
+  /// source database.
+  std::unique_ptr<Database> stale;
+
+  /// Per-table batches of the remaining rows, in source-row order.
+  struct Insertion {
+    std::string table;
+    std::vector<std::vector<std::optional<Value>>> rows;
+  };
+  std::vector<Insertion> insertions;
+
+  /// The chosen timestamp cutoff.
+  Value cutoff = 0;
+
+  size_t stale_rows = 0;
+  size_t inserted_rows = 0;
+};
+
+/// Splits `db` so that roughly `stale_fraction` of all rows fall before the
+/// cutoff timestamp (the paper splits STATS at 50% by creation date).
+/// Tables without a timestamp column are split by row position.
+TimeSplit SplitDatabaseByTime(const Database& db,
+                              const TimestampColumnFn& ts_column_of,
+                              double stale_fraction);
+
+/// Appends every insertion batch to `db` (the stale database), simulating
+/// the arrival of new data.
+Status ApplyInsertions(Database& db,
+                       const std::vector<TimeSplit::Insertion>& insertions);
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_DATAGEN_UPDATE_SPLIT_H_

@@ -1,0 +1,537 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace cardbench {
+
+namespace {
+
+constexpr size_t kBudgetCheckInterval = 1 << 16;
+
+/// Resolves a (table, column) reference against a TupleSet: which tuple
+/// component and which storage column it denotes.
+struct ColRef {
+  const Column* column = nullptr;
+  int component = -1;
+};
+
+ColRef Resolve(const TupleSet& ts, const Database& db,
+               const std::string& table, const std::string& column) {
+  ColRef ref;
+  ref.component = ts.ComponentOf(table);
+  if (ref.component < 0) return ref;
+  const Table* t = db.FindTable(table);
+  if (t == nullptr) return ColRef{};
+  auto idx = t->FindColumn(column);
+  if (!idx.has_value()) return ColRef{};
+  ref.column = &t->column(*idx);
+  return ref;
+}
+
+bool RowPassesFilters(const Table& table, uint32_t row,
+                      const std::vector<Predicate>& filters) {
+  for (const auto& filter : filters) {
+    const Column& col = table.ColumnByName(filter.column);
+    if (!col.IsValid(row)) return false;
+    if (!EvalCompare(col.Get(row), filter.op, filter.value)) return false;
+  }
+  return true;
+}
+
+/// Evaluates the extra (non-primary) join edges for a candidate combined
+/// tuple. `lrefs[i]`/`rrefs[i]` resolve edge i's endpoints on the left/right
+/// input respectively.
+bool ExtraEdgesMatch(const std::vector<std::pair<ColRef, ColRef>>& refs,
+                     const TupleSet& left, size_t ltuple, const TupleSet& right,
+                     size_t rtuple) {
+  for (const auto& [lref, rref] : refs) {
+    const uint32_t lrow = left.Row(ltuple, static_cast<size_t>(lref.component));
+    const uint32_t rrow =
+        right.Row(rtuple, static_cast<size_t>(rref.component));
+    if (!lref.column->IsValid(lrow) || !rref.column->IsValid(rrow)) {
+      return false;
+    }
+    if (lref.column->Get(lrow) != rref.column->Get(rrow)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status Executor::ExecuteScan(const PlanNode& plan, Ctx& ctx,
+                             TupleSet* out) const {
+  const Table* table = db_.FindTable(plan.table);
+  if (table == nullptr) {
+    return Status::NotFound("scan of unknown table " + plan.table);
+  }
+  out->tables = {plan.table};
+  out->data.clear();
+
+  if (plan.scan_method == ScanMethod::kIndexScan) {
+    // The first filter must be an equality served by the index.
+    if (plan.filters.empty() || plan.filters[0].op != CompareOp::kEq) {
+      return Status::InvalidArgument(
+          "index scan requires a leading equality filter on " + plan.table);
+    }
+    const Predicate& key = plan.filters[0];
+    const HashIndex& index =
+        table->GetIndex(table->ColumnIndexOrDie(key.column));
+    const std::vector<Predicate> rest(plan.filters.begin() + 1,
+                                      plan.filters.end());
+    for (uint32_t row : index.Lookup(key.value)) {
+      if (RowPassesFilters(*table, row, rest)) out->data.push_back(row);
+    }
+    return Status::OK();
+  }
+
+  const size_t n = table->num_rows();
+  for (size_t row = 0; row < n; ++row) {
+    if ((row % kBudgetCheckInterval) == 0 &&
+        ctx.watch.ElapsedSeconds() > ctx.limits->timeout_seconds) {
+      ctx.timed_out = true;
+      return Status::OK();
+    }
+    if (RowPassesFilters(*table, static_cast<uint32_t>(row), plan.filters)) {
+      out->data.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  return Status::OK();
+}
+
+Status Executor::ExecuteJoin(const PlanNode& plan, Ctx& ctx,
+                             TupleSet* out) const {
+  TupleSet left;
+  CARDBENCH_RETURN_IF_ERROR(ExecuteNode(*plan.left, ctx, &left));
+  if (ctx.timed_out) return Status::OK();
+
+  out->tables = left.tables;
+
+  // Index-nested-loop: the inner side is a base table accessed through its
+  // join-column index; it is never materialized.
+  if (plan.join_method == JoinMethod::kIndexNestLoop) {
+    if (!plan.right->IsScan()) {
+      return Status::InvalidArgument(
+          "index nested loop requires a base-table inner side");
+    }
+    const std::string& inner_name = plan.right->table;
+    const Table* inner = db_.FindTable(inner_name);
+    if (inner == nullptr) return Status::NotFound("table " + inner_name);
+    out->tables.push_back(inner_name);
+
+    // Orient the primary edge: which endpoint is on the (left) outer side?
+    const bool edge_left_is_outer = left.ComponentOf(plan.edge.left_table) >= 0;
+    const std::string& outer_table =
+        edge_left_is_outer ? plan.edge.left_table : plan.edge.right_table;
+    const std::string& outer_col =
+        edge_left_is_outer ? plan.edge.left_column : plan.edge.right_column;
+    const std::string& inner_col =
+        edge_left_is_outer ? plan.edge.right_column : plan.edge.left_column;
+
+    const ColRef outer_ref = Resolve(left, db_, outer_table, outer_col);
+    if (outer_ref.column == nullptr) {
+      return Status::InvalidArgument("cannot resolve join key " + outer_table +
+                                     "." + outer_col);
+    }
+    const HashIndex& index =
+        inner->GetIndex(inner->ColumnIndexOrDie(inner_col));
+
+    // Extra edges: left endpoint resolved on outer, right on a synthetic
+    // single-component view of the inner table.
+    TupleSet inner_view;
+    inner_view.tables = {inner_name};
+    inner_view.data = {0};
+    std::vector<std::pair<ColRef, ColRef>> extra_refs;
+    for (const auto& e : plan.extra_edges) {
+      ColRef l = Resolve(left, db_, e.left_table, e.left_column);
+      ColRef r = Resolve(inner_view, db_, e.right_table, e.right_column);
+      if (l.column == nullptr || r.column == nullptr) {
+        std::swap(l, r);
+        l = Resolve(left, db_, e.right_table, e.right_column);
+        r = Resolve(inner_view, db_, e.left_table, e.left_column);
+      }
+      if (l.column == nullptr || r.column == nullptr) {
+        return Status::InvalidArgument("cannot resolve extra join edge " +
+                                       e.ToString());
+      }
+      extra_refs.emplace_back(l, r);
+    }
+
+    const size_t arity = left.arity();
+    size_t iterations = 0;
+    for (size_t t = 0; t < left.size(); ++t) {
+      const uint32_t orow = left.Row(t, static_cast<size_t>(outer_ref.component));
+      if (!outer_ref.column->IsValid(orow)) continue;
+      for (uint32_t irow : index.Lookup(outer_ref.column->Get(orow))) {
+        if ((++iterations % kBudgetCheckInterval) == 0 &&
+            ctx.watch.ElapsedSeconds() > ctx.limits->timeout_seconds) {
+          ctx.timed_out = true;
+          return Status::OK();
+        }
+        if (!RowPassesFilters(*inner, irow, plan.right->filters)) continue;
+        inner_view.data[0] = irow;
+        if (!extra_refs.empty() &&
+            !ExtraEdgesMatch(extra_refs, left, t, inner_view, 0)) {
+          continue;
+        }
+        if (out->size() >= ctx.limits->max_intermediate_tuples) {
+          ctx.timed_out = true;
+          return Status::OK();
+        }
+        for (size_t c = 0; c < arity; ++c) out->data.push_back(left.Row(t, c));
+        out->data.push_back(irow);
+      }
+    }
+    return Status::OK();
+  }
+
+  TupleSet right;
+  CARDBENCH_RETURN_IF_ERROR(ExecuteNode(*plan.right, ctx, &right));
+  if (ctx.timed_out) return Status::OK();
+  for (const auto& t : right.tables) out->tables.push_back(t);
+
+  // Resolve the primary edge endpoints on each side.
+  ColRef lkey = Resolve(left, db_, plan.edge.left_table, plan.edge.left_column);
+  ColRef rkey =
+      Resolve(right, db_, plan.edge.right_table, plan.edge.right_column);
+  if (lkey.column == nullptr || rkey.column == nullptr) {
+    lkey = Resolve(left, db_, plan.edge.right_table, plan.edge.right_column);
+    rkey = Resolve(right, db_, plan.edge.left_table, plan.edge.left_column);
+  }
+  if (lkey.column == nullptr || rkey.column == nullptr) {
+    return Status::InvalidArgument("cannot resolve join edge " +
+                                   plan.edge.ToString());
+  }
+  std::vector<std::pair<ColRef, ColRef>> extra_refs;
+  for (const auto& e : plan.extra_edges) {
+    ColRef l = Resolve(left, db_, e.left_table, e.left_column);
+    ColRef r = Resolve(right, db_, e.right_table, e.right_column);
+    if (l.column == nullptr || r.column == nullptr) {
+      l = Resolve(left, db_, e.right_table, e.right_column);
+      r = Resolve(right, db_, e.left_table, e.left_column);
+    }
+    if (l.column == nullptr || r.column == nullptr) {
+      return Status::InvalidArgument("cannot resolve extra join edge " +
+                                     e.ToString());
+    }
+    extra_refs.emplace_back(l, r);
+  }
+
+  const size_t larity = left.arity();
+  const size_t rarity = right.arity();
+  auto emit = [&](size_t lt, size_t rt) -> bool {
+    if (out->size() >= ctx.limits->max_intermediate_tuples) {
+      ctx.timed_out = true;
+      return false;
+    }
+    for (size_t c = 0; c < larity; ++c) out->data.push_back(left.Row(lt, c));
+    for (size_t c = 0; c < rarity; ++c) out->data.push_back(right.Row(rt, c));
+    return true;
+  };
+
+  if (plan.join_method == JoinMethod::kHashJoin) {
+    // Build on the right (inner) side, probe with the left.
+    std::unordered_map<Value, std::vector<uint32_t>> ht;
+    ht.reserve(right.size());
+    for (size_t rt = 0; rt < right.size(); ++rt) {
+      const uint32_t row = right.Row(rt, static_cast<size_t>(rkey.component));
+      if (!rkey.column->IsValid(row)) continue;
+      ht[rkey.column->Get(row)].push_back(static_cast<uint32_t>(rt));
+    }
+    size_t iterations = 0;
+    for (size_t lt = 0; lt < left.size(); ++lt) {
+      const uint32_t row = left.Row(lt, static_cast<size_t>(lkey.component));
+      if (!lkey.column->IsValid(row)) continue;
+      auto it = ht.find(lkey.column->Get(row));
+      if (it == ht.end()) continue;
+      for (uint32_t rt : it->second) {
+        if ((++iterations % kBudgetCheckInterval) == 0 &&
+            ctx.watch.ElapsedSeconds() > ctx.limits->timeout_seconds) {
+          ctx.timed_out = true;
+          return Status::OK();
+        }
+        if (!extra_refs.empty() &&
+            !ExtraEdgesMatch(extra_refs, left, lt, right, rt)) {
+          continue;
+        }
+        if (!emit(lt, rt)) return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  // Merge join: sort both inputs by key (NULLs dropped), then walk equal
+  // runs, emitting their cross products.
+  auto sorted_keys = [&](const TupleSet& ts, const ColRef& key) {
+    std::vector<std::pair<Value, uint32_t>> keys;
+    keys.reserve(ts.size());
+    for (size_t t = 0; t < ts.size(); ++t) {
+      const uint32_t row = ts.Row(t, static_cast<size_t>(key.component));
+      if (!key.column->IsValid(row)) continue;
+      keys.emplace_back(key.column->Get(row), static_cast<uint32_t>(t));
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  const auto lkeys = sorted_keys(left, lkey);
+  const auto rkeys = sorted_keys(right, rkey);
+  size_t li = 0, ri = 0;
+  size_t iterations = 0;
+  while (li < lkeys.size() && ri < rkeys.size()) {
+    if (lkeys[li].first < rkeys[ri].first) {
+      ++li;
+    } else if (lkeys[li].first > rkeys[ri].first) {
+      ++ri;
+    } else {
+      const Value v = lkeys[li].first;
+      size_t lend = li, rend = ri;
+      while (lend < lkeys.size() && lkeys[lend].first == v) ++lend;
+      while (rend < rkeys.size() && rkeys[rend].first == v) ++rend;
+      for (size_t i = li; i < lend; ++i) {
+        for (size_t j = ri; j < rend; ++j) {
+          if ((++iterations % kBudgetCheckInterval) == 0 &&
+              ctx.watch.ElapsedSeconds() > ctx.limits->timeout_seconds) {
+            ctx.timed_out = true;
+            return Status::OK();
+          }
+          if (!extra_refs.empty() &&
+              !ExtraEdgesMatch(extra_refs, left, lkeys[i].second, right,
+                               rkeys[j].second)) {
+            continue;
+          }
+          if (!emit(lkeys[i].second, rkeys[j].second)) return Status::OK();
+        }
+      }
+      li = lend;
+      ri = rend;
+    }
+  }
+  return Status::OK();
+}
+
+Status Executor::ExecuteNode(const PlanNode& plan, Ctx& ctx,
+                             TupleSet* out) const {
+  const Status status =
+      plan.IsScan() ? ExecuteScan(plan, ctx, out) : ExecuteJoin(plan, ctx, out);
+  if (status.ok() && !ctx.timed_out && ctx.actual_rows != nullptr) {
+    (*ctx.actual_rows)[plan.table_mask] = static_cast<double>(out->size());
+  }
+  return status;
+}
+
+Status Executor::CountNode(const PlanNode& plan, Ctx& ctx,
+                           uint64_t* count) const {
+  // The root is evaluated count-only: materialize the children, stream the
+  // final join. For scans, count matching rows directly.
+  *count = 0;
+  if (plan.IsScan()) {
+    TupleSet out;
+    CARDBENCH_RETURN_IF_ERROR(ExecuteScan(plan, ctx, &out));
+    *count = out.size();
+    return Status::OK();
+  }
+  // Reuse the materializing join but only to count: we temporarily execute
+  // with a joined TupleSet. To avoid materializing huge final results, we
+  // count via the same code path but drop tuples — implemented by running
+  // the join into a counting sink below.
+  TupleSet left;
+  CARDBENCH_RETURN_IF_ERROR(ExecuteNode(*plan.left, ctx, &left));
+  if (ctx.timed_out) return Status::OK();
+
+  if (plan.join_method == JoinMethod::kIndexNestLoop && plan.right->IsScan()) {
+    const std::string& inner_name = plan.right->table;
+    const Table* inner = db_.FindTable(inner_name);
+    if (inner == nullptr) return Status::NotFound("table " + inner_name);
+
+    const bool edge_left_is_outer = left.ComponentOf(plan.edge.left_table) >= 0;
+    const std::string& outer_table =
+        edge_left_is_outer ? plan.edge.left_table : plan.edge.right_table;
+    const std::string& outer_col =
+        edge_left_is_outer ? plan.edge.left_column : plan.edge.right_column;
+    const std::string& inner_col =
+        edge_left_is_outer ? plan.edge.right_column : plan.edge.left_column;
+    const ColRef outer_ref = Resolve(left, db_, outer_table, outer_col);
+    if (outer_ref.column == nullptr) {
+      return Status::InvalidArgument("cannot resolve join key");
+    }
+    const HashIndex& index =
+        inner->GetIndex(inner->ColumnIndexOrDie(inner_col));
+
+    TupleSet inner_view;
+    inner_view.tables = {inner_name};
+    inner_view.data = {0};
+    std::vector<std::pair<ColRef, ColRef>> extra_refs;
+    for (const auto& e : plan.extra_edges) {
+      ColRef l = Resolve(left, db_, e.left_table, e.left_column);
+      ColRef r = Resolve(inner_view, db_, e.right_table, e.right_column);
+      if (l.column == nullptr || r.column == nullptr) {
+        l = Resolve(left, db_, e.right_table, e.right_column);
+        r = Resolve(inner_view, db_, e.left_table, e.left_column);
+      }
+      if (l.column == nullptr || r.column == nullptr) {
+        return Status::InvalidArgument("cannot resolve extra join edge");
+      }
+      extra_refs.emplace_back(l, r);
+    }
+
+    size_t iterations = 0;
+    for (size_t t = 0; t < left.size(); ++t) {
+      const uint32_t orow =
+          left.Row(t, static_cast<size_t>(outer_ref.component));
+      if (!outer_ref.column->IsValid(orow)) continue;
+      for (uint32_t irow : index.Lookup(outer_ref.column->Get(orow))) {
+        if ((++iterations % kBudgetCheckInterval) == 0 &&
+            ctx.watch.ElapsedSeconds() > ctx.limits->timeout_seconds) {
+          ctx.timed_out = true;
+          return Status::OK();
+        }
+        if (!RowPassesFilters(*inner, irow, plan.right->filters)) continue;
+        inner_view.data[0] = irow;
+        if (!extra_refs.empty() &&
+            !ExtraEdgesMatch(extra_refs, left, t, inner_view, 0)) {
+          continue;
+        }
+        ++*count;
+      }
+    }
+    return Status::OK();
+  }
+
+  TupleSet right;
+  CARDBENCH_RETURN_IF_ERROR(ExecuteNode(*plan.right, ctx, &right));
+  if (ctx.timed_out) return Status::OK();
+
+  ColRef lkey = Resolve(left, db_, plan.edge.left_table, plan.edge.left_column);
+  ColRef rkey =
+      Resolve(right, db_, plan.edge.right_table, plan.edge.right_column);
+  if (lkey.column == nullptr || rkey.column == nullptr) {
+    lkey = Resolve(left, db_, plan.edge.right_table, plan.edge.right_column);
+    rkey = Resolve(right, db_, plan.edge.left_table, plan.edge.left_column);
+  }
+  if (lkey.column == nullptr || rkey.column == nullptr) {
+    return Status::InvalidArgument("cannot resolve join edge " +
+                                   plan.edge.ToString());
+  }
+  std::vector<std::pair<ColRef, ColRef>> extra_refs;
+  for (const auto& e : plan.extra_edges) {
+    ColRef l = Resolve(left, db_, e.left_table, e.left_column);
+    ColRef r = Resolve(right, db_, e.right_table, e.right_column);
+    if (l.column == nullptr || r.column == nullptr) {
+      l = Resolve(left, db_, e.right_table, e.right_column);
+      r = Resolve(right, db_, e.left_table, e.left_column);
+    }
+    if (l.column == nullptr || r.column == nullptr) {
+      return Status::InvalidArgument("cannot resolve extra join edge");
+    }
+    extra_refs.emplace_back(l, r);
+  }
+
+  // Hash-count: build on the smaller side regardless of the plan's stated
+  // method — the counting semantics are identical across join algorithms and
+  // the physical differences are already captured in the timed execution of
+  // the inner nodes. (The root method still matters for timing because build
+  // vs sort costs differ; we emulate merge-join's sort cost by sorting.)
+  if (plan.join_method == JoinMethod::kMergeJoin) {
+    auto sort_keys = [&](const TupleSet& ts, const ColRef& key) {
+      std::vector<Value> keys;
+      keys.reserve(ts.size());
+      for (size_t t = 0; t < ts.size(); ++t) {
+        const uint32_t row = ts.Row(t, static_cast<size_t>(key.component));
+        if (key.column->IsValid(row)) keys.push_back(key.column->Get(row));
+      }
+      std::sort(keys.begin(), keys.end());
+      return keys;
+    };
+    if (extra_refs.empty()) {
+      const auto lkeys = sort_keys(left, lkey);
+      const auto rkeys = sort_keys(right, rkey);
+      size_t li = 0, ri = 0;
+      while (li < lkeys.size() && ri < rkeys.size()) {
+        if (lkeys[li] < rkeys[ri]) {
+          ++li;
+        } else if (lkeys[li] > rkeys[ri]) {
+          ++ri;
+        } else {
+          const Value v = lkeys[li];
+          size_t lend = li, rend = ri;
+          while (lend < lkeys.size() && lkeys[lend] == v) ++lend;
+          while (rend < rkeys.size() && rkeys[rend] == v) ++rend;
+          *count += static_cast<uint64_t>(lend - li) *
+                    static_cast<uint64_t>(rend - ri);
+          li = lend;
+          ri = rend;
+        }
+      }
+      return Status::OK();
+    }
+    // Fall through to pairwise evaluation when extra edges exist.
+  }
+
+  std::unordered_map<Value, std::vector<uint32_t>> ht;
+  ht.reserve(right.size());
+  for (size_t rt = 0; rt < right.size(); ++rt) {
+    const uint32_t row = right.Row(rt, static_cast<size_t>(rkey.component));
+    if (!rkey.column->IsValid(row)) continue;
+    ht[rkey.column->Get(row)].push_back(static_cast<uint32_t>(rt));
+  }
+  size_t iterations = 0;
+  for (size_t lt = 0; lt < left.size(); ++lt) {
+    const uint32_t row = left.Row(lt, static_cast<size_t>(lkey.component));
+    if (!lkey.column->IsValid(row)) continue;
+    auto it = ht.find(lkey.column->Get(row));
+    if (it == ht.end()) continue;
+    if (extra_refs.empty()) {
+      *count += it->second.size();
+      iterations += it->second.size();
+      if (iterations >= kBudgetCheckInterval) {
+        iterations = 0;
+        if (ctx.watch.ElapsedSeconds() > ctx.limits->timeout_seconds) {
+          ctx.timed_out = true;
+          return Status::OK();
+        }
+      }
+      continue;
+    }
+    for (uint32_t rt : it->second) {
+      if ((++iterations % kBudgetCheckInterval) == 0 &&
+          ctx.watch.ElapsedSeconds() > ctx.limits->timeout_seconds) {
+        ctx.timed_out = true;
+        return Status::OK();
+      }
+      if (ExtraEdgesMatch(extra_refs, left, lt, right, rt)) ++*count;
+    }
+  }
+  return Status::OK();
+}
+
+Result<ExecResult> Executor::ExecuteCount(const PlanNode& plan,
+                                           bool analyze) const {
+  Ctx ctx;
+  ctx.limits = &limits_;
+  ExecResult result;
+  if (analyze) ctx.actual_rows = &result.actual_rows;
+  uint64_t count = 0;
+  CARDBENCH_RETURN_IF_ERROR(CountNode(plan, ctx, &count));
+  result.count = count;
+  result.timed_out = ctx.timed_out;
+  result.elapsed_seconds = ctx.watch.ElapsedSeconds();
+  if (analyze && !ctx.timed_out) {
+    result.actual_rows[plan.table_mask] = static_cast<double>(count);
+  }
+  return result;
+}
+
+Result<TupleSet> Executor::Materialize(const PlanNode& plan) const {
+  Ctx ctx;
+  ctx.limits = &limits_;
+  TupleSet out;
+  CARDBENCH_RETURN_IF_ERROR(ExecuteNode(plan, ctx, &out));
+  if (ctx.timed_out) {
+    return Status::OutOfRange("materialization exceeded execution limits");
+  }
+  return out;
+}
+
+}  // namespace cardbench

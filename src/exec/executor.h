@@ -1,0 +1,79 @@
+#ifndef CARDBENCH_EXEC_EXECUTOR_H_
+#define CARDBENCH_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "exec/plan.h"
+#include "exec/tuple_set.h"
+#include "storage/catalog.h"
+
+namespace cardbench {
+
+/// Resource guard rails for plan execution. Catastrophically bad plans
+/// (which bad cardinality estimates produce by design) are cut off rather
+/// than allowed to run for hours — the harness reports them as the paper
+/// reports ">25h" entries.
+struct ExecLimits {
+  /// Cap on any single materialized intermediate result.
+  size_t max_intermediate_tuples = 20000000;
+  /// Wall-clock budget for one plan execution.
+  double timeout_seconds = 60.0;
+};
+
+/// Outcome of executing one COUNT(*) plan.
+struct ExecResult {
+  uint64_t count = 0;
+  /// True if a limit was hit; `count` is then meaningless and
+  /// `elapsed_seconds` is the time spent until cut-off.
+  bool timed_out = false;
+  double elapsed_seconds = 0.0;
+  /// EXPLAIN ANALYZE data: actual output rows per plan node, keyed by the
+  /// node's table_mask. Populated when requested via ExecuteCount's
+  /// `analyze` argument. The root's entry equals `count`.
+  std::unordered_map<uint64_t, double> actual_rows;
+};
+
+/// Volcano-style executor over the columnar storage: materializes each join
+/// input as a TupleSet of base-table row ids and evaluates the root
+/// count-only (never materializing the final result). Implements the three
+/// PostgreSQL join algorithms plus seq/index scans.
+class Executor {
+ public:
+  explicit Executor(const Database& db, ExecLimits limits = ExecLimits())
+      : db_(db), limits_(limits) {}
+
+  /// Executes `plan` and returns the COUNT(*) of its output (or a timeout).
+  /// Returns an error Status only for malformed plans (unknown tables etc.);
+  /// resource exhaustion is reported via ExecResult::timed_out. With
+  /// `analyze` set, per-node actual row counts are collected (EXPLAIN
+  /// ANALYZE).
+  Result<ExecResult> ExecuteCount(const PlanNode& plan,
+                                  bool analyze = false) const;
+
+  /// Materializes the full output of `plan` (tests and small queries only).
+  Result<TupleSet> Materialize(const PlanNode& plan) const;
+
+ private:
+  struct Ctx {
+    Stopwatch watch;
+    const ExecLimits* limits;
+    bool timed_out = false;
+    /// Non-null when EXPLAIN ANALYZE collection is requested.
+    std::unordered_map<uint64_t, double>* actual_rows = nullptr;
+  };
+
+  Status ExecuteNode(const PlanNode& plan, Ctx& ctx, TupleSet* out) const;
+  Status ExecuteScan(const PlanNode& plan, Ctx& ctx, TupleSet* out) const;
+  Status ExecuteJoin(const PlanNode& plan, Ctx& ctx, TupleSet* out) const;
+  Status CountNode(const PlanNode& plan, Ctx& ctx, uint64_t* count) const;
+
+  const Database& db_;
+  ExecLimits limits_;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_EXEC_EXECUTOR_H_

@@ -1,0 +1,100 @@
+#include "exec/plan.h"
+
+#include "common/str_util.h"
+
+namespace cardbench {
+
+std::string ScanMethodName(ScanMethod method) {
+  switch (method) {
+    case ScanMethod::kSeqScan: return "SeqScan";
+    case ScanMethod::kIndexScan: return "IndexScan";
+  }
+  return "?";
+}
+
+std::string JoinMethodName(JoinMethod method) {
+  switch (method) {
+    case JoinMethod::kHashJoin: return "HashJoin";
+    case JoinMethod::kMergeJoin: return "MergeJoin";
+    case JoinMethod::kIndexNestLoop: return "IndexNestLoop";
+  }
+  return "?";
+}
+
+size_t PlanNode::NumTables() const {
+  if (IsScan()) return 1;
+  return left->NumTables() + right->NumTables();
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>();
+  copy->type = type;
+  copy->table = table;
+  copy->scan_method = scan_method;
+  copy->filters = filters;
+  copy->join_method = join_method;
+  copy->edge = edge;
+  copy->extra_edges = extra_edges;
+  copy->table_mask = table_mask;
+  copy->estimated_card = estimated_card;
+  copy->estimated_cost = estimated_cost;
+  if (left != nullptr) copy->left = left->Clone();
+  if (right != nullptr) copy->right = right->Clone();
+  return copy;
+}
+
+std::string PlanNode::ExplainAnalyze(
+    const std::unordered_map<uint64_t, double>& actual_rows,
+    int indent) const {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out;
+  if (IsScan()) {
+    out = pad + StrFormat("%s on %s", ScanMethodName(scan_method).c_str(),
+                          table.c_str());
+    if (!filters.empty()) {
+      std::vector<std::string> parts;
+      for (const auto& f : filters) parts.push_back(f.ToString());
+      out += "  filter: " + Join(parts, " AND ");
+    }
+  } else {
+    out = pad + StrFormat("%s on %s", JoinMethodName(join_method).c_str(),
+                          edge.ToString().c_str());
+    for (const auto& e : extra_edges) out += " AND " + e.ToString();
+  }
+  auto it = actual_rows.find(table_mask);
+  if (it != actual_rows.end()) {
+    out += StrFormat("  (rows=%.0f actual=%.0f cost=%.1f)\n", estimated_card,
+                     it->second, estimated_cost);
+  } else {
+    out += StrFormat("  (rows=%.0f actual=? cost=%.1f)\n", estimated_card,
+                     estimated_cost);
+  }
+  if (left != nullptr) out += left->ExplainAnalyze(actual_rows, indent + 1);
+  if (right != nullptr) out += right->ExplainAnalyze(actual_rows, indent + 1);
+  return out;
+}
+
+std::string PlanNode::Explain(int indent) const {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out;
+  if (IsScan()) {
+    out = pad + StrFormat("%s on %s", ScanMethodName(scan_method).c_str(),
+                          table.c_str());
+    if (!filters.empty()) {
+      std::vector<std::string> parts;
+      for (const auto& f : filters) parts.push_back(f.ToString());
+      out += "  filter: " + Join(parts, " AND ");
+    }
+  } else {
+    out = pad + StrFormat("%s on %s", JoinMethodName(join_method).c_str(),
+                          edge.ToString().c_str());
+    for (const auto& e : extra_edges) out += " AND " + e.ToString();
+  }
+  out += StrFormat("  (rows=%.0f cost=%.1f)\n", estimated_card,
+                   estimated_cost);
+  if (left != nullptr) out += left->Explain(indent + 1);
+  if (right != nullptr) out += right->Explain(indent + 1);
+  return out;
+}
+
+}  // namespace cardbench

@@ -1,0 +1,86 @@
+#ifndef CARDBENCH_EXEC_PLAN_H_
+#define CARDBENCH_EXEC_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/query.h"
+
+namespace cardbench {
+
+/// Physical table-access method, chosen by the optimizer based on estimated
+/// selectivity (mirroring PostgreSQL's seq-scan vs index-scan choice, §4.2).
+enum class ScanMethod : uint8_t {
+  kSeqScan = 0,
+  kIndexScan,  ///< equality lookup on an indexed (key) column, then filter
+};
+
+/// Physical join algorithm (PostgreSQL's three: §4.2 / Figure 2).
+enum class JoinMethod : uint8_t {
+  kHashJoin = 0,
+  kMergeJoin,
+  kIndexNestLoop,  ///< inner side must be a base-table scan with an index
+};
+
+std::string ScanMethodName(ScanMethod method);
+std::string JoinMethodName(JoinMethod method);
+
+/// A node of a physical execution plan. Plans are binary trees whose leaves
+/// scan base tables and whose inner nodes join two sub-plans on one primary
+/// equi-join edge (additional connecting edges become post-join filters).
+struct PlanNode {
+  enum class Type : uint8_t { kScan = 0, kJoin };
+
+  Type type = Type::kScan;
+
+  // --- scan fields ---
+  std::string table;
+  ScanMethod scan_method = ScanMethod::kSeqScan;
+  /// Filters applied during the scan. For index scans, the first filter is
+  /// the equality predicate served by the index.
+  std::vector<Predicate> filters;
+
+  // --- join fields ---
+  JoinMethod join_method = JoinMethod::kHashJoin;
+  /// Primary join condition; left side refers to the outer (left) subtree.
+  JoinEdge edge;
+  /// Extra equi-join conditions between the two subtrees, applied as
+  /// post-join filters.
+  std::vector<JoinEdge> extra_edges;
+  std::unique_ptr<PlanNode> left;   ///< outer / probe side
+  std::unique_ptr<PlanNode> right;  ///< inner / build side
+
+  // --- optimizer annotations ---
+  /// Bitmask of the owning query's tables covered by this subtree.
+  uint64_t table_mask = 0;
+  /// Cardinality the active estimator predicted for this sub-plan.
+  double estimated_card = 0.0;
+  /// Total cost of this subtree under the estimator's cardinalities.
+  double estimated_cost = 0.0;
+
+  bool IsScan() const { return type == Type::kScan; }
+
+  /// Number of base tables under this node.
+  size_t NumTables() const;
+
+  /// Deep copy (plans are cheap relative to execution; used when recosting
+  /// a plan under true cardinalities for P-Error).
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Multi-line EXPLAIN-style rendering with costs and cardinalities.
+  std::string Explain(int indent = 0) const;
+
+  /// EXPLAIN ANALYZE rendering: like Explain but each node also shows its
+  /// actual output rows (from Executor::ExecuteCount with analyze=true,
+  /// keyed by table_mask) next to the estimate.
+  std::string ExplainAnalyze(
+      const std::unordered_map<uint64_t, double>& actual_rows,
+      int indent = 0) const;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_EXEC_PLAN_H_

@@ -1,0 +1,66 @@
+#ifndef CARDBENCH_EXEC_TRUE_CARD_H_
+#define CARDBENCH_EXEC_TRUE_CARD_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "exec/executor.h"
+#include "query/query.h"
+
+namespace cardbench {
+
+/// Computes and memoizes exact cardinalities of (sub-plan) queries by
+/// executing count-only greedy hash-join plans. This backs the TrueCard
+/// oracle baseline, the Q-Error/P-Error metrics, and the training labels of
+/// the query-driven estimators.
+class TrueCardService {
+ public:
+  explicit TrueCardService(const Database& db,
+                           ExecLimits limits = DefaultLimits());
+
+  /// Exact COUNT(*) of `query` (which may be a sub-plan query). Cached by
+  /// the query's canonical key. Returns OutOfRange if execution exceeded the
+  /// (generous) limits.
+  Result<double> Card(const Query& query);
+
+  /// Exact cardinalities of every connected sub-plan of `query`, keyed by
+  /// table-subset bitmask — the full sub-plan query space of §4.2.
+  Result<std::unordered_map<uint64_t, double>> AllSubplanCards(
+      const Query& query);
+
+  /// Builds the greedy left-deep hash-join counting plan used internally.
+  /// Exposed for tests and for the executor's own test coverage.
+  std::unique_ptr<PlanNode> BuildCountingPlan(const Query& query) const;
+
+  /// Persists / restores the memo table (one "key<TAB>card" line per entry)
+  /// so repeated bench runs skip recomputation.
+  Status SaveCache(const std::string& path) const;
+  Status LoadCache(const std::string& path);
+
+  /// Copies every memoized cardinality from `other` (used to transfer
+  /// results computed under different execution limits).
+  void ImportFrom(const TrueCardService& other);
+
+  size_t cache_size() const { return cache_.size(); }
+
+  static ExecLimits DefaultLimits() {
+    ExecLimits limits;
+    limits.timeout_seconds = 120.0;
+    limits.max_intermediate_tuples = 50000000;
+    return limits;
+  }
+
+ private:
+  /// Number of rows of `table` passing the filter predicates of `query`.
+  double FilteredBaseCard(const Query& query, const std::string& table) const;
+
+  const Database& db_;
+  Executor executor_;
+  std::unordered_map<std::string, double> cache_;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_EXEC_TRUE_CARD_H_

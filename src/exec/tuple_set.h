@@ -1,0 +1,39 @@
+#ifndef CARDBENCH_EXEC_TUPLE_SET_H_
+#define CARDBENCH_EXEC_TUPLE_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cardbench {
+
+/// Intermediate result of plan execution: a bag of composite tuples, each a
+/// fixed-arity vector of base-table row ids, stored flat in row-major order.
+/// Keeping only row ids (late materialization) means joins can access any
+/// column of any constituent table without copying payloads.
+struct TupleSet {
+  /// Constituent base tables, defining component order within each tuple.
+  std::vector<std::string> tables;
+  /// Row ids, row-major; size is a multiple of arity().
+  std::vector<uint32_t> data;
+
+  size_t arity() const { return tables.size(); }
+  size_t size() const { return tables.empty() ? 0 : data.size() / arity(); }
+
+  /// Component index of `table` or -1.
+  int ComponentOf(const std::string& table) const {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (tables[i] == table) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Row id of `component` within tuple `t`.
+  uint32_t Row(size_t t, size_t component) const {
+    return data[t * arity() + component];
+  }
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_EXEC_TUPLE_SET_H_

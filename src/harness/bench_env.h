@@ -1,0 +1,142 @@
+#ifndef CARDBENCH_HARNESS_BENCH_ENV_H_
+#define CARDBENCH_HARNESS_BENCH_ENV_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cardest/registry.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "exec/true_card.h"
+#include "optimizer/optimizer.h"
+#include "storage/catalog.h"
+#include "workload/workload_gen.h"
+
+namespace cardbench {
+
+/// Command-line knobs shared by every bench binary.
+struct BenchFlags {
+  /// Dataset scale factor (1.0 ~ 1/10 of the real STATS).
+  double scale = 1.0;
+  /// Shrinks learned models and the workload for quick smoke runs.
+  bool fast = false;
+  /// Cap on workload queries (0 = all).
+  size_t max_queries = 0;
+  /// Per-query execution wall-clock cap; timed-out queries are reported at
+  /// the cap (the paper prints "> 25h" for such methods).
+  double exec_timeout = 30.0;
+  /// Directory for persisted true-cardinality caches.
+  std::string cache_dir = "bench_cache";
+  /// Estimators to run (empty = bench-specific default list).
+  std::vector<std::string> estimators;
+  /// Number of training queries for query-driven methods.
+  size_t training_queries = 2000;
+  /// Each plan is executed this many times and the minimum wall time is
+  /// reported, de-noising the sub-second executions of simulator scale.
+  size_t exec_repeats = 3;
+  uint64_t seed = 2021;
+};
+
+/// Parses --scale=, --fast, --max-queries=, --exec-timeout=, --cache-dir=,
+/// --estimators=a,b,c, --training-queries=, --seed=, --verbose=.
+/// Unknown flags abort with a usage message.
+BenchFlags ParseBenchFlags(int argc, char** argv);
+
+enum class BenchDataset { kStats, kImdb };
+
+/// Everything a bench needs for one dataset: the database, its workload,
+/// memoized exact sub-plan cardinalities, a PostgreSQL-style optimizer and
+/// the estimator factory. Construction prepares (and disk-caches) the true
+/// cardinalities of every sub-plan of every workload query — the paper's
+/// precomputation that makes P-Error "computable instantaneously" (§7.2).
+class BenchEnv {
+ public:
+  static Result<std::unique_ptr<BenchEnv>> Create(BenchDataset dataset,
+                                                  const BenchFlags& flags);
+  ~BenchEnv();
+
+  const std::string& dataset_name() const { return dataset_name_; }
+  Database& db() { return *db_; }
+  TrueCardService& truecard() { return *truecard_; }
+  const Optimizer& optimizer() const { return *optimizer_; }
+  const Workload& workload() const { return workload_; }
+
+  /// Training workload for query-driven estimators (generated on first use,
+  /// true counts from a tighter-limited service).
+  const std::vector<TrainingQuery>& training();
+
+  /// Per-workload-query precomputed context.
+  struct QueryContext {
+    const Query* query = nullptr;
+    size_t num_tables = 0;
+    /// Exact cardinality of every connected sub-plan, bitmask-keyed.
+    std::unordered_map<uint64_t, double> true_cards;
+    /// PPC(P(C^T), C^T): cost of the true-cardinality plan under true
+    /// cardinalities — the P-Error denominator.
+    double true_plan_cost = 0.0;
+  };
+  const std::vector<QueryContext>& query_contexts() const { return contexts_; }
+
+  /// Builds (and trains) an estimator by registry name.
+  Result<std::unique_ptr<CardinalityEstimator>> MakeNamedEstimator(
+      const std::string& name);
+
+  /// Outcome of one query under one estimator.
+  struct QueryRun {
+    std::string query_name;
+    size_t num_tables = 0;
+    double true_card = 0.0;
+    double exec_seconds = 0.0;
+    double plan_seconds = 0.0;       // join enumeration + inference
+    double inference_seconds = 0.0;  // inference portion
+    size_t num_estimates = 0;
+    bool timed_out = false;
+    double p_error = 1.0;
+    /// Q-Error of every estimated sub-plan.
+    std::vector<double> subplan_qerrors;
+  };
+
+  /// Aggregated outcome over the workload.
+  struct RunResult {
+    std::string estimator;
+    std::vector<QueryRun> queries;
+    size_t timeouts = 0;
+
+    double TotalExecSeconds() const;
+    double TotalPlanSeconds() const;
+    double TotalInferenceSeconds() const;
+    double EndToEndSeconds() const {
+      return TotalExecSeconds() + TotalPlanSeconds();
+    }
+    std::vector<double> AllQErrors() const;
+    std::vector<double> AllPErrors() const;
+  };
+
+  /// Plans, executes and scores every workload query with `estimator`.
+  /// Execution correctness is asserted: a finished plan must return the
+  /// exact COUNT(*) regardless of the injected cardinalities.
+  RunResult RunEstimator(CardinalityEstimator& estimator);
+
+  const BenchFlags& flags() const { return flags_; }
+
+ private:
+  BenchEnv() = default;
+  Status Prepare(BenchDataset dataset, const BenchFlags& flags);
+
+  BenchFlags flags_;
+  std::string dataset_name_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<TrueCardService> truecard_;
+  std::unique_ptr<Optimizer> optimizer_;
+  Workload workload_;
+  std::vector<QueryContext> contexts_;
+  std::vector<TrainingQuery> training_;
+  bool training_ready_ = false;
+  std::string cache_path_;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_HARNESS_BENCH_ENV_H_

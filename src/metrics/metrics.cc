@@ -1,0 +1,74 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cardbench {
+
+double QError(double estimate, double truth) {
+  const double e = std::max(estimate, 1.0);
+  const double t = std::max(truth, 1.0);
+  return std::max(e / t, t / e);
+}
+
+Percentiles ComputePercentiles(std::vector<double> values) {
+  Percentiles out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  auto at = [&](double q) {
+    const size_t idx = std::min(
+        values.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(values.size())));
+    return values[idx];
+  };
+  out.p50 = at(0.50);
+  out.p90 = at(0.90);
+  out.p99 = at(0.99);
+  out.max = values.back();
+  return out;
+}
+
+double PearsonCorrelationOf(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sa += a[i];
+    sb += b[i];
+    saa += a[i] * a[i];
+    sbb += b[i] * b[i];
+    sab += a[i] * b[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double cov = sab / dn - (sa / dn) * (sb / dn);
+  const double va = saa / dn - (sa / dn) * (sa / dn);
+  const double vb = sbb / dn - (sb / dn) * (sb / dn);
+  if (va <= 1e-300 || vb <= 1e-300) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double SpearmanCorrelationOf(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n < 3) return 0.0;
+  auto ranks = [n](const std::vector<double>& v) {
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t x, size_t y) { return v[x] < v[y]; });
+    std::vector<double> rank(n);
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i;
+      while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+      const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2;
+      for (size_t k = i; k <= j; ++k) rank[order[k]] = avg;
+      i = j + 1;
+    }
+    return rank;
+  };
+  return PearsonCorrelationOf(ranks(a), ranks(b));
+}
+
+}  // namespace cardbench

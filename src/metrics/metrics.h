@@ -1,0 +1,37 @@
+#ifndef CARDBENCH_METRICS_METRICS_H_
+#define CARDBENCH_METRICS_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cardbench {
+
+/// Q-Error (Moerkotte et al., §7.1): the symmetric multiplicative error
+/// max(est/true, true/est), with both sides clamped to >= 1 row.
+double QError(double estimate, double truth);
+
+/// Distribution summary used by the paper's Table 7 (50/90/99 percentiles).
+struct Percentiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Percentiles by nearest-rank on a copy of `values`; zeros for empty input.
+Percentiles ComputePercentiles(std::vector<double> values);
+
+/// Pearson correlation coefficient (0 for degenerate inputs).
+double PearsonCorrelationOf(const std::vector<double>& a,
+                            const std::vector<double>& b);
+
+/// Spearman rank correlation (Pearson on average ranks; 0 for degenerate
+/// inputs). The paper's O14 reports correlation between error metrics and
+/// query execution time; rank correlation is the robust choice for the
+/// heavy-tailed runtimes involved.
+double SpearmanCorrelationOf(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_METRICS_METRICS_H_

@@ -1,0 +1,68 @@
+#include "metrics/perror.h"
+
+#include <algorithm>
+
+#include "cardest/truecard_est.h"
+#include "common/logging.h"
+
+namespace cardbench {
+
+namespace {
+
+/// A throwaway estimator serving the precomputed true cardinalities by
+/// bitmask (avoids needing a TrueCardService here).
+class MapEstimator : public CardinalityEstimator {
+ public:
+  MapEstimator(const Query& query,
+               const std::unordered_map<uint64_t, double>& cards)
+      : query_(query), cards_(cards) {}
+
+  std::string name() const override { return "map"; }
+
+  double EstimateCard(const Query& subquery) override {
+    // Recover the bitmask from the sub-query's table set.
+    uint64_t mask = 0;
+    for (const auto& table : subquery.tables) {
+      const int idx = query_.TableIndex(table);
+      CARDBENCH_CHECK(idx >= 0, "sub-query table not in query");
+      mask |= uint64_t{1} << idx;
+    }
+    auto it = cards_.find(mask);
+    return it != cards_.end() ? it->second : 1.0;
+  }
+
+ private:
+  const Query& query_;
+  const std::unordered_map<uint64_t, double>& cards_;
+};
+
+}  // namespace
+
+PErrorCalculator::PErrorCalculator(
+    const Optimizer& optimizer, const Query& query,
+    std::unordered_map<uint64_t, double> true_cards)
+    : optimizer_(optimizer), query_(query), true_cards_(std::move(true_cards)) {
+  MapEstimator oracle(query_, true_cards_);
+  auto plan = optimizer_.Plan(query_, oracle);
+  CARDBENCH_CHECK(plan.ok(), "true-card planning failed: %s",
+                  plan.status().ToString().c_str());
+  true_plan_cost_ =
+      optimizer_.RecostWithCards(*plan->plan, query_, true_cards_);
+}
+
+Result<double> PErrorCalculator::Evaluate(
+    CardinalityEstimator& estimator) const {
+  CARDBENCH_ASSIGN_OR_RETURN(PlanResult plan,
+                             optimizer_.Plan(query_, estimator));
+  return EvaluatePlan(*plan.plan);
+}
+
+double PErrorCalculator::EvaluatePlan(const PlanNode& plan) const {
+  // Not clamped at 1: the paper notes PPC(P(C^T), C^T) need not be the true
+  // minimum when the cost model is imperfect; relative comparison remains
+  // valid either way (§7.2).
+  const double cost = optimizer_.RecostWithCards(plan, query_, true_cards_);
+  return true_plan_cost_ > 0 ? cost / true_plan_cost_ : 1.0;
+}
+
+}  // namespace cardbench

@@ -1,0 +1,144 @@
+#include "ml/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cardbench {
+
+std::vector<int> TwoMeans(const std::vector<std::vector<double>>& rows,
+                          Rng& rng, size_t max_iterations) {
+  const size_t n = rows.size();
+  std::vector<int> labels(n, 0);
+  if (n < 2) return labels;
+  const size_t d = rows[0].size();
+
+  // Z-normalize features so no single wide-range column dominates.
+  std::vector<double> mean(d, 0.0), stddev(d, 0.0);
+  for (const auto& row : rows) {
+    for (size_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) mean[j] /= static_cast<double>(n);
+  for (const auto& row : rows) {
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = row[j] - mean[j];
+      stddev[j] += diff * diff;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    stddev[j] = std::sqrt(stddev[j] / static_cast<double>(n));
+    if (stddev[j] < 1e-12) stddev[j] = 1.0;
+  }
+  auto norm = [&](size_t i, size_t j) { return (rows[i][j] - mean[j]) / stddev[j]; };
+
+  // k-means++-lite seeding: first center random, second the farthest row.
+  size_t c0 = rng.NextUint64(n);
+  size_t c1 = c0;
+  double best_dist = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dist = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = norm(i, j) - norm(c0, j);
+      dist += diff * diff;
+    }
+    if (dist > best_dist) {
+      best_dist = dist;
+      c1 = i;
+    }
+  }
+  std::vector<std::vector<double>> centers(2, std::vector<double>(d));
+  for (size_t j = 0; j < d; ++j) {
+    centers[0][j] = norm(c0, j);
+    centers[1][j] = norm(c1, j);
+  }
+
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      double d0 = 0.0, d1 = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        const double v = norm(i, j);
+        d0 += (v - centers[0][j]) * (v - centers[0][j]);
+        d1 += (v - centers[1][j]) * (v - centers[1][j]);
+      }
+      const int label = d1 < d0 ? 1 : 0;
+      if (label != labels[i]) {
+        labels[i] = label;
+        changed = true;
+      }
+    }
+    std::vector<std::vector<double>> sums(2, std::vector<double>(d, 0.0));
+    std::vector<size_t> counts(2, 0);
+    for (size_t i = 0; i < n; ++i) {
+      ++counts[static_cast<size_t>(labels[i])];
+      for (size_t j = 0; j < d; ++j) {
+        sums[static_cast<size_t>(labels[i])][j] += norm(i, j);
+      }
+    }
+    if (counts[0] == 0 || counts[1] == 0) break;
+    for (int c = 0; c < 2; ++c) {
+      for (size_t j = 0; j < d; ++j) {
+        centers[static_cast<size_t>(c)][j] =
+            sums[static_cast<size_t>(c)][j] /
+            static_cast<double>(counts[static_cast<size_t>(c)]);
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Guarantee a non-trivial split: fall back to a median split on the first
+  // feature (then to a half split) when k-means collapses.
+  size_t ones = 0;
+  for (int label : labels) ones += static_cast<size_t>(label);
+  if (ones == 0 || ones == n) {
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return rows[a][0] < rows[b][0];
+    });
+    for (size_t i = 0; i < n; ++i) labels[order[i]] = i < n / 2 ? 0 : 1;
+  }
+  return labels;
+}
+
+double DependenceScore(const std::vector<double>& x,
+                       const std::vector<double>& y) {
+  const size_t n = std::min(x.size(), y.size());
+  if (n < 3) return 0.0;
+  auto ranks = [n](const std::vector<double>& v) {
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return v[a] < v[b]; });
+    std::vector<double> rank(n);
+    size_t i = 0;
+    while (i < n) {
+      // Average ranks over ties.
+      size_t j = i;
+      while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+      const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
+      for (size_t k = i; k <= j; ++k) rank[order[k]] = avg;
+      i = j + 1;
+    }
+    return rank;
+  };
+  const std::vector<double> rx = ranks(x);
+  const std::vector<double> ry = ranks(y);
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += rx[i];
+    sy += ry[i];
+    sxx += rx[i] * rx[i];
+    syy += ry[i] * ry[i];
+    sxy += rx[i] * ry[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double cov = sxy / dn - (sx / dn) * (sy / dn);
+  const double vx = sxx / dn - (sx / dn) * (sx / dn);
+  const double vy = syy / dn - (sy / dn) * (sy / dn);
+  if (vx <= 1e-12 || vy <= 1e-12) return 0.0;
+  return std::min(1.0, std::abs(cov / std::sqrt(vx * vy)));
+}
+
+}  // namespace cardbench

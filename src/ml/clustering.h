@@ -1,0 +1,29 @@
+#ifndef CARDBENCH_ML_CLUSTERING_H_
+#define CARDBENCH_ML_CLUSTERING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cardbench {
+
+/// Two-way k-means row clustering over z-normalized features, used by the
+/// SPN/FSPN learners (DeepDB, FLAT) to create sum-node children. Returns a
+/// 0/1 cluster label per row; degenerate inputs fall back to a median split
+/// on the first feature so the caller always receives two non-empty halves
+/// when n >= 2.
+std::vector<int> TwoMeans(const std::vector<std::vector<double>>& rows,
+                          Rng& rng, size_t max_iterations = 20);
+
+/// Dependence score in [0, 1] between two feature vectors: |Spearman rank
+/// correlation|. This is the role the RDC statistic plays in DeepDB/FLAT
+/// (thresholds 0.3 "independent" and 0.7 "highly correlated"); rank
+/// correlation is the same monotone-dependence family without the random
+/// Fourier features.
+double DependenceScore(const std::vector<double>& x,
+                       const std::vector<double>& y);
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_ML_CLUSTERING_H_

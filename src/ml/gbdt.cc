@@ -1,0 +1,153 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cardbench {
+
+int GbdtRegressor::BuildNode(Tree& tree,
+                             const std::vector<std::vector<double>>& features,
+                             const std::vector<double>& residuals,
+                             std::vector<size_t>& items, size_t begin,
+                             size_t end, size_t depth) {
+  const size_t n = end - begin;
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) sum += residuals[items[i]];
+
+  const int node_id = static_cast<int>(tree.size());
+  tree.push_back(Node{});
+  // L2-regularized leaf value (XGBoost: G / (H + lambda) with H = n for
+  // squared error).
+  tree[static_cast<size_t>(node_id)].value =
+      sum / (static_cast<double>(n) + options_.l2_lambda);
+
+  if (depth >= options_.max_depth || n < 2 * options_.min_samples_per_leaf) {
+    return node_id;
+  }
+
+  // Exact greedy split search: maximize variance reduction (equivalently
+  // the regularized gain).
+  const size_t num_features = features[items[begin]].size();
+  double best_gain = 1e-9;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  std::vector<std::pair<double, size_t>> sorted(n);
+  std::vector<std::pair<double, size_t>> best_sorted;
+
+  for (size_t f = 0; f < num_features; ++f) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t item = items[begin + i];
+      sorted[i] = {features[item][f], item};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    double left_sum = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      left_sum += residuals[sorted[i].second];
+      if (sorted[i].first == sorted[i + 1].first) continue;  // tied values
+      const size_t left_n = i + 1;
+      const size_t right_n = n - left_n;
+      if (left_n < options_.min_samples_per_leaf ||
+          right_n < options_.min_samples_per_leaf) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      const double gain =
+          left_sum * left_sum / (static_cast<double>(left_n) + options_.l2_lambda) +
+          right_sum * right_sum /
+              (static_cast<double>(right_n) + options_.l2_lambda) -
+          sum * sum / (static_cast<double>(n) + options_.l2_lambda);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = (sorted[i].first + sorted[i + 1].first) / 2.0;
+        best_sorted = sorted;
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  // Partition items by the winning split (stable via the sorted order).
+  size_t mid = begin;
+  {
+    std::vector<size_t> left_items, right_items;
+    for (const auto& [value, item] : best_sorted) {
+      (value <= best_threshold ? left_items : right_items).push_back(item);
+    }
+    std::copy(left_items.begin(), left_items.end(),
+              items.begin() + static_cast<long>(begin));
+    std::copy(right_items.begin(), right_items.end(),
+              items.begin() + static_cast<long>(begin + left_items.size()));
+    mid = begin + left_items.size();
+  }
+
+  tree[static_cast<size_t>(node_id)].feature = best_feature;
+  tree[static_cast<size_t>(node_id)].threshold = best_threshold;
+  const int left = BuildNode(tree, features, residuals, items, begin, mid,
+                             depth + 1);
+  const int right = BuildNode(tree, features, residuals, items, mid, end,
+                              depth + 1);
+  tree[static_cast<size_t>(node_id)].left = left;
+  tree[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+void GbdtRegressor::Fit(const std::vector<std::vector<double>>& features,
+                        const std::vector<double>& targets) {
+  CARDBENCH_CHECK(features.size() == targets.size() && !features.empty(),
+                  "bad GBDT training data");
+  trees_.clear();
+  double sum = 0.0;
+  for (double t : targets) sum += t;
+  base_prediction_ = sum / static_cast<double>(targets.size());
+
+  std::vector<double> predictions(targets.size(), base_prediction_);
+  std::vector<double> residuals(targets.size());
+  std::vector<size_t> items(targets.size());
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    for (size_t i = 0; i < targets.size(); ++i) {
+      residuals[i] = targets[i] - predictions[i];
+      items[i] = i;
+    }
+    Tree tree;
+    BuildNode(tree, features, residuals, items, 0, items.size(), 0);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      // Evaluate the freshly built tree.
+      int node = 0;
+      while (tree[static_cast<size_t>(node)].feature >= 0) {
+        const Node& nd = tree[static_cast<size_t>(node)];
+        node = features[i][static_cast<size_t>(nd.feature)] <= nd.threshold
+                   ? nd.left
+                   : nd.right;
+      }
+      predictions[i] +=
+          options_.learning_rate * tree[static_cast<size_t>(node)].value;
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GbdtRegressor::Predict(const std::vector<double>& features) const {
+  double out = base_prediction_;
+  for (const auto& tree : trees_) {
+    int node = 0;
+    while (tree[static_cast<size_t>(node)].feature >= 0) {
+      const Node& nd = tree[static_cast<size_t>(node)];
+      node = features[static_cast<size_t>(nd.feature)] <= nd.threshold
+                 ? nd.left
+                 : nd.right;
+    }
+    out += options_.learning_rate * tree[static_cast<size_t>(node)].value;
+  }
+  return out;
+}
+
+size_t GbdtRegressor::ModelBytes() const {
+  size_t nodes = 0;
+  for (const auto& tree : trees_) nodes += tree.size();
+  return nodes * sizeof(Node) + sizeof(*this);
+}
+
+}  // namespace cardbench

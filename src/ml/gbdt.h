@@ -1,0 +1,60 @@
+#ifndef CARDBENCH_ML_GBDT_H_
+#define CARDBENCH_ML_GBDT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cardbench {
+
+/// Training options for gradient-boosted regression trees (the model behind
+/// the LW-XGB estimator, Dutt et al. 2019).
+struct GbdtOptions {
+  size_t num_trees = 100;
+  size_t max_depth = 6;
+  size_t min_samples_per_leaf = 8;
+  double learning_rate = 0.1;
+  /// L2 regularization on leaf values (XGBoost's lambda).
+  double l2_lambda = 1.0;
+};
+
+/// Gradient boosted regression trees with squared-error objective, built
+/// from scratch: exact greedy splits over feature thresholds, depth-limited,
+/// shrinkage, L2-regularized leaf values.
+class GbdtRegressor {
+ public:
+  explicit GbdtRegressor(GbdtOptions options = GbdtOptions())
+      : options_(options) {}
+
+  /// Fits on features (n × d, row-major) and targets (n).
+  void Fit(const std::vector<std::vector<double>>& features,
+           const std::vector<double>& targets);
+
+  /// Predicts one example.
+  double Predict(const std::vector<double>& features) const;
+
+  size_t num_trees() const { return trees_.size(); }
+  size_t ModelBytes() const;
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 for leaf
+    double threshold = 0.0;  // go left if x[feature] <= threshold
+    double value = 0.0;      // leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+  using Tree = std::vector<Node>;
+
+  int BuildNode(Tree& tree, const std::vector<std::vector<double>>& features,
+                const std::vector<double>& residuals,
+                std::vector<size_t>& items, size_t begin, size_t end,
+                size_t depth);
+
+  GbdtOptions options_;
+  double base_prediction_ = 0.0;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_ML_GBDT_H_

@@ -1,0 +1,180 @@
+#include "ml/made.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cardbench {
+
+namespace {
+
+/// Builds the static Mlp shape {input, hidden..., input} — logits share the
+/// one-hot layout of the inputs.
+std::vector<size_t> MadeDims(size_t input_dim, size_t hidden_units,
+                             size_t hidden_layers) {
+  std::vector<size_t> dims = {input_dim};
+  for (size_t i = 0; i < hidden_layers; ++i) dims.push_back(hidden_units);
+  dims.push_back(input_dim);
+  return dims;
+}
+
+}  // namespace
+
+MadeModel::MadeModel(std::vector<size_t> domains, size_t hidden_units,
+                     size_t hidden_layers, Rng& rng)
+    : domains_(std::move(domains)),
+      net_({1, 1}, rng) /* replaced below */ {
+  offsets_.resize(domains_.size());
+  for (size_t i = 0; i < domains_.size(); ++i) {
+    offsets_[i] = input_dim_;
+    input_dim_ += domains_[i];
+  }
+  net_ = Mlp(MadeDims(input_dim_, hidden_units, hidden_layers), rng);
+
+  // --- Autoregressive masks (Germain et al. 2015). ---
+  const size_t d = domains_.size();
+  // Input unit degrees: all one-hot units of column i carry degree i+1.
+  std::vector<size_t> in_degree(input_dim_);
+  for (size_t col = 0; col < d; ++col) {
+    for (size_t k = 0; k < domains_[col]; ++k) {
+      in_degree[offsets_[col] + k] = col + 1;
+    }
+  }
+  // Hidden unit degrees cycle over 1..d-1 (for d == 1 all hidden units are
+  // disconnected and the single column is modeled by the output bias).
+  auto hidden_degree = [&](size_t unit) {
+    return d <= 1 ? size_t{0} : 1 + (unit % (d - 1));
+  };
+
+  std::vector<size_t> prev_degree = in_degree;
+  for (size_t layer = 0; layer < net_.num_layers(); ++layer) {
+    LinearLayer& lin = net_.layer(layer);
+    const bool is_output = layer + 1 == net_.num_layers();
+    Matrix mask(lin.out_dim(), lin.in_dim(), 0.0);
+    std::vector<size_t> out_degree(lin.out_dim());
+    if (is_output) {
+      // Output unit for column i has degree i+1; connects to hidden units
+      // with strictly smaller degree.
+      for (size_t col = 0; col < d; ++col) {
+        for (size_t k = 0; k < domains_[col]; ++k) {
+          out_degree[offsets_[col] + k] = col + 1;
+        }
+      }
+      for (size_t o = 0; o < lin.out_dim(); ++o) {
+        for (size_t i = 0; i < lin.in_dim(); ++i) {
+          if (prev_degree[i] < out_degree[o]) mask.At(o, i) = 1.0;
+        }
+      }
+    } else {
+      for (size_t o = 0; o < lin.out_dim(); ++o) out_degree[o] = hidden_degree(o);
+      for (size_t o = 0; o < lin.out_dim(); ++o) {
+        for (size_t i = 0; i < lin.in_dim(); ++i) {
+          if (out_degree[o] >= prev_degree[i] && out_degree[o] > 0) {
+            mask.At(o, i) = 1.0;
+          }
+        }
+      }
+    }
+    lin.SetMask(std::move(mask));
+    prev_degree = std::move(out_degree);
+  }
+}
+
+Matrix MadeModel::EncodePrefixes(
+    const std::vector<std::vector<uint16_t>>& prefixes,
+    size_t prefix_len) const {
+  Matrix x(prefixes.size(), input_dim_);
+  for (size_t r = 0; r < prefixes.size(); ++r) {
+    for (size_t col = 0; col < prefix_len && col < domains_.size(); ++col) {
+      x.At(r, offsets_[col] + prefixes[r][col]) = 1.0;
+    }
+  }
+  return x;
+}
+
+Matrix MadeModel::ConditionalProbs(const Matrix& encoded, size_t col) const {
+  Matrix logits = net_.Infer(encoded);
+  SoftmaxRows(logits, offsets_[col], offsets_[col] + domains_[col]);
+  Matrix probs(encoded.rows(), domains_[col]);
+  for (size_t r = 0; r < probs.rows(); ++r) {
+    for (size_t b = 0; b < domains_[col]; ++b) {
+      probs.At(r, b) = logits.At(r, offsets_[col] + b);
+    }
+  }
+  return probs;
+}
+
+double MadeModel::BatchStep(const std::vector<std::vector<uint16_t>>& rows,
+                            const std::vector<size_t>& index, size_t begin,
+                            size_t end, double lr, double mask_prob,
+                            Rng& rng) {
+  const size_t batch = end - begin;
+  Matrix x(batch, input_dim_);
+  for (size_t r = 0; r < batch; ++r) {
+    const auto& row = rows[index[begin + r]];
+    for (size_t col = 0; col < domains_.size(); ++col) {
+      if (mask_prob > 0.0 && rng.NextBool(mask_prob)) continue;  // wildcard
+      x.At(r, offsets_[col] + row[col]) = 1.0;
+    }
+  }
+  Matrix logits = net_.Forward(x);
+  // Per-column softmax cross-entropy: grad = softmax - onehot.
+  double nll = 0.0;
+  Matrix grad = logits;
+  for (size_t col = 0; col < domains_.size(); ++col) {
+    SoftmaxRows(grad, offsets_[col], offsets_[col] + domains_[col]);
+  }
+  for (size_t r = 0; r < batch; ++r) {
+    const auto& row = rows[index[begin + r]];
+    for (size_t col = 0; col < domains_.size(); ++col) {
+      const size_t target = offsets_[col] + row[col];
+      nll -= std::log(std::max(grad.At(r, target), 1e-12));
+      grad.At(r, target) -= 1.0;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(batch);
+  for (double& g : grad.data()) g *= inv;
+  net_.Backward(grad);
+  net_.Step(lr);
+  return nll / static_cast<double>(batch);
+}
+
+double MadeModel::TrainEpoch(const std::vector<std::vector<uint16_t>>& rows,
+                             size_t batch_size, double lr, Rng& rng,
+                             double mask_prob) {
+  CARDBENCH_CHECK(!rows.empty(), "empty training set");
+  const std::vector<size_t> index = rng.Permutation(rows.size());
+  double total = 0.0;
+  size_t batches = 0;
+  for (size_t begin = 0; begin < rows.size(); begin += batch_size) {
+    const size_t end = std::min(rows.size(), begin + batch_size);
+    total += BatchStep(rows, index, begin, end, lr, mask_prob, rng);
+    ++batches;
+  }
+  return total / static_cast<double>(std::max<size_t>(1, batches));
+}
+
+double MadeModel::EvalNll(const std::vector<std::vector<uint16_t>>& rows) {
+  if (rows.empty()) return 0.0;
+  Matrix x(rows.size(), input_dim_);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t col = 0; col < domains_.size(); ++col) {
+      x.At(r, offsets_[col] + rows[r][col]) = 1.0;
+    }
+  }
+  Matrix logits = net_.Infer(x);
+  for (size_t col = 0; col < domains_.size(); ++col) {
+    SoftmaxRows(logits, offsets_[col], offsets_[col] + domains_[col]);
+  }
+  double nll = 0.0;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t col = 0; col < domains_.size(); ++col) {
+      nll -= std::log(
+          std::max(logits.At(r, offsets_[col] + rows[r][col]), 1e-12));
+    }
+  }
+  return nll / static_cast<double>(rows.size());
+}
+
+}  // namespace cardbench

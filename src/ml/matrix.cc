@@ -1,0 +1,61 @@
+#include "ml/matrix.h"
+
+#include "common/logging.h"
+
+namespace cardbench {
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  CARDBENCH_CHECK(cols_ == other.rows(), "matmul shape mismatch");
+  Matrix out(rows_, other.cols());
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = Row(i);
+    double* o = out.Row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double av = a[k];
+      if (av == 0.0) continue;
+      const double* b = other.Row(k);
+      for (size_t j = 0; j < other.cols(); ++j) o[j] += av * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposed(const Matrix& other) const {
+  CARDBENCH_CHECK(cols_ == other.cols(), "matmulT shape mismatch");
+  Matrix out(rows_, other.rows());
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = Row(i);
+    double* o = out.Row(i);
+    for (size_t j = 0; j < other.rows(); ++j) {
+      const double* b = other.Row(j);
+      double acc = 0.0;
+      for (size_t k = 0; k < cols_; ++k) acc += a[k] * b[k];
+      o[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposedMatMul(const Matrix& other) const {
+  CARDBENCH_CHECK(rows_ == other.rows(), "Tmatmul shape mismatch");
+  Matrix out(cols_, other.cols());
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = Row(i);
+    const double* b = other.Row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double av = a[k];
+      if (av == 0.0) continue;
+      double* o = out.Row(k);
+      for (size_t j = 0; j < other.cols(); ++j) o[j] += av * b[j];
+    }
+  }
+  return out;
+}
+
+void Matrix::AddInPlace(const Matrix& other, double scale) {
+  CARDBENCH_CHECK(rows_ == other.rows() && cols_ == other.cols(),
+                  "add shape mismatch");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data()[i];
+}
+
+}  // namespace cardbench

@@ -1,0 +1,186 @@
+#include "ml/nn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cardbench {
+
+namespace {
+constexpr double kAdamBeta1 = 0.9;
+constexpr double kAdamBeta2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+}  // namespace
+
+LinearLayer::LinearLayer(size_t in_dim, size_t out_dim, Rng& rng)
+    : weight_(out_dim, in_dim),
+      bias_(out_dim, 0.0),
+      grad_weight_(out_dim, in_dim),
+      grad_bias_(out_dim, 0.0),
+      m_weight_(out_dim, in_dim),
+      v_weight_(out_dim, in_dim),
+      m_bias_(out_dim, 0.0),
+      v_bias_(out_dim, 0.0) {
+  // He initialization, appropriate for ReLU nets.
+  const double scale = std::sqrt(2.0 / static_cast<double>(in_dim));
+  for (double& w : weight_.data()) w = rng.NextGaussian() * scale;
+}
+
+void LinearLayer::SetMask(Matrix mask) {
+  CARDBENCH_CHECK(mask.rows() == weight_.rows() &&
+                      mask.cols() == weight_.cols(),
+                  "mask shape mismatch");
+  mask_ = std::move(mask);
+  ApplyMask();
+}
+
+void LinearLayer::ApplyMask() {
+  if (mask_.rows() == 0) return;
+  for (size_t i = 0; i < weight_.data().size(); ++i) {
+    weight_.data()[i] *= mask_.data()[i];
+  }
+}
+
+Matrix LinearLayer::Forward(const Matrix& x) const {
+  Matrix y = x.MatMulTransposed(weight_);
+  for (size_t r = 0; r < y.rows(); ++r) {
+    double* row = y.Row(r);
+    for (size_t c = 0; c < y.cols(); ++c) row[c] += bias_[c];
+  }
+  return y;
+}
+
+Matrix LinearLayer::Backward(const Matrix& x, const Matrix& grad_out) {
+  // dW = grad_out^T x ; db = column sums of grad_out ; dx = grad_out W.
+  grad_weight_.AddInPlace(grad_out.TransposedMatMul(x));
+  for (size_t r = 0; r < grad_out.rows(); ++r) {
+    const double* row = grad_out.Row(r);
+    for (size_t c = 0; c < grad_out.cols(); ++c) grad_bias_[c] += row[c];
+  }
+  return grad_out.MatMul(weight_);
+}
+
+void LinearLayer::Step(double lr) {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(kAdamBeta1, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(kAdamBeta2, static_cast<double>(step_));
+  for (size_t i = 0; i < weight_.data().size(); ++i) {
+    const double g = grad_weight_.data()[i];
+    double& m = m_weight_.data()[i];
+    double& v = v_weight_.data()[i];
+    m = kAdamBeta1 * m + (1 - kAdamBeta1) * g;
+    v = kAdamBeta2 * v + (1 - kAdamBeta2) * g * g;
+    weight_.data()[i] -= lr * (m / bc1) / (std::sqrt(v / bc2) + kAdamEps);
+    grad_weight_.data()[i] = 0.0;
+  }
+  for (size_t i = 0; i < bias_.size(); ++i) {
+    const double g = grad_bias_[i];
+    double& m = m_bias_[i];
+    double& v = v_bias_[i];
+    m = kAdamBeta1 * m + (1 - kAdamBeta1) * g;
+    v = kAdamBeta2 * v + (1 - kAdamBeta2) * g * g;
+    bias_[i] -= lr * (m / bc1) / (std::sqrt(v / bc2) + kAdamEps);
+    grad_bias_[i] = 0.0;
+  }
+  ApplyMask();
+}
+
+size_t LinearLayer::ParamBytes() const {
+  return (weight_.data().size() + bias_.size()) * sizeof(double);
+}
+
+Mlp::Mlp(const std::vector<size_t>& dims, Rng& rng) {
+  CARDBENCH_CHECK(dims.size() >= 2, "Mlp needs at least input and output dim");
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Matrix Mlp::Forward(const Matrix& x) {
+  inputs_.clear();
+  pre_act_.clear();
+  Matrix h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    inputs_.push_back(h);
+    Matrix z = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) {
+      pre_act_.push_back(z);
+      for (double& v : z.data()) v = std::max(0.0, v);
+    } else {
+      pre_act_.push_back(Matrix());
+    }
+    h = std::move(z);
+  }
+  return h;
+}
+
+Matrix Mlp::Infer(const Matrix& x) const {
+  Matrix h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    Matrix z = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) {
+      for (double& v : z.data()) v = std::max(0.0, v);
+    }
+    h = std::move(z);
+  }
+  return h;
+}
+
+Matrix Mlp::Backward(const Matrix& grad_out) {
+  CARDBENCH_CHECK(inputs_.size() == layers_.size(),
+                  "Backward without Forward");
+  Matrix grad = grad_out;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    if (i + 1 < layers_.size()) {
+      // Chain through the ReLU applied to this layer's output.
+      const Matrix& z = pre_act_[i];
+      for (size_t k = 0; k < grad.data().size(); ++k) {
+        if (z.data()[k] <= 0.0) grad.data()[k] = 0.0;
+      }
+    }
+    grad = layers_[i].Backward(inputs_[i], grad);
+  }
+  return grad;
+}
+
+void Mlp::Step(double lr) {
+  for (auto& layer : layers_) layer.Step(lr);
+}
+
+size_t Mlp::ParamBytes() const {
+  size_t total = 0;
+  for (const auto& layer : layers_) total += layer.ParamBytes();
+  return total;
+}
+
+void SoftmaxRows(Matrix& m, size_t begin, size_t end) {
+  for (size_t r = 0; r < m.rows(); ++r) {
+    double* row = m.Row(r);
+    double max_v = row[begin];
+    for (size_t c = begin; c < end; ++c) max_v = std::max(max_v, row[c]);
+    double sum = 0.0;
+    for (size_t c = begin; c < end; ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      sum += row[c];
+    }
+    for (size_t c = begin; c < end; ++c) row[c] /= sum;
+  }
+}
+
+double MseLoss(const Matrix& y, const std::vector<double>& target,
+               Matrix* grad) {
+  CARDBENCH_CHECK(y.cols() == 1 && y.rows() == target.size(),
+                  "MSE shape mismatch");
+  *grad = Matrix(y.rows(), 1);
+  double loss = 0.0;
+  const double n = static_cast<double>(y.rows());
+  for (size_t r = 0; r < y.rows(); ++r) {
+    const double diff = y.At(r, 0) - target[r];
+    loss += diff * diff;
+    grad->At(r, 0) = 2.0 * diff / n;
+  }
+  return loss / n;
+}
+
+}  // namespace cardbench

@@ -1,0 +1,55 @@
+#ifndef CARDBENCH_OPTIMIZER_COST_MODEL_H_
+#define CARDBENCH_OPTIMIZER_COST_MODEL_H_
+
+#include <cstddef>
+
+namespace cardbench {
+
+/// PostgreSQL-style cost model. Constants default to PostgreSQL 12's
+/// planner GUCs; formulas are simplified but keep the structure that makes
+/// cardinality estimates matter: per-tuple CPU charges, page I/O charges,
+/// a hash-join spill penalty beyond work_mem, sort costs for merge joins,
+/// and per-probe random-access charges for index nested loops. The same
+/// model serves as the PPC cost function of the P-Error metric (§7.2).
+struct CostModel {
+  double seq_page_cost = 1.0;
+  double random_page_cost = 4.0;
+  double cpu_tuple_cost = 0.01;
+  double cpu_index_tuple_cost = 0.005;
+  double cpu_operator_cost = 0.0025;
+  /// Tuples per 8KB page (row width ~64B).
+  double rows_per_page = 128.0;
+  /// Rows of the build side that fit in work_mem before hash join batches.
+  double hash_mem_rows = 1000000.0;
+
+  /// Pages occupied by `rows` tuples.
+  double Pages(double rows) const;
+
+  /// Full scan of a table of `table_rows` rows evaluating `num_predicates`
+  /// filter clauses per row.
+  double SeqScanCost(double table_rows, size_t num_predicates) const;
+
+  /// Index equality lookup returning `matched_rows`, then `num_residual`
+  /// filters per matched row.
+  double IndexScanCost(double matched_rows, size_t num_residual) const;
+
+  /// Hash join: build `inner_rows`, probe `outer_rows`, emit `output_rows`,
+  /// evaluating `num_extra` residual join clauses per emitted candidate.
+  double HashJoinCost(double outer_rows, double inner_rows,
+                      double output_rows, size_t num_extra) const;
+
+  /// Merge join with both inputs unsorted (we do not track sort orders):
+  /// two sorts plus a linear merge.
+  double MergeJoinCost(double outer_rows, double inner_rows,
+                       double output_rows, size_t num_extra) const;
+
+  /// Index nested loop: one index probe per outer row into the inner base
+  /// table, `inner_filters` residual predicates per matched inner row.
+  double IndexNestLoopCost(double outer_rows, double matched_per_probe,
+                           double output_rows, size_t inner_filters,
+                           size_t num_extra) const;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,273 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace cardbench {
+
+namespace {
+
+double ClampCard(double card) {
+  if (!std::isfinite(card) || card < 1.0) return 1.0;
+  return card;
+}
+
+}  // namespace
+
+double Optimizer::NdvOf(const std::string& table,
+                        const std::string& column) const {
+  const std::string key = table + "." + column;
+  auto it = ndv_cache_.find(key);
+  if (it != ndv_cache_.end()) return it->second;
+  const Table& t = db_.TableOrDie(table);
+  const double ndv = std::max<double>(
+      1.0, static_cast<double>(t.GetIndex(t.ColumnIndexOrDie(column)).num_distinct()));
+  ndv_cache_[key] = ndv;
+  return ndv;
+}
+
+Result<PlanResult> Optimizer::Plan(const Query& query,
+                                   CardinalityEstimator& estimator) const {
+  Stopwatch total_watch;
+  PlanResult result;
+
+  struct Entry {
+    std::unique_ptr<PlanNode> plan;
+    double cost = std::numeric_limits<double>::infinity();
+    double card = 1.0;
+  };
+  std::unordered_map<uint64_t, Entry> dp;
+
+  // --- Estimate every connected sub-plan (the sub-plan query space). ---
+  const std::vector<uint64_t> subsets = EnumerateConnectedSubsets(query);
+  for (uint64_t mask : subsets) {
+    Stopwatch est_watch;
+    const double est = estimator.EstimateCard(query.Induced(mask));
+    result.estimation_seconds += est_watch.ElapsedSeconds();
+    ++result.num_estimates;
+    result.injected_cards[mask] = ClampCard(est);
+  }
+
+  // --- Base relations: access-path selection. ---
+  for (size_t i = 0; i < query.tables.size(); ++i) {
+    const uint64_t mask = uint64_t{1} << i;
+    const std::string& table_name = query.tables[i];
+    const Table& table = db_.TableOrDie(table_name);
+    const double table_rows = static_cast<double>(table.num_rows());
+    const double out_card = result.injected_cards.at(mask);
+
+    std::vector<Predicate> filters;
+    for (const auto& pred : query.predicates) {
+      if (pred.table == table_name) filters.push_back(pred);
+    }
+
+    Entry entry;
+    // Sequential scan is always available.
+    {
+      auto scan = std::make_unique<PlanNode>();
+      scan->type = PlanNode::Type::kScan;
+      scan->table = table_name;
+      scan->scan_method = ScanMethod::kSeqScan;
+      scan->filters = filters;
+      scan->table_mask = mask;
+      scan->estimated_card = out_card;
+      scan->estimated_cost = cost_.SeqScanCost(table_rows, filters.size());
+      entry.cost = scan->estimated_cost;
+      entry.plan = std::move(scan);
+    }
+    // Index scan: leading equality predicate on an indexed (key) column.
+    for (size_t f = 0; f < filters.size(); ++f) {
+      if (filters[f].op != CompareOp::kEq) continue;
+      const Column& col = table.ColumnByName(filters[f].column);
+      if (col.kind() != ColumnKind::kKey) continue;
+      const double matched = table_rows / NdvOf(table_name, filters[f].column);
+      const double cost = cost_.IndexScanCost(matched, filters.size() - 1);
+      if (cost < entry.cost) {
+        auto scan = std::make_unique<PlanNode>();
+        scan->type = PlanNode::Type::kScan;
+        scan->table = table_name;
+        scan->scan_method = ScanMethod::kIndexScan;
+        scan->filters = filters;
+        std::swap(scan->filters[0], scan->filters[f]);
+        scan->table_mask = mask;
+        scan->estimated_card = out_card;
+        scan->estimated_cost = cost;
+        entry.cost = cost;
+        entry.plan = std::move(scan);
+      }
+    }
+    entry.card = out_card;
+    dp[mask] = std::move(entry);
+  }
+
+  // --- Join enumeration: DP over connected subsets in popcount order. ---
+  for (uint64_t mask : subsets) {
+    if (std::popcount(mask) < 2) continue;
+    Entry best;
+    // Enumerate ordered splits (outer, inner) of `mask`.
+    for (uint64_t outer = (mask - 1) & mask; outer != 0;
+         outer = (outer - 1) & mask) {
+      const uint64_t inner = mask ^ outer;
+      auto outer_it = dp.find(outer);
+      auto inner_it = dp.find(inner);
+      if (outer_it == dp.end() || inner_it == dp.end()) continue;
+
+      // Connecting edges between the two sides.
+      std::vector<JoinEdge> connecting;
+      for (const auto& edge : query.joins) {
+        const int li = query.TableIndex(edge.left_table);
+        const int ri = query.TableIndex(edge.right_table);
+        if (li < 0 || ri < 0) continue;
+        const uint64_t lb = uint64_t{1} << li;
+        const uint64_t rb = uint64_t{1} << ri;
+        if (((outer & lb) && (inner & rb)) || ((outer & rb) && (inner & lb))) {
+          connecting.push_back(edge);
+        }
+      }
+      if (connecting.empty()) continue;  // avoid cross products, like PG
+
+      const Entry& oe = outer_it->second;
+      const Entry& ie = inner_it->second;
+      const double out_card = result.injected_cards.at(mask);
+      const double child_cost = oe.cost + ie.cost;
+      const size_t num_extra = connecting.size() - 1;
+
+      auto consider = [&](JoinMethod method, double join_cost,
+                          const JoinEdge& primary) {
+        const double total = child_cost + join_cost;
+        if (total >= best.cost) return;
+        auto node = std::make_unique<PlanNode>();
+        node->type = PlanNode::Type::kJoin;
+        node->join_method = method;
+        node->edge = primary;
+        for (const auto& e : connecting) {
+          if (e.ToString() != primary.ToString()) node->extra_edges.push_back(e);
+        }
+        node->left = oe.plan->Clone();
+        node->right = ie.plan->Clone();
+        node->table_mask = mask;
+        node->estimated_card = out_card;
+        node->estimated_cost = total;
+        best.cost = total;
+        best.card = out_card;
+        best.plan = std::move(node);
+      };
+
+      consider(JoinMethod::kHashJoin,
+               cost_.HashJoinCost(oe.card, ie.card, out_card, num_extra),
+               connecting[0]);
+      consider(JoinMethod::kMergeJoin,
+               cost_.MergeJoinCost(oe.card, ie.card, out_card, num_extra),
+               connecting[0]);
+
+      // Index nested loop: inner side must be a single base table whose
+      // join-edge endpoint is an indexed key column.
+      if (std::popcount(inner) == 1 && ie.plan->IsScan() &&
+          ie.plan->scan_method == ScanMethod::kSeqScan) {
+        const std::string& inner_table = ie.plan->table;
+        for (const auto& edge : connecting) {
+          const bool inner_is_left = edge.left_table == inner_table;
+          const bool inner_is_right = edge.right_table == inner_table;
+          if (!inner_is_left && !inner_is_right) continue;
+          const std::string& inner_col =
+              inner_is_left ? edge.left_column : edge.right_column;
+          const Table& it_table = db_.TableOrDie(inner_table);
+          if (it_table.ColumnByName(inner_col).kind() != ColumnKind::kKey) {
+            continue;
+          }
+          const double matched_per_probe =
+              static_cast<double>(it_table.num_rows()) /
+              NdvOf(inner_table, inner_col);
+          // The inner scan's cost is not paid: probes replace the scan.
+          const double join_cost = cost_.IndexNestLoopCost(
+              oe.card, matched_per_probe, out_card, ie.plan->filters.size(),
+              num_extra);
+          const double total = oe.cost + join_cost;
+          if (total >= best.cost) continue;
+          auto node = std::make_unique<PlanNode>();
+          node->type = PlanNode::Type::kJoin;
+          node->join_method = JoinMethod::kIndexNestLoop;
+          node->edge = edge;
+          for (const auto& e : connecting) {
+            if (e.ToString() != edge.ToString()) node->extra_edges.push_back(e);
+          }
+          node->left = oe.plan->Clone();
+          node->right = ie.plan->Clone();
+          node->table_mask = mask;
+          node->estimated_card = out_card;
+          node->estimated_cost = total;
+          best.cost = total;
+          best.card = out_card;
+          best.plan = std::move(node);
+          break;
+        }
+      }
+    }
+    if (best.plan == nullptr) {
+      return Status::Internal("no join plan found for connected subset");
+    }
+    dp[mask] = std::move(best);
+  }
+
+  auto full_it = dp.find(query.FullMask());
+  if (full_it == dp.end() || full_it->second.plan == nullptr) {
+    return Status::Internal("planning failed for " + query.ToSql());
+  }
+  result.plan = std::move(full_it->second.plan);
+  result.planning_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+double Optimizer::RecostWithCards(
+    const PlanNode& plan, const Query& query,
+    const std::unordered_map<uint64_t, double>& cards) const {
+  auto card_of = [&](const PlanNode& node) {
+    auto it = cards.find(node.table_mask);
+    return ClampCard(it != cards.end() ? it->second : node.estimated_card);
+  };
+
+  if (plan.IsScan()) {
+    const Table& table = db_.TableOrDie(plan.table);
+    const double table_rows = static_cast<double>(table.num_rows());
+    if (plan.scan_method == ScanMethod::kIndexScan) {
+      const double matched = table_rows / NdvOf(plan.table, plan.filters[0].column);
+      return cost_.IndexScanCost(matched, plan.filters.size() - 1);
+    }
+    return cost_.SeqScanCost(table_rows, plan.filters.size());
+  }
+
+  const double left_cost = RecostWithCards(*plan.left, query, cards);
+  const double out_card = card_of(plan);
+  const double outer_card = card_of(*plan.left);
+  const size_t num_extra = plan.extra_edges.size();
+
+  if (plan.join_method == JoinMethod::kIndexNestLoop) {
+    const std::string& inner_table = plan.right->table;
+    const bool inner_is_left = plan.edge.left_table == inner_table;
+    const std::string& inner_col =
+        inner_is_left ? plan.edge.left_column : plan.edge.right_column;
+    const Table& it_table = db_.TableOrDie(inner_table);
+    const double matched_per_probe =
+        static_cast<double>(it_table.num_rows()) / NdvOf(inner_table, inner_col);
+    return left_cost + cost_.IndexNestLoopCost(outer_card, matched_per_probe,
+                                               out_card,
+                                               plan.right->filters.size(),
+                                               num_extra);
+  }
+
+  const double right_cost = RecostWithCards(*plan.right, query, cards);
+  const double inner_card = card_of(*plan.right);
+  if (plan.join_method == JoinMethod::kHashJoin) {
+    return left_cost + right_cost +
+           cost_.HashJoinCost(outer_card, inner_card, out_card, num_extra);
+  }
+  return left_cost + right_cost +
+         cost_.MergeJoinCost(outer_card, inner_card, out_card, num_extra);
+}
+
+}  // namespace cardbench

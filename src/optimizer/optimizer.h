@@ -1,0 +1,68 @@
+#ifndef CARDBENCH_OPTIMIZER_OPTIMIZER_H_
+#define CARDBENCH_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "cardest/estimator.h"
+#include "common/status.h"
+#include "exec/plan.h"
+#include "optimizer/cost_model.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+
+namespace cardbench {
+
+/// Output of planning one query.
+struct PlanResult {
+  std::unique_ptr<PlanNode> plan;
+  /// Total planning wall time (join enumeration + cardinality estimation),
+  /// the paper's "plan time".
+  double planning_seconds = 0.0;
+  /// Portion of planning_seconds spent inside EstimateCard calls (the
+  /// estimator's inference latency, §6.1).
+  double estimation_seconds = 0.0;
+  /// Number of sub-plan queries estimated.
+  size_t num_estimates = 0;
+  /// The injected cardinalities, keyed by table-subset bitmask. Used by the
+  /// Q-Error analysis without re-invoking the estimator.
+  std::unordered_map<uint64_t, double> injected_cards;
+};
+
+/// Cost-based query optimizer mirroring PostgreSQL's planner structure:
+/// dynamic programming over connected table subsets (join order), physical
+/// operator selection per join (hash / merge / index nested loop) and per
+/// scan (seq / index), with every sub-plan cardinality obtained from an
+/// injected CardinalityEstimator — the paper's evaluation mechanism (§4.2).
+class Optimizer {
+ public:
+  explicit Optimizer(const Database& db, CostModel cost_model = CostModel())
+      : db_(db), cost_(cost_model) {}
+
+  /// Plans `query` using cardinalities from `estimator`.
+  Result<PlanResult> Plan(const Query& query,
+                          CardinalityEstimator& estimator) const;
+
+  /// Re-costs an existing plan shape under a different set of sub-plan
+  /// cardinalities (bitmask-keyed). This is the PPC function of the P-Error
+  /// metric: PPC(P(C_E), C_T) re-costs the estimate-chosen plan with true
+  /// cardinalities. Masks absent from `cards` keep the plan's estimates.
+  double RecostWithCards(const PlanNode& plan, const Query& query,
+                         const std::unordered_map<uint64_t, double>& cards)
+      const;
+
+  const CostModel& cost_model() const { return cost_; }
+
+ private:
+  /// Distinct-value count of table.column, cached (PostgreSQL keeps the
+  /// same statistic in pg_stats; used for index-nested-loop costing).
+  double NdvOf(const std::string& table, const std::string& column) const;
+
+  const Database& db_;
+  CostModel cost_;
+  mutable std::unordered_map<std::string, double> ndv_cache_;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_OPTIMIZER_OPTIMIZER_H_

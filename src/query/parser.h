@@ -1,0 +1,30 @@
+#ifndef CARDBENCH_QUERY_PARSER_H_
+#define CARDBENCH_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+
+namespace cardbench {
+
+/// Parses the SQL dialect used by the benchmark workloads:
+///
+///   SELECT COUNT(*) FROM posts, comments
+///   WHERE posts.Id = comments.PostId AND posts.Score >= 3;
+///
+/// Only COUNT(*) select-project-join queries with conjunctive equi-joins and
+/// integer comparison predicates are accepted — exactly the canonical query
+/// class the paper evaluates (numeric/categorical predicates; no LIKE, no
+/// disjunction, no cyclic constructs beyond what the table list implies).
+Result<Query> ParseSql(const std::string& sql);
+
+/// Checks that every table/column referenced by `query` exists in `db`, that
+/// each join edge connects two distinct referenced tables, and that the join
+/// graph is connected. Returns the first violation.
+Status ValidateQuery(const Query& query, const Database& db);
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_QUERY_PARSER_H_

@@ -1,0 +1,94 @@
+#ifndef CARDBENCH_QUERY_PREDICATE_H_
+#define CARDBENCH_QUERY_PREDICATE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "storage/value.h"
+
+namespace cardbench {
+
+/// Comparison operator of a filter predicate. The paper's canonical query
+/// form is a conjunction of per-attribute constraint regions; we support
+/// the operators the STATS-CEB and JOB-LIGHT workloads use.
+enum class CompareOp : uint8_t {
+  kEq = 0,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// Text form of `op` ("=", "<>", "<", "<=", ">", ">=").
+std::string CompareOpName(CompareOp op);
+
+/// Applies `op` to a concrete value pair.
+inline bool EvalCompare(Value lhs, CompareOp op, Value rhs) {
+  switch (op) {
+    case CompareOp::kEq: return lhs == rhs;
+    case CompareOp::kNeq: return lhs != rhs;
+    case CompareOp::kLt: return lhs < rhs;
+    case CompareOp::kLe: return lhs <= rhs;
+    case CompareOp::kGt: return lhs > rhs;
+    case CompareOp::kGe: return lhs >= rhs;
+  }
+  return false;
+}
+
+/// One filter predicate "table.column op value". SQL semantics: NULL
+/// satisfies no predicate.
+struct Predicate {
+  std::string table;
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value value = 0;
+
+  /// "posts.Score >= 3" rendering.
+  std::string ToString() const {
+    return table + "." + column + " " + CompareOpName(op) + " " +
+           std::to_string(value);
+  }
+};
+
+/// Closed integer interval [lo, hi]; the canonical constraint region R_i of
+/// the paper for ordered attributes. A predicate conjunction on one column
+/// folds into one ValueRange (kNeq is approximated by the full range minus
+/// a point, which estimators treat as range minus an equality estimate).
+struct ValueRange {
+  Value lo = std::numeric_limits<Value>::min();
+  Value hi = std::numeric_limits<Value>::max();
+
+  bool Contains(Value v) const { return v >= lo && v <= hi; }
+  bool Empty() const { return lo > hi; }
+
+  /// Intersects with the region admitted by `op value`.
+  void Apply(CompareOp op, Value value) {
+    switch (op) {
+      case CompareOp::kEq:
+        lo = std::max(lo, value);
+        hi = std::min(hi, value);
+        break;
+      case CompareOp::kLt:
+        hi = std::min(hi, value - 1);
+        break;
+      case CompareOp::kLe:
+        hi = std::min(hi, value);
+        break;
+      case CompareOp::kGt:
+        lo = std::max(lo, value + 1);
+        break;
+      case CompareOp::kGe:
+        lo = std::max(lo, value);
+        break;
+      case CompareOp::kNeq:
+        // Not representable as a single interval; handled upstream.
+        break;
+    }
+  }
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_QUERY_PREDICATE_H_

@@ -1,0 +1,119 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/str_util.h"
+
+namespace cardbench {
+
+std::string CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNeq: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+int Query::TableIndex(const std::string& table) const {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i] == table) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Query Query::Induced(uint64_t mask) const {
+  Query sub;
+  sub.name = name;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (mask & (uint64_t{1} << i)) sub.tables.push_back(tables[i]);
+  }
+  auto inside = [&](const std::string& t) {
+    const int idx = TableIndex(t);
+    return idx >= 0 && (mask & (uint64_t{1} << idx)) != 0;
+  };
+  for (const auto& join : joins) {
+    if (inside(join.left_table) && inside(join.right_table)) {
+      sub.joins.push_back(join);
+    }
+  }
+  for (const auto& pred : predicates) {
+    if (inside(pred.table)) sub.predicates.push_back(pred);
+  }
+  return sub;
+}
+
+bool Query::IsConnected(uint64_t mask) const {
+  if (mask == 0) return false;
+  // BFS over join edges restricted to the mask.
+  const int start = std::countr_zero(mask);
+  uint64_t visited = uint64_t{1} << start;
+  uint64_t frontier = visited;
+  while (frontier != 0) {
+    uint64_t next = 0;
+    for (const auto& join : joins) {
+      const int li = TableIndex(join.left_table);
+      const int ri = TableIndex(join.right_table);
+      if (li < 0 || ri < 0) continue;
+      const uint64_t lb = uint64_t{1} << li;
+      const uint64_t rb = uint64_t{1} << ri;
+      if ((mask & lb) == 0 || (mask & rb) == 0) continue;
+      if ((frontier & lb) && !(visited & rb)) next |= rb;
+      if ((frontier & rb) && !(visited & lb)) next |= lb;
+    }
+    visited |= next;
+    frontier = next;
+  }
+  return visited == mask;
+}
+
+std::string Query::CanonicalKey() const {
+  std::vector<std::string> parts;
+  std::vector<std::string> sorted_tables = tables;
+  std::sort(sorted_tables.begin(), sorted_tables.end());
+  parts.push_back("T:" + Join(sorted_tables, ","));
+
+  std::vector<std::string> join_strs;
+  for (const auto& join : joins) {
+    // Normalize edge orientation lexicographically.
+    const std::string a = join.left_table + "." + join.left_column;
+    const std::string b = join.right_table + "." + join.right_column;
+    join_strs.push_back(a < b ? a + "=" + b : b + "=" + a);
+  }
+  std::sort(join_strs.begin(), join_strs.end());
+  parts.push_back("J:" + Join(join_strs, ","));
+
+  std::vector<std::string> pred_strs;
+  for (const auto& pred : predicates) pred_strs.push_back(pred.ToString());
+  std::sort(pred_strs.begin(), pred_strs.end());
+  parts.push_back("P:" + Join(pred_strs, ","));
+  return Join(parts, "|");
+}
+
+std::string Query::ToSql() const {
+  std::string sql = "SELECT COUNT(*) FROM " + Join(tables, ", ");
+  std::vector<std::string> conds;
+  for (const auto& join : joins) conds.push_back(join.ToString());
+  for (const auto& pred : predicates) conds.push_back(pred.ToString());
+  if (!conds.empty()) sql += " WHERE " + Join(conds, " AND ");
+  return sql + ";";
+}
+
+std::vector<uint64_t> EnumerateConnectedSubsets(const Query& query) {
+  std::vector<uint64_t> subsets;
+  const uint64_t full = query.FullMask();
+  for (uint64_t mask = 1; mask <= full; ++mask) {
+    if (query.IsConnected(mask)) subsets.push_back(mask);
+  }
+  std::stable_sort(subsets.begin(), subsets.end(),
+                   [](uint64_t a, uint64_t b) {
+                     return std::popcount(a) < std::popcount(b);
+                   });
+  return subsets;
+}
+
+}  // namespace cardbench

@@ -1,0 +1,81 @@
+#include "storage/catalog.h"
+
+#include "common/logging.h"
+
+namespace cardbench {
+
+Result<Table*> Database::AddTable(const std::string& table_name) {
+  if (tables_.count(table_name) > 0) {
+    return Status::AlreadyExists("table " + table_name + " already exists");
+  }
+  auto table = std::make_unique<Table>(table_name);
+  Table* ptr = table.get();
+  tables_[table_name] = std::move(table);
+  table_names_.push_back(table_name);
+  return ptr;
+}
+
+const Table* Database::FindTable(const std::string& table_name) const {
+  auto it = tables_.find(table_name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Database::FindTable(const std::string& table_name) {
+  auto it = tables_.find(table_name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table& Database::TableOrDie(const std::string& table_name) const {
+  const Table* t = FindTable(table_name);
+  CARDBENCH_CHECK(t != nullptr, "no table named %s", table_name.c_str());
+  return *t;
+}
+
+Table& Database::TableOrDie(const std::string& table_name) {
+  Table* t = FindTable(table_name);
+  CARDBENCH_CHECK(t != nullptr, "no table named %s", table_name.c_str());
+  return *t;
+}
+
+Status Database::AddJoinRelation(JoinRelation relation) {
+  const Table* lt = FindTable(relation.left_table);
+  const Table* rt = FindTable(relation.right_table);
+  if (lt == nullptr || rt == nullptr) {
+    return Status::NotFound("join relation references unknown table: " +
+                            relation.ToString());
+  }
+  if (!lt->FindColumn(relation.left_column).has_value() ||
+      !rt->FindColumn(relation.right_column).has_value()) {
+    return Status::NotFound("join relation references unknown column: " +
+                            relation.ToString());
+  }
+  relations_.push_back(std::move(relation));
+  return Status::OK();
+}
+
+std::vector<JoinRelation> Database::RelationsBetween(
+    const std::string& t1, const std::string& t2) const {
+  std::vector<JoinRelation> out;
+  for (const auto& rel : relations_) {
+    if (rel.left_table == t1 && rel.right_table == t2) {
+      out.push_back(rel);
+    } else if (rel.left_table == t2 && rel.right_table == t1) {
+      JoinRelation flipped;
+      flipped.left_table = rel.right_table;
+      flipped.left_column = rel.right_column;
+      flipped.right_table = rel.left_table;
+      flipped.right_column = rel.left_column;
+      flipped.kind = rel.kind;
+      out.push_back(flipped);
+    }
+  }
+  return out;
+}
+
+size_t Database::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->MemoryBytes();
+  return total;
+}
+
+}  // namespace cardbench

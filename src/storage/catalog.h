@@ -1,0 +1,88 @@
+#ifndef CARDBENCH_STORAGE_CATALOG_H_
+#define CARDBENCH_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace cardbench {
+
+/// Classification of a join relation in the schema. The paper distinguishes
+/// one-to-many primary-key/foreign-key joins from many-to-many
+/// foreign-key/foreign-key joins (STATS-CEB exercises both, JOB-LIGHT only
+/// PK-FK).
+enum class JoinKind : uint8_t {
+  kPkFk = 0,  ///< left side is unique (primary key), right side references it
+  kFkFk = 1,  ///< both sides are foreign keys into a shared domain
+};
+
+/// One edge of the schema join graph (Figure 1 of the paper): an
+/// equi-join-able column pair between two tables.
+struct JoinRelation {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+  JoinKind kind = JoinKind::kPkFk;
+
+  /// "t1.c1 = t2.c2" rendering for EXPLAIN output.
+  std::string ToString() const {
+    return left_table + "." + left_column + " = " + right_table + "." +
+           right_column;
+  }
+};
+
+/// The database: owns tables and the schema-level join relations between
+/// them. All components (workload generator, optimizer, estimators) share a
+/// const Database&.
+class Database {
+ public:
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Creates an empty table; returns a pointer for column/row population.
+  Result<Table*> AddTable(const std::string& table_name);
+
+  /// Table lookup; nullptr if absent.
+  const Table* FindTable(const std::string& table_name) const;
+  Table* FindTable(const std::string& table_name);
+
+  /// Table lookup that dies on absence (schema validated upfront).
+  const Table& TableOrDie(const std::string& table_name) const;
+  Table& TableOrDie(const std::string& table_name);
+
+  /// Registers a join relation; both endpoints must exist.
+  Status AddJoinRelation(JoinRelation relation);
+
+  /// All registered join relations (schema edges).
+  const std::vector<JoinRelation>& join_relations() const { return relations_; }
+
+  /// Join relations between two tables in either orientation. The returned
+  /// relations are normalized so that `left_table == t1`.
+  std::vector<JoinRelation> RelationsBetween(const std::string& t1,
+                                             const std::string& t2) const;
+
+  /// All table names in insertion order.
+  const std::vector<std::string>& table_names() const { return table_names_; }
+
+  size_t num_tables() const { return table_names_.size(); }
+
+  /// Sum of per-table memory footprints.
+  size_t MemoryBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> table_names_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<JoinRelation> relations_;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_STORAGE_CATALOG_H_

@@ -1,0 +1,21 @@
+#include "storage/column.h"
+
+namespace cardbench {
+
+size_t Column::null_count() const {
+  size_t n = 0;
+  for (uint8_t v : valid_) n += (v == 0);
+  return n;
+}
+
+std::string ColumnKindName(ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kNumeric: return "numeric";
+    case ColumnKind::kCategorical: return "categorical";
+    case ColumnKind::kKey: return "key";
+    case ColumnKind::kTimestamp: return "timestamp";
+  }
+  return "unknown";
+}
+
+}  // namespace cardbench

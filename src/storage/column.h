@@ -1,0 +1,72 @@
+#ifndef CARDBENCH_STORAGE_COLUMN_H_
+#define CARDBENCH_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace cardbench {
+
+/// A single nullable column of 64-bit values, stored densely.
+/// Columns are append-only; row deletion is handled at the table level by
+/// rebuilding (the paper's update experiment only inserts).
+class Column {
+ public:
+  Column(std::string name, ColumnKind kind)
+      : name_(std::move(name)), kind_(kind) {}
+
+  const std::string& name() const { return name_; }
+  ColumnKind kind() const { return kind_; }
+
+  size_t size() const { return values_.size(); }
+
+  /// Appends a non-NULL value.
+  void Append(Value v) {
+    values_.push_back(v);
+    valid_.push_back(1);
+  }
+
+  /// Appends a NULL.
+  void AppendNull() {
+    values_.push_back(0);
+    valid_.push_back(0);
+  }
+
+  /// Value at `row`; meaningful only when IsValid(row).
+  Value Get(size_t row) const { return values_[row]; }
+
+  /// False iff the value at `row` is NULL.
+  bool IsValid(size_t row) const { return valid_[row] != 0; }
+
+  /// Raw value vector (includes placeholder 0 at NULL positions). Exposed
+  /// for vectorized scans and statistics builders.
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Raw validity vector (1 = present, 0 = NULL).
+  const std::vector<uint8_t>& validity() const { return valid_; }
+
+  /// Number of NULL entries.
+  size_t null_count() const;
+
+  /// Approximate in-memory footprint in bytes.
+  size_t MemoryBytes() const {
+    return values_.size() * sizeof(Value) + valid_.size();
+  }
+
+  void Reserve(size_t n) {
+    values_.reserve(n);
+    valid_.reserve(n);
+  }
+
+ private:
+  std::string name_;
+  ColumnKind kind_;
+  std::vector<Value> values_;
+  std::vector<uint8_t> valid_;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_STORAGE_COLUMN_H_

@@ -1,0 +1,22 @@
+#ifndef CARDBENCH_STORAGE_CSV_H_
+#define CARDBENCH_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace cardbench {
+
+/// Writes `table` to a CSV file. First line is a header of
+/// "name:kind" fields; NULLs are empty fields. Intended for exporting the
+/// synthetic datasets so external tools can inspect them.
+Status WriteTableCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV produced by WriteTableCsv back into `table`, which must be
+/// freshly constructed (no columns). The header restores column kinds.
+Status ReadTableCsv(Table& table, const std::string& path);
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_STORAGE_CSV_H_

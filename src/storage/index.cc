@@ -1,0 +1,22 @@
+#include "storage/index.h"
+
+namespace cardbench {
+
+const std::vector<uint32_t> HashIndex::kEmpty;
+
+HashIndex::HashIndex(const Column& column) {
+  map_.reserve(column.size());
+  for (size_t row = 0; row < column.size(); ++row) {
+    if (!column.IsValid(row)) continue;
+    map_[column.Get(row)].push_back(static_cast<uint32_t>(row));
+    ++num_entries_;
+  }
+}
+
+const std::vector<uint32_t>& HashIndex::Lookup(Value v) const {
+  auto it = map_.find(v);
+  if (it == map_.end()) return kEmpty;
+  return it->second;
+}
+
+}  // namespace cardbench

@@ -1,0 +1,43 @@
+#ifndef CARDBENCH_STORAGE_INDEX_H_
+#define CARDBENCH_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace cardbench {
+
+/// Hash index from column value to the sorted list of row ids holding it.
+/// NULLs are not indexed (SQL equi-join semantics: NULL joins nothing).
+/// Used by index scans, index-nested-loop joins, wander-join sampling and
+/// fanout-column construction.
+class HashIndex {
+ public:
+  /// Builds the index over `column` in one pass.
+  explicit HashIndex(const Column& column);
+
+  /// Row ids whose value equals `v` (empty vector if none).
+  const std::vector<uint32_t>& Lookup(Value v) const;
+
+  /// Number of distinct indexed values.
+  size_t num_distinct() const { return map_.size(); }
+
+  /// Total indexed (non-NULL) entries.
+  size_t num_entries() const { return num_entries_; }
+
+  /// Iteration over (value, row ids) pairs, e.g. for degree statistics.
+  const std::unordered_map<Value, std::vector<uint32_t>>& entries() const {
+    return map_;
+  }
+
+ private:
+  std::unordered_map<Value, std::vector<uint32_t>> map_;
+  size_t num_entries_ = 0;
+  static const std::vector<uint32_t> kEmpty;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_STORAGE_INDEX_H_

@@ -1,0 +1,65 @@
+#ifndef CARDBENCH_STORAGE_STATS_H_
+#define CARDBENCH_STORAGE_STATS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/column.h"
+
+namespace cardbench {
+
+/// Summary statistics of one column, shared by the PostgreSQL-style
+/// estimator, the dataset-characterization bench (paper Table 1) and the
+/// data generators' self-checks.
+struct ColumnStats {
+  size_t row_count = 0;
+  size_t null_count = 0;
+  size_t num_distinct = 0;
+  Value min = 0;
+  Value max = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  /// Third standardized moment of the value distribution (numeric columns)
+  /// or of the per-value frequency distribution (categorical columns). The
+  /// paper's "average distribution skewness" (Table 1) averages |skewness|
+  /// over all filterable attributes.
+  double skewness = 0.0;
+};
+
+/// Computes full statistics over `column` in one pass (two for moments).
+ColumnStats ComputeColumnStats(const Column& column);
+
+/// Per-value frequencies of the non-NULL entries.
+std::unordered_map<Value, size_t> ValueFrequencies(const Column& column);
+
+/// Pearson correlation of two columns over rows where both are non-NULL.
+/// Returns 0 for degenerate (constant) columns.
+double PearsonCorrelation(const Column& a, const Column& b);
+
+/// Mean |pairwise Pearson correlation| over all pairs of filterable
+/// (numeric/categorical) attributes in each table of `db`, the paper's
+/// "average pairwise correlation" (Table 1).
+double AveragePairwiseCorrelation(const Database& db);
+
+/// Mean |skewness| over all filterable attributes in `db`, the paper's
+/// "average distribution skewness" (Table 1).
+double AverageDistributionSkewness(const Database& db);
+
+/// Total attribute domain size: sum over filterable attributes of the
+/// number of distinct values (Table 1's "total attribute domain size").
+size_t TotalAttributeDomainSize(const Database& db);
+
+/// Number of filterable (numeric or categorical, non-key, non-timestamp)
+/// attributes in `db`.
+size_t NumFilterableAttributes(const Database& db);
+
+/// Estimates the full-outer-join size of the whole schema by multiplying
+/// expected fanouts along a spanning tree of the join graph (exact
+/// computation is infeasible by design — the paper quotes 3e16 for STATS).
+double EstimateFullOuterJoinSize(const Database& db);
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_STORAGE_STATS_H_

@@ -1,0 +1,33 @@
+#ifndef CARDBENCH_STORAGE_VALUE_H_
+#define CARDBENCH_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cardbench {
+
+/// All attribute values in cardbench are 64-bit integers, mirroring the
+/// paper's scope: CardEst is evaluated on numerical and categorical
+/// attributes only ("LIKE" string predicates are explicitly out of scope),
+/// and categorical values "can be mapped to integers" (§2). Timestamps are
+/// integers (seconds since epoch). NULLs are tracked in a separate validity
+/// bitmap per column.
+using Value = int64_t;
+
+/// Logical attribute class. The distinction matters to estimators
+/// (categorical columns get per-value statistics, numeric columns get range
+/// histograms) and to the workload generator (categorical predicates are
+/// equality/IN, numeric predicates are ranges).
+enum class ColumnKind : uint8_t {
+  kNumeric = 0,      ///< ordered numeric attribute; range predicates apply
+  kCategorical = 1,  ///< unordered finite-domain attribute; =/IN predicates
+  kKey = 2,          ///< primary/foreign key; join predicates only
+  kTimestamp = 3,    ///< creation-date column; used for the update split
+};
+
+/// Human-readable name of a ColumnKind for EXPLAIN/debug output.
+std::string ColumnKindName(ColumnKind kind);
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_STORAGE_VALUE_H_

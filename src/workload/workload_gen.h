@@ -1,0 +1,81 @@
+#ifndef CARDBENCH_WORKLOAD_WORKLOAD_GEN_H_
+#define CARDBENCH_WORKLOAD_WORKLOAD_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "cardest/query_features.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "exec/true_card.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+
+namespace cardbench {
+
+/// A named benchmark query workload.
+struct Workload {
+  std::string name;
+  std::vector<Query> queries;
+};
+
+/// Knobs of the two-phase workload generation the paper describes (§3):
+/// first distinct acyclic join templates over the schema, then per-template
+/// filter predicates tuned to spread true cardinalities.
+struct WorkloadOptions {
+  size_t num_templates = 70;
+  size_t num_queries = 146;
+  size_t min_tables = 2;
+  size_t max_tables = 8;
+  size_t max_predicates = 16;
+  /// Whether FK-FK (many-to-many) join edges may appear (STATS-CEB: yes,
+  /// JOB-LIGHT: no).
+  bool allow_fk_fk = true;
+  /// Queries whose exact cardinality exceeds this are rejected (keeps the
+  /// end-to-end benches tractable at simulator scale).
+  double max_true_card = 2e8;
+  double min_true_card = 1.0;
+  /// Queries are also rejected when ANY connected sub-plan exceeds this:
+  /// the optimizer estimates (and the metrics score) the whole sub-plan
+  /// query space, and an unfiltered FK-FK sub-join can dwarf the final
+  /// result. 0 means 3x max_true_card.
+  double max_subplan_card = 0.0;
+  uint64_t seed = 2021;
+
+  /// Defaults mirroring STATS-CEB's shape (Table 2).
+  static WorkloadOptions StatsCeb();
+  /// Defaults mirroring JOB-LIGHT's shape (Table 2).
+  static WorkloadOptions JobLight();
+};
+
+/// Generates a benchmark workload on `db`: `num_templates` distinct join
+/// templates covering the configured join-size range, then queries with
+/// hand-shaped predicate counts and a wide true-cardinality spread (the
+/// exact counts are obtained from `truecard`, which also memoizes them for
+/// the benches). Deterministic in options.seed.
+Result<Workload> GenerateWorkload(const Database& db,
+                                  TrueCardService& truecard,
+                                  const std::string& name,
+                                  const WorkloadOptions& options);
+
+/// Uniformly random training workload for the query-driven estimators:
+/// 1–5 tables, 0–5 predicates, no hand-shaping — intentionally a different
+/// distribution than the test workloads (the workload-shift effect of O1).
+Result<std::vector<TrainingQuery>> GenerateTrainingQueries(
+    const Database& db, TrueCardService& truecard, size_t count,
+    uint64_t seed);
+
+/// One random acyclic join template with `num_tables` tables (exposed for
+/// tests). Join edges connect join-compatible column pairs; when
+/// `allow_fk_fk` is false only PK-FK edges are used.
+Result<Query> RandomJoinTemplate(const Database& db, Rng& rng,
+                                 size_t num_tables, bool allow_fk_fk);
+
+/// Appends `count` random predicates on the query's tables, with values
+/// drawn from the actual column distributions.
+void AddRandomPredicates(const Database& db, Rng& rng, size_t count,
+                         Query& query);
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_WORKLOAD_WORKLOAD_GEN_H_

@@ -1,0 +1,54 @@
+#include "workload/workload_io.h"
+
+#include <fstream>
+
+#include "common/str_util.h"
+#include "query/parser.h"
+
+namespace cardbench {
+
+Status WriteWorkloadSql(const Workload& workload, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "-- workload: " << workload.name << "\n";
+  for (const auto& query : workload.queries) {
+    out << "-- " << query.name << "\n" << query.ToSql() << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Workload> ReadWorkloadSql(const Database& db, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  Workload workload;
+  std::string line;
+  std::string pending_name;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (StartsWith(trimmed, "-- workload:")) {
+      workload.name = std::string(Trim(trimmed.substr(12)));
+      continue;
+    }
+    if (StartsWith(trimmed, "--")) {
+      pending_name = std::string(Trim(trimmed.substr(2)));
+      continue;
+    }
+    auto query = ParseSql(std::string(trimmed));
+    if (!query.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: ", path.c_str(), line_number) +
+          query.status().message());
+    }
+    CARDBENCH_RETURN_IF_ERROR(ValidateQuery(*query, db));
+    query->name = pending_name;
+    pending_name.clear();
+    workload.queries.push_back(std::move(*query));
+  }
+  return workload;
+}
+
+}  // namespace cardbench

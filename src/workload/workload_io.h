@@ -1,0 +1,27 @@
+#ifndef CARDBENCH_WORKLOAD_WORKLOAD_IO_H_
+#define CARDBENCH_WORKLOAD_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "workload/workload_gen.h"
+
+namespace cardbench {
+
+/// Writes `workload` as a SQL file, one query per line, preceded by a
+/// comment line with the query's name — the same interchange format the
+/// paper's artifact uses for STATS-CEB. Example:
+///
+///   -- STATS-CEB Q1
+///   SELECT COUNT(*) FROM posts, comments WHERE ...;
+Status WriteWorkloadSql(const Workload& workload, const std::string& path);
+
+/// Reads a workload back from WriteWorkloadSql's format, validating every
+/// query against `db`. Lines that are blank are skipped; a parse or
+/// validation failure aborts with the offending line number.
+Result<Workload> ReadWorkloadSql(const Database& db, const std::string& path);
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_WORKLOAD_WORKLOAD_IO_H_

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "cardest/binner.h"
+#include "common/rng.h"
+#include "cardest/extended_table.h"
+#include "datagen/stats_gen.h"
+
+namespace cardbench {
+namespace {
+
+Column MakeColumn(const std::vector<std::optional<Value>>& values) {
+  Column col("c", ColumnKind::kNumeric);
+  for (const auto& v : values) {
+    if (v.has_value()) {
+      col.Append(*v);
+    } else {
+      col.AppendNull();
+    }
+  }
+  return col;
+}
+
+TEST(BinnerTest, NullBinAndMasses) {
+  const Column col = MakeColumn({1, 2, 2, 3, std::nullopt, std::nullopt});
+  ColumnBinner binner(col, 4);
+  EXPECT_EQ(binner.BinOf(std::nullopt), 0);
+  EXPECT_NEAR(binner.BinMass(0), 2.0 / 6.0, 1e-12);
+  double total_mass = 0;
+  for (uint16_t b = 0; b < binner.num_bins(); ++b) {
+    total_mass += binner.BinMass(b);
+  }
+  EXPECT_NEAR(total_mass, 1.0, 1e-12);
+}
+
+TEST(BinnerTest, SelectivityMatchesExactCountForRanges) {
+  // Heavily skewed column; the binner's per-bin value counts make range
+  // selectivity exact regardless of bin boundaries.
+  std::vector<std::optional<Value>> values;
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.NextZipf(100, 1.3));
+  const Column col = MakeColumn(values);
+  ColumnBinner binner(col, 12);
+
+  for (const auto& [lo, hi] : std::vector<std::pair<Value, Value>>{
+           {0, 0}, {1, 5}, {3, 99}, {50, 80}}) {
+    size_t exact = 0;
+    for (const auto& v : values) exact += (*v >= lo && *v <= hi);
+    std::vector<Predicate> preds = {
+        {"t", "c", CompareOp::kGe, lo}, {"t", "c", CompareOp::kLe, hi}};
+    const auto fractions = binner.PredicateFractions(preds);
+    double sel = 0;
+    for (uint16_t b = 0; b < binner.num_bins(); ++b) {
+      sel += binner.BinMass(b) * fractions[b];
+    }
+    EXPECT_NEAR(sel * 5000.0, static_cast<double>(exact), 1e-6)
+        << "range [" << lo << "," << hi << "]";
+  }
+}
+
+TEST(BinnerTest, NeqSubtractsEqualityMass) {
+  const Column col = MakeColumn({1, 1, 1, 2, 3});
+  ColumnBinner binner(col, 4);
+  std::vector<Predicate> preds = {{"t", "c", CompareOp::kNeq, 1}};
+  const auto fractions = binner.PredicateFractions(preds);
+  double sel = 0;
+  for (uint16_t b = 0; b < binner.num_bins(); ++b) {
+    sel += binner.BinMass(b) * fractions[b];
+  }
+  EXPECT_NEAR(sel, 2.0 / 5.0, 1e-12);
+}
+
+TEST(BinnerTest, BinMeanIsExactPerBinAverage) {
+  const Column col = MakeColumn({10, 20, 30, 40});
+  ColumnBinner binner(col, 3);  // NULL bin + 2 value bins
+  // Equi-depth: bin1 = {10,20}, bin2 = {30,40}.
+  EXPECT_NEAR(binner.BinMean(1), 15.0, 1e-12);
+  EXPECT_NEAR(binner.BinMean(2), 35.0, 1e-12);
+}
+
+TEST(BinnerTest, BinOfClampsOutOfRangeValues) {
+  const Column col = MakeColumn({10, 20, 30});
+  ColumnBinner binner(col, 4);
+  EXPECT_EQ(binner.BinOf(10), binner.BinOf(5));     // below min -> first bin
+  EXPECT_EQ(binner.BinOf(30), binner.BinOf(1000));  // above max -> last bin
+}
+
+TEST(BinnerTest, RefreshTracksAppendedRows) {
+  Column col = MakeColumn({1, 2, 3, 4});
+  ColumnBinner binner(col, 3);
+  col.Append(4);
+  col.Append(4);
+  col.AppendNull();
+  binner.Refresh(col);
+  EXPECT_NEAR(binner.BinMass(0), 1.0 / 7.0, 1e-12);
+  std::vector<Predicate> preds = {{"t", "c", CompareOp::kEq, 4}};
+  const auto fractions = binner.PredicateFractions(preds);
+  double sel = 0;
+  for (uint16_t b = 0; b < binner.num_bins(); ++b) {
+    sel += binner.BinMass(b) * fractions[b];
+  }
+  EXPECT_NEAR(sel, 3.0 / 7.0, 1e-12);
+}
+
+TEST(ExtendedTableTest, JoinColumnGroupsOnStatsSchema) {
+  StatsGenConfig config;
+  config.scale = 0.02;
+  auto db = GenerateStatsDatabase(config);
+  const auto groups = JoinColumnGroups(*db);
+  ASSERT_EQ(groups.size(), 2u);  // users.Id domain, posts.Id domain
+  std::vector<size_t> sizes = {groups[0].size(), groups[1].size()};
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes[0], 7u);  // users.Id + 6 FK columns
+  EXPECT_EQ(sizes[1], 7u);  // posts.Id + 6 FK columns
+}
+
+TEST(ExtendedTableTest, FanoutValuesMatchIndexCounts) {
+  StatsGenConfig config;
+  config.scale = 0.02;
+  auto db = GenerateStatsDatabase(config);
+  ExtendedTable ext(*db, "users", 16);
+  const int idx = ext.FanoutIndex("Id", {"badges", "UserId"});
+  ASSERT_GE(idx, 0);
+  const Table& users = db->TableOrDie("users");
+  const Table& badges = db->TableOrDie("badges");
+  const HashIndex& index = badges.GetIndex(badges.ColumnIndexOrDie("UserId"));
+  // The binned fanout's per-bin mean, averaged with masses, must equal the
+  // true average badge count per user.
+  const auto factor = ext.FanoutMeanFactor(static_cast<size_t>(idx));
+  double avg_from_bins = 0;
+  const auto& binner = *ext.column(static_cast<size_t>(idx)).binner;
+  for (uint16_t b = 0; b < binner.num_bins(); ++b) {
+    avg_from_bins += binner.BinMass(b) * factor[b];
+  }
+  double true_avg = 0;
+  for (size_t row = 0; row < users.num_rows(); ++row) {
+    true_avg += static_cast<double>(
+        index.Lookup(users.column(0).Get(row)).size());
+  }
+  true_avg /= static_cast<double>(users.num_rows());
+  EXPECT_NEAR(avg_from_bins, true_avg, 1e-9);
+}
+
+TEST(ExtendedTableTest, AttrIndexAndDomains) {
+  StatsGenConfig config;
+  config.scale = 0.02;
+  auto db = GenerateStatsDatabase(config);
+  ExtendedTable ext(*db, "posts", 16);
+  EXPECT_GE(ext.AttrIndex("Score"), 0);
+  EXPECT_GE(ext.AttrIndex("PostTypeId"), 0);
+  EXPECT_EQ(ext.AttrIndex("Id"), -1);  // keys are not attributes
+  for (size_t domain : ext.BinDomains()) {
+    EXPECT_GE(domain, 2u);
+    EXPECT_LE(domain, 16u);
+  }
+  EXPECT_EQ(ext.num_rows(), db->TableOrDie("posts").num_rows());
+}
+
+TEST(ExtendedTableTest, RefreshAfterInsertReturnsNewRows) {
+  StatsGenConfig config;
+  config.scale = 0.02;
+  auto db = GenerateStatsDatabase(config);
+  ExtendedTable ext(*db, "tags", 16);
+  const size_t before = ext.num_rows();
+  Table& tags = db->TableOrDie("tags");
+  ASSERT_TRUE(
+      tags.AppendRow({static_cast<Value>(before + 1), 42, std::nullopt}).ok());
+  const auto new_rows = ext.RefreshAfterInsert(*db);
+  ASSERT_EQ(new_rows.size(), 1u);
+  EXPECT_EQ(new_rows[0], before);
+  EXPECT_EQ(ext.num_rows(), before + 1);
+}
+
+}  // namespace
+}  // namespace cardbench

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace cardbench {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, BoundedUniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.NextUint64(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(RngTest, NextInt64CoversInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInt64(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0, sum2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(17);
+  int first = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const int64_t v = rng.NextZipf(100, 1.2);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 100);
+    first += (v == 0);
+  }
+  // Rank 0 should hold far more than the uniform 1% share.
+  EXPECT_GT(first, n / 10);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniform) {
+  Rng rng(19);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(rng.NextZipf(10, 0.0))];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 40);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(23);
+  const auto perm = rng.Permutation(100);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng a(31);
+  Rng fork = a.Fork();
+  // Consuming the fork must not change the parent's future draws.
+  Rng b(31);
+  (void)b.Fork();
+  for (int i = 0; i < 1000; ++i) (void)fork.NextUint64();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(WeightedSamplerTest, MatchesWeights) {
+  Rng rng(37);
+  WeightedSampler sampler({1.0, 3.0, 6.0});
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(rng)];
+  EXPECT_NEAR(counts[0], n * 0.1, n * 0.02);
+  EXPECT_NEAR(counts[1], n * 0.3, n * 0.02);
+  EXPECT_NEAR(counts[2], n * 0.6, n * 0.02);
+}
+
+TEST(WeightedSamplerTest, ZeroWeightsDegradeToUniform) {
+  Rng rng(41);
+  WeightedSampler sampler({0.0, 0.0});
+  int zero = 0;
+  for (int i = 0; i < 10000; ++i) zero += (sampler.Sample(rng) == 0);
+  EXPECT_NEAR(zero, 5000, 500);
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StrUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StrUtilTest, TrimStripsWhitespace) {
+  EXPECT_EQ(Trim("  x y\t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StrUtilTest, JoinConcatenates) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StrUtilTest, FormatDurationPicksUnits) {
+  EXPECT_EQ(FormatDuration(7200.0), "2.00h");
+  EXPECT_EQ(FormatDuration(25.0), "25.00s");
+  EXPECT_EQ(FormatDuration(0.004), "4.00ms");
+}
+
+TEST(StrUtilTest, FormatCountLargeValuesUseScientific) {
+  EXPECT_EQ(FormatCount(146.0), "146");
+  EXPECT_EQ(FormatCount(2e10), "2.0e10");
+}
+
+}  // namespace
+}  // namespace cardbench

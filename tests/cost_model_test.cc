@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/cost_model.h"
+
+namespace cardbench {
+namespace {
+
+TEST(CostModelTest, PagesRoundUpAndFloorAtOne) {
+  CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.Pages(0), 1.0);
+  EXPECT_DOUBLE_EQ(cost.Pages(1), 1.0);
+  EXPECT_DOUBLE_EQ(cost.Pages(cost.rows_per_page), 1.0);
+  EXPECT_DOUBLE_EQ(cost.Pages(cost.rows_per_page + 1), 2.0);
+}
+
+TEST(CostModelTest, SeqScanGrowsLinearlyWithRowsAndPredicates) {
+  CostModel cost;
+  const double base = cost.SeqScanCost(1000, 0);
+  EXPECT_GT(cost.SeqScanCost(2000, 0), base);
+  EXPECT_GT(cost.SeqScanCost(1000, 3), base);
+  // Roughly linear in rows.
+  EXPECT_NEAR(cost.SeqScanCost(2000, 0) / base, 2.0, 0.2);
+}
+
+TEST(CostModelTest, IndexScanBeatsSeqScanForSelectiveLookups) {
+  CostModel cost;
+  // 1 match out of 100k rows: the index must win by a wide margin.
+  EXPECT_LT(cost.IndexScanCost(1, 0) * 50, cost.SeqScanCost(100000, 1));
+  // Matching everything: in-memory, a full index sweep and a seq scan are
+  // the same order of magnitude (no random-page penalty), but the index
+  // path must not look cheaper than the plain scan.
+  EXPECT_GT(cost.IndexScanCost(100000, 0), cost.SeqScanCost(100000, 1) * 0.5);
+}
+
+TEST(CostModelTest, HashJoinDegradesGentlyBeyondCacheSize) {
+  CostModel cost;
+  const double fits =
+      cost.HashJoinCost(1000, cost.hash_mem_rows * 0.9, 1000, 0);
+  const double degraded =
+      cost.HashJoinCost(1000, cost.hash_mem_rows * 10.0, 1000, 0);
+  // Degradation beyond the linear build growth, but a factor — not a
+  // disk-spill cliff (the executor is in-memory).
+  EXPECT_GT(degraded, fits * 10.0);       // linear part alone would be ~10x
+  EXPECT_LT(degraded, fits * 10.0 * 3.0);  // bounded degradation
+}
+
+TEST(CostModelTest, HashJoinStaysPreferredOverMergeInMemory) {
+  // With an in-memory executor the sort always costs more than the hash
+  // build, so merge join is a rare choice — matching the executor, where
+  // std::sort of the join keys is the slower path.
+  CostModel cost;
+  for (double n : {1e4, 1e6, 2e7}) {
+    EXPECT_LT(cost.HashJoinCost(n, n, n, 0), cost.MergeJoinCost(n, n, n, 0))
+        << n;
+  }
+}
+
+TEST(CostModelTest, IndexNestLoopWinsForTinyOuter) {
+  CostModel cost;
+  // 10 probes into a huge table vs building a huge hash table.
+  const double inl = cost.IndexNestLoopCost(10, 3.0, 30, 0, 0);
+  const double hash = cost.HashJoinCost(10, 1000000, 30, 0);
+  EXPECT_LT(inl, hash);
+  // But for a huge outer, probing per row loses to one hash build.
+  const double inl_big = cost.IndexNestLoopCost(1000000, 3.0, 3000000, 0, 0);
+  const double hash_big = cost.HashJoinCost(1000000, 50000, 3000000, 0);
+  EXPECT_GT(inl_big, hash_big);
+}
+
+TEST(CostModelTest, ExtraJoinClausesAddCost) {
+  CostModel cost;
+  EXPECT_GT(cost.HashJoinCost(1000, 1000, 5000, 2),
+            cost.HashJoinCost(1000, 1000, 5000, 0));
+  EXPECT_GT(cost.MergeJoinCost(1000, 1000, 5000, 2),
+            cost.MergeJoinCost(1000, 1000, 5000, 0));
+}
+
+TEST(CostModelTest, OutputCardinalityMattersToEveryJoin) {
+  // The property the whole benchmark rests on: estimated output size moves
+  // every join cost, so cardinality errors can flip operator choices.
+  CostModel cost;
+  for (double out : {1.0, 1e4, 1e7}) {
+    EXPECT_LT(cost.HashJoinCost(1000, 1000, out, 0),
+              cost.HashJoinCost(1000, 1000, out * 10, 0));
+    EXPECT_LT(cost.MergeJoinCost(1000, 1000, out, 0),
+              cost.MergeJoinCost(1000, 1000, out * 10, 0));
+    EXPECT_LT(cost.IndexNestLoopCost(1000, 2.0, out, 0, 0),
+              cost.IndexNestLoopCost(1000, 2.0, out * 10, 0, 0));
+  }
+}
+
+}  // namespace
+}  // namespace cardbench

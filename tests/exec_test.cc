@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "datagen/stats_gen.h"
+#include "exec/executor.h"
+#include "exec/true_card.h"
+#include "query/parser.h"
+
+namespace cardbench {
+namespace {
+
+/// Reference COUNT(*) evaluator: recursive nested loops over filtered rows,
+/// no indexes, no hashing. Exponential but exact — used as ground truth for
+/// the executor on tiny data.
+uint64_t BruteForceCount(const Database& db, const Query& q) {
+  std::vector<const Table*> tables;
+  for (const auto& name : q.tables) tables.push_back(db.FindTable(name));
+
+  std::vector<size_t> rows(q.tables.size());
+  uint64_t count = 0;
+  std::function<void(size_t)> recurse = [&](size_t t) {
+    if (t == q.tables.size()) {
+      ++count;
+      return;
+    }
+    const Table& table = *tables[t];
+    for (size_t row = 0; row < table.num_rows(); ++row) {
+      bool pass = true;
+      for (const auto& pred : q.predicates) {
+        if (pred.table != q.tables[t]) continue;
+        const Column& col = table.ColumnByName(pred.column);
+        if (!col.IsValid(row) ||
+            !EvalCompare(col.Get(row), pred.op, pred.value)) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      rows[t] = row;
+      // Check join edges whose both endpoints are bound.
+      for (const auto& edge : q.joins) {
+        const int li = q.TableIndex(edge.left_table);
+        const int ri = q.TableIndex(edge.right_table);
+        if (static_cast<size_t>(std::max(li, ri)) != t) continue;
+        const int other = static_cast<size_t>(li) == t ? ri : li;
+        const Column& lcol =
+            tables[static_cast<size_t>(li)]->ColumnByName(edge.left_column);
+        const Column& rcol =
+            tables[static_cast<size_t>(ri)]->ColumnByName(edge.right_column);
+        const size_t lrow = rows[static_cast<size_t>(li)];
+        const size_t rrow = rows[static_cast<size_t>(ri)];
+        (void)other;
+        if (!lcol.IsValid(lrow) || !rcol.IsValid(rrow) ||
+            lcol.Get(lrow) != rcol.Get(rrow)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) recurse(t + 1);
+    }
+  };
+  recurse(0);
+  return count;
+}
+
+class ExecTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StatsGenConfig config;
+    config.scale = 0.01;  // tiny: brute force must stay feasible
+    db_ = GenerateStatsDatabase(config).release();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Query Parse(const std::string& sql) {
+    auto q = ParseSql(sql);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+
+  static Database* db_;
+};
+
+Database* ExecTest::db_ = nullptr;
+
+TEST_F(ExecTest, SingleTableScanMatchesBruteForce) {
+  const Query q =
+      Parse("SELECT COUNT(*) FROM users WHERE users.Reputation >= 50;");
+  TrueCardService svc(*db_);
+  auto plan = svc.BuildCountingPlan(q);
+  Executor exec(*db_);
+  auto result = exec.ExecuteCount(*plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, BruteForceCount(*db_, q));
+}
+
+TEST_F(ExecTest, NullsNeverSatisfyPredicates) {
+  // FavoriteCount is NULL for most posts; both <= and > exclude NULLs, so
+  // the two counts must sum to the non-NULL count, not the table size.
+  const Query le =
+      Parse("SELECT COUNT(*) FROM posts WHERE posts.FavoriteCount <= 7;");
+  const Query gt =
+      Parse("SELECT COUNT(*) FROM posts WHERE posts.FavoriteCount > 7;");
+  TrueCardService svc(*db_);
+  const double non_null = static_cast<double>(
+      db_->TableOrDie("posts").num_rows() -
+      db_->TableOrDie("posts").ColumnByName("FavoriteCount").null_count());
+  auto a = svc.Card(le);
+  auto b = svc.Card(gt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(*a + *b, non_null);
+  EXPECT_LT(*a + *b, static_cast<double>(db_->TableOrDie("posts").num_rows()));
+}
+
+TEST_F(ExecTest, TwoWayJoinMatchesBruteForce) {
+  const Query q = Parse(
+      "SELECT COUNT(*) FROM users, badges WHERE users.Id = badges.UserId AND "
+      "users.Reputation >= 20;");
+  TrueCardService svc(*db_);
+  auto card = svc.Card(q);
+  ASSERT_TRUE(card.ok());
+  EXPECT_EQ(static_cast<uint64_t>(*card), BruteForceCount(*db_, q));
+}
+
+TEST_F(ExecTest, ThreeWayChainJoinMatchesBruteForce) {
+  const Query q = Parse(
+      "SELECT COUNT(*) FROM users, posts, comments WHERE users.Id = "
+      "posts.OwnerUserId AND posts.Id = comments.PostId AND posts.Score >= 4 "
+      "AND users.Views >= 2 AND comments.Score >= 1;");
+  TrueCardService svc(*db_);
+  auto card = svc.Card(q);
+  ASSERT_TRUE(card.ok());
+  EXPECT_EQ(static_cast<uint64_t>(*card), BruteForceCount(*db_, q));
+}
+
+TEST_F(ExecTest, ParallelEdgesBecomeExtraJoinFilters) {
+  // Two join conditions between the same pair of tables: the second edge
+  // is evaluated as a post-join filter by every join algorithm.
+  const Query q = Parse(
+      "SELECT COUNT(*) FROM users, posts WHERE users.Id = posts.OwnerUserId "
+      "AND users.Id = posts.LastEditorUserId;");
+  TrueCardService svc(*db_);
+  auto plan = svc.BuildCountingPlan(q);
+  ASSERT_FALSE(plan->IsScan());
+  ASSERT_EQ(plan->extra_edges.size(), 1u);
+  const uint64_t expected = BruteForceCount(*db_, q);
+  for (JoinMethod method : {JoinMethod::kHashJoin, JoinMethod::kMergeJoin,
+                            JoinMethod::kIndexNestLoop}) {
+    plan->join_method = method;
+    auto result = Executor(*db_).ExecuteCount(*plan);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->count, expected) << JoinMethodName(method);
+  }
+}
+
+TEST_F(ExecTest, FkFkJoinMatchesBruteForce) {
+  // Many-to-many join of two fact tables on a shared FK domain.
+  const Query q = Parse(
+      "SELECT COUNT(*) FROM comments, badges WHERE comments.UserId = "
+      "badges.UserId AND comments.Score >= 2;");
+  TrueCardService svc(*db_);
+  auto card = svc.Card(q);
+  ASSERT_TRUE(card.ok());
+  EXPECT_EQ(static_cast<uint64_t>(*card), BruteForceCount(*db_, q));
+}
+
+// All three physical join algorithms must produce identical counts.
+class JoinMethodTest : public ExecTest,
+                       public ::testing::WithParamInterface<JoinMethod> {};
+
+TEST_P(JoinMethodTest, AgreesWithHashJoinReference) {
+  const Query q = Parse(
+      "SELECT COUNT(*) FROM users, comments WHERE users.Id = comments.UserId "
+      "AND comments.Score >= 1;");
+  TrueCardService svc(*db_);
+  auto plan = svc.BuildCountingPlan(q);
+  ASSERT_FALSE(plan->IsScan());
+  auto reference = Executor(*db_).ExecuteCount(*plan);
+  ASSERT_TRUE(reference.ok());
+
+  // The greedy counting plan keeps the inner side a base-table scan, which
+  // is what index nested loop requires; the executor builds the inner-side
+  // index on the join column on demand.
+  plan->join_method = GetParam();
+  auto result = Executor(*db_).ExecuteCount(*plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->count, reference->count);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, JoinMethodTest,
+                         ::testing::Values(JoinMethod::kHashJoin,
+                                           JoinMethod::kMergeJoin,
+                                           JoinMethod::kIndexNestLoop));
+
+TEST_F(ExecTest, MaterializeMatchesCount) {
+  const Query q = Parse(
+      "SELECT COUNT(*) FROM users, badges WHERE users.Id = badges.UserId AND "
+      "badges.Date >= 100000;");
+  TrueCardService svc(*db_);
+  auto plan = svc.BuildCountingPlan(q);
+  Executor exec(*db_);
+  auto count = exec.ExecuteCount(*plan);
+  auto tuples = exec.Materialize(*plan);
+  ASSERT_TRUE(count.ok());
+  ASSERT_TRUE(tuples.ok()) << tuples.status().ToString();
+  EXPECT_EQ(tuples->size(), count->count);
+  EXPECT_EQ(tuples->arity(), 2u);
+}
+
+TEST_F(ExecTest, TimeoutReportsTimedOut) {
+  ExecLimits limits;
+  limits.timeout_seconds = 0.0;  // expire immediately
+  const Query q = Parse(
+      "SELECT COUNT(*) FROM users, comments WHERE users.Id = "
+      "comments.UserId;");
+  TrueCardService svc(*db_);
+  auto plan = svc.BuildCountingPlan(q);
+  Executor exec(*db_, limits);
+  auto result = exec.ExecuteCount(*plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->timed_out);
+}
+
+TEST_F(ExecTest, IntermediateCapReportsTimedOut) {
+  ExecLimits limits;
+  limits.max_intermediate_tuples = 4;
+  const Query q = Parse(
+      "SELECT COUNT(*) FROM users, posts, comments WHERE users.Id = "
+      "posts.OwnerUserId AND posts.Id = comments.PostId;");
+  TrueCardService svc(*db_);
+  auto plan = svc.BuildCountingPlan(q);
+  Executor exec(*db_, limits);
+  auto result = exec.ExecuteCount(*plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->timed_out);
+}
+
+TEST_F(ExecTest, TrueCardServiceCachesResults) {
+  const Query q =
+      Parse("SELECT COUNT(*) FROM users WHERE users.Reputation >= 10;");
+  TrueCardService svc(*db_);
+  ASSERT_TRUE(svc.Card(q).ok());
+  const size_t size_after_first = svc.cache_size();
+  ASSERT_TRUE(svc.Card(q).ok());
+  EXPECT_EQ(svc.cache_size(), size_after_first);
+}
+
+TEST_F(ExecTest, AllSubplanCardsCoversConnectedSubsets) {
+  const Query q = Parse(
+      "SELECT COUNT(*) FROM users, posts, comments WHERE users.Id = "
+      "posts.OwnerUserId AND posts.Id = comments.PostId;");
+  TrueCardService svc(*db_);
+  auto cards = svc.AllSubplanCards(q);
+  ASSERT_TRUE(cards.ok());
+  EXPECT_EQ(cards->size(), EnumerateConnectedSubsets(q).size());
+  // Monotonicity sanity: the filtered base card of `users` is bounded by
+  // the table size.
+  EXPECT_LE(cards->at(1),
+            static_cast<double>(db_->TableOrDie("users").num_rows()));
+}
+
+TEST_F(ExecTest, CacheRoundTripsThroughDisk) {
+  const Query q =
+      Parse("SELECT COUNT(*) FROM badges WHERE badges.Date >= 500;");
+  TrueCardService svc(*db_);
+  auto card = svc.Card(q);
+  ASSERT_TRUE(card.ok());
+  const std::string path = ::testing::TempDir() + "/true_card_cache.tsv";
+  ASSERT_TRUE(svc.SaveCache(path).ok());
+  TrueCardService svc2(*db_);
+  ASSERT_TRUE(svc2.LoadCache(path).ok());
+  EXPECT_EQ(svc2.cache_size(), svc.cache_size());
+  auto card2 = svc2.Card(q);
+  ASSERT_TRUE(card2.ok());
+  EXPECT_DOUBLE_EQ(*card2, *card);
+}
+
+}  // namespace
+}  // namespace cardbench

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "datagen/stats_gen.h"
+#include "exec/executor.h"
+#include "exec/true_card.h"
+#include "query/parser.h"
+
+namespace cardbench {
+namespace {
+
+TEST(ExplainAnalyzeTest, CollectsActualRowsPerNode) {
+  StatsGenConfig config;
+  config.scale = 0.02;
+  auto db = GenerateStatsDatabase(config);
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM users, posts, comments WHERE users.Id = "
+      "posts.OwnerUserId AND posts.Id = comments.PostId AND posts.Score >= "
+      "3;");
+  ASSERT_TRUE(q.ok());
+  TrueCardService svc(*db);
+  auto plan = svc.BuildCountingPlan(*q);
+
+  Executor executor(*db);
+  auto result = executor.ExecuteCount(*plan, /*analyze=*/true);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->timed_out);
+
+  // The root's actual equals the final count.
+  ASSERT_TRUE(result->actual_rows.count(plan->table_mask) > 0);
+  EXPECT_DOUBLE_EQ(result->actual_rows.at(plan->table_mask),
+                   static_cast<double>(result->count));
+
+  // Every materialized node's actual equals that sub-plan's exact count.
+  for (const auto& [mask, rows] : result->actual_rows) {
+    auto truth = svc.Card(q->Induced(mask));
+    ASSERT_TRUE(truth.ok());
+    EXPECT_DOUBLE_EQ(rows, *truth) << "mask " << mask;
+  }
+
+  // The rendering shows estimate and actual side by side.
+  const std::string text = plan->ExplainAnalyze(result->actual_rows);
+  EXPECT_NE(text.find("actual="), std::string::npos);
+  EXPECT_EQ(text.find("actual=?"), std::string::npos);
+}
+
+TEST(ExplainAnalyzeTest, WithoutAnalyzeNoRowsAreCollected) {
+  StatsGenConfig config;
+  config.scale = 0.02;
+  auto db = GenerateStatsDatabase(config);
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM users, badges WHERE users.Id = badges.UserId;");
+  ASSERT_TRUE(q.ok());
+  TrueCardService svc(*db);
+  auto plan = svc.BuildCountingPlan(*q);
+  auto result = Executor(*db).ExecuteCount(*plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->actual_rows.empty());
+}
+
+}  // namespace
+}  // namespace cardbench

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+
+namespace cardbench {
+namespace {
+
+TEST(QErrorTest, SymmetricAndClampedAtOne) {
+  EXPECT_DOUBLE_EQ(QError(10, 100), 10.0);
+  EXPECT_DOUBLE_EQ(QError(100, 10), 10.0);
+  EXPECT_DOUBLE_EQ(QError(50, 50), 1.0);
+  // Sub-row values clamp to 1 (the paper's convention).
+  EXPECT_DOUBLE_EQ(QError(0.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(QError(0.1, 10), 10.0);
+}
+
+TEST(PercentilesTest, NearestRankOnKnownData) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(i);
+  const Percentiles p = ComputePercentiles(values);
+  EXPECT_DOUBLE_EQ(p.p50, 51);
+  EXPECT_DOUBLE_EQ(p.p90, 91);
+  EXPECT_DOUBLE_EQ(p.p99, 100);
+  EXPECT_DOUBLE_EQ(p.max, 100);
+}
+
+TEST(PercentilesTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(ComputePercentiles({}).p50, 0.0);
+  const Percentiles p = ComputePercentiles({7.0});
+  EXPECT_DOUBLE_EQ(p.p50, 7.0);
+  EXPECT_DOUBLE_EQ(p.p99, 7.0);
+}
+
+TEST(PercentilesTest, UnsortedInputHandled) {
+  const Percentiles p = ComputePercentiles({5, 1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(p.p50, 3);
+  EXPECT_DOUBLE_EQ(p.max, 5);
+}
+
+TEST(CorrelationTest, PerfectLinearRelationship) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelationOf(x, y), 1.0, 1e-12);
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelationOf(x, neg), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, DegenerateInputsReturnZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelationOf({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelationOf({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelationOf({}, {}), 0.0);
+}
+
+TEST(CorrelationTest, SpearmanCapturesMonotoneNonlinear) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 30; ++i) {
+    x.push_back(i);
+    y.push_back(i * i * i);  // monotone but nonlinear
+  }
+  EXPECT_NEAR(SpearmanCorrelationOf(x, y), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelationOf(x, y), 1.0);
+}
+
+TEST(CorrelationTest, SpearmanHandlesTies) {
+  std::vector<double> x = {1, 2, 2, 3};
+  std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(SpearmanCorrelationOf(x, y), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cardbench

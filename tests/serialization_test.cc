@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "cardest/bayescard_est.h"
+#include "cardest/binner.h"
+#include "cardest/noisy_oracle_est.h"
+#include "cardest/postgres_est.h"
+#include "common/rng.h"
+#include "datagen/stats_gen.h"
+#include "exec/true_card.h"
+#include "metrics/metrics.h"
+#include "query/parser.h"
+
+namespace cardbench {
+namespace {
+
+Column SkewedColumn(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Column col("c", ColumnKind::kNumeric);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBool(0.1)) {
+      col.AppendNull();
+    } else {
+      col.Append(rng.NextZipf(200, 1.2));
+    }
+  }
+  return col;
+}
+
+TEST(BinnerSerializationTest, RoundTripPreservesEverything) {
+  const Column col = SkewedColumn(3000, 9);
+  ColumnBinner original(col, 16);
+  std::stringstream stream;
+  original.Serialize(stream);
+  auto restored = ColumnBinner::Deserialize(stream);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  ASSERT_EQ(restored->num_bins(), original.num_bins());
+  for (uint16_t b = 0; b < original.num_bins(); ++b) {
+    EXPECT_DOUBLE_EQ(restored->BinMass(b), original.BinMass(b));
+    EXPECT_DOUBLE_EQ(restored->BinMean(b), original.BinMean(b));
+    EXPECT_DOUBLE_EQ(restored->BinInverseMean(b), original.BinInverseMean(b));
+  }
+  // Selectivities and bin assignment agree on probe values.
+  for (Value v : {0, 1, 5, 50, 199, 1000}) {
+    EXPECT_EQ(restored->BinOf(v), original.BinOf(v)) << v;
+    std::vector<Predicate> preds = {{"t", "c", CompareOp::kLe, v}};
+    const auto a = original.PredicateFractions(preds);
+    const auto b = restored->PredicateFractions(preds);
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+TEST(BinnerSerializationTest, RejectsGarbage) {
+  std::stringstream stream("not a binner at all");
+  EXPECT_FALSE(ColumnBinner::Deserialize(stream).ok());
+}
+
+TEST(PostgresModelSerializationTest, LoadedModelEstimatesIdentically) {
+  StatsGenConfig config;
+  config.scale = 0.03;
+  auto db = GenerateStatsDatabase(config);
+  PostgresEstimator original(*db);
+  const std::string path =
+      ::testing::TempDir() + "/pg_model_test.stats";
+  ASSERT_TRUE(original.SaveModel(path).ok());
+
+  auto loaded = PostgresEstimator::LoadModel(*db, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  for (const char* sql : {
+           "SELECT COUNT(*) FROM users WHERE users.Reputation >= 100;",
+           "SELECT COUNT(*) FROM posts WHERE posts.PostTypeId = 1 AND "
+           "posts.Score >= 3;",
+           "SELECT COUNT(*) FROM users, badges WHERE users.Id = "
+           "badges.UserId AND badges.Date >= 1000;",
+       }) {
+    auto q = ParseSql(sql);
+    ASSERT_TRUE(q.ok());
+    EXPECT_DOUBLE_EQ((*loaded)->EstimateCard(*q), original.EstimateCard(*q))
+        << sql;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PostgresModelSerializationTest, LoadFromMissingFileFails) {
+  StatsGenConfig config;
+  config.scale = 0.02;
+  auto db = GenerateStatsDatabase(config);
+  EXPECT_FALSE(PostgresEstimator::LoadModel(*db, "/nonexistent/model").ok());
+}
+
+TEST(BayesCardSerializationTest, LoadedModelEstimatesIdentically) {
+  StatsGenConfig config;
+  config.scale = 0.04;
+  auto db = GenerateStatsDatabase(config);
+  BayesCardEstimator original(*db);
+  const std::string path = ::testing::TempDir() + "/bayescard_model.bn";
+  ASSERT_TRUE(original.SaveModel(path).ok());
+
+  auto loaded = BayesCardEstimator::LoadModel(*db, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  for (const char* sql : {
+           "SELECT COUNT(*) FROM users WHERE users.Reputation >= 50;",
+           "SELECT COUNT(*) FROM users, badges WHERE users.Id = "
+           "badges.UserId AND users.Views >= 3;",
+           "SELECT COUNT(*) FROM users, posts, comments WHERE users.Id = "
+           "posts.OwnerUserId AND posts.Id = comments.PostId AND posts.Score "
+           ">= 4;",
+           "SELECT COUNT(*) FROM comments, badges WHERE comments.UserId = "
+           "badges.UserId;",
+       }) {
+    auto q = ParseSql(sql);
+    ASSERT_TRUE(q.ok());
+    EXPECT_DOUBLE_EQ((*loaded)->EstimateCard(*q), original.EstimateCard(*q))
+        << sql;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(BayesCardSerializationTest, LoadedModelStillUpdates) {
+  // The deserialized model (no row bins in memory) must survive the
+  // incremental-update path: bins are recomputed lazily on Update().
+  StatsGenConfig config;
+  config.scale = 0.04;
+  auto db = GenerateStatsDatabase(config);
+  BayesCardEstimator original(*db);
+  const std::string path = ::testing::TempDir() + "/bayescard_model2.bn";
+  ASSERT_TRUE(original.SaveModel(path).ok());
+  auto loaded = BayesCardEstimator::LoadModel(*db, path);
+  ASSERT_TRUE(loaded.ok());
+
+  Table& tags = db->TableOrDie("tags");
+  const size_t before = tags.num_rows();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        tags.AppendRow({static_cast<Value>(before + 1 + i), 77, std::nullopt})
+            .ok());
+  }
+  ASSERT_TRUE((*loaded)->Update().ok());
+  Query q;
+  q.tables = {"tags"};
+  // The updated estimate tracks the new row count.
+  EXPECT_NEAR((*loaded)->EstimateCard(q), static_cast<double>(before + 20),
+              (before + 20) * 0.05);
+  std::filesystem::remove(path);
+}
+
+TEST(NoisyOracleTest, SigmaZeroIsExactAndDeterministic) {
+  StatsGenConfig config;
+  config.scale = 0.02;
+  auto db = GenerateStatsDatabase(config);
+  TrueCardService svc(*db);
+  NoisyOracleEstimator exact(svc, 0.0);
+  auto q = ParseSql("SELECT COUNT(*) FROM users WHERE users.Reputation >= 5;");
+  ASSERT_TRUE(q.ok());
+  const double truth = *svc.Card(*q);
+  EXPECT_DOUBLE_EQ(exact.EstimateCard(*q), std::max(1.0, truth));
+
+  // Same sub-plan, same perturbation — across calls and instances.
+  NoisyOracleEstimator noisy_a(svc, 2.0);
+  NoisyOracleEstimator noisy_b(svc, 2.0);
+  const double first = noisy_a.EstimateCard(*q);
+  EXPECT_DOUBLE_EQ(noisy_a.EstimateCard(*q), first);
+  EXPECT_DOUBLE_EQ(noisy_b.EstimateCard(*q), first);
+}
+
+TEST(NoisyOracleTest, ErrorMagnitudeTracksSigma) {
+  StatsGenConfig config;
+  config.scale = 0.03;
+  auto db = GenerateStatsDatabase(config);
+  TrueCardService svc(*db);
+  NoisyOracleEstimator mild(svc, 0.5);
+  NoisyOracleEstimator wild(svc, 4.0);
+
+  Rng rng(3);
+  double mild_err = 0, wild_err = 0;
+  size_t n = 0;
+  for (const auto& table : db->table_names()) {
+    Query q;
+    q.tables = {table};
+    const double truth = *svc.Card(q);
+    mild_err += QError(mild.EstimateCard(q), truth);
+    wild_err += QError(wild.EstimateCard(q), truth);
+    ++n;
+  }
+  EXPECT_GT(wild_err / static_cast<double>(n),
+            mild_err / static_cast<double>(n));
+}
+
+}  // namespace
+}  // namespace cardbench

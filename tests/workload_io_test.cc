@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/stats_gen.h"
+#include "exec/true_card.h"
+#include "workload/workload_gen.h"
+#include "workload/workload_io.h"
+
+namespace cardbench {
+namespace {
+
+class WorkloadIoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StatsGenConfig config;
+    config.scale = 0.03;
+    db_ = GenerateStatsDatabase(config).release();
+  }
+  static void TearDownTestSuite() { delete db_; }
+
+  static Workload SmallWorkload() {
+    TrueCardService svc(*db_);
+    WorkloadOptions options = WorkloadOptions::StatsCeb();
+    options.num_queries = 10;
+    options.num_templates = 6;
+    auto workload = GenerateWorkload(*db_, svc, "STATS-CEB", options);
+    EXPECT_TRUE(workload.ok());
+    return std::move(*workload);
+  }
+
+  static Database* db_;
+};
+
+Database* WorkloadIoTest::db_ = nullptr;
+
+TEST_F(WorkloadIoTest, RoundTripPreservesQueries) {
+  const Workload original = SmallWorkload();
+  ASSERT_FALSE(original.queries.empty());
+  const std::string path = ::testing::TempDir() + "/workload_io_test.sql";
+  ASSERT_TRUE(WriteWorkloadSql(original, path).ok());
+
+  auto restored = ReadWorkloadSql(*db_, path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->name, original.name);
+  ASSERT_EQ(restored->queries.size(), original.queries.size());
+  for (size_t i = 0; i < original.queries.size(); ++i) {
+    EXPECT_EQ(restored->queries[i].CanonicalKey(),
+              original.queries[i].CanonicalKey());
+    EXPECT_EQ(restored->queries[i].name, original.queries[i].name);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(WorkloadIoTest, RejectsInvalidSql) {
+  const std::string path = ::testing::TempDir() + "/workload_bad.sql";
+  {
+    std::ofstream out(path);
+    out << "-- Q1\nSELECT COUNT(*) FROM nonexistent_table;\n";
+  }
+  EXPECT_FALSE(ReadWorkloadSql(*db_, path).ok());
+  {
+    std::ofstream out(path);
+    out << "DROP TABLE users;\n";
+  }
+  EXPECT_FALSE(ReadWorkloadSql(*db_, path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(WorkloadIoTest, SkipsBlankLinesAndHandlesMissingNames) {
+  const std::string path = ::testing::TempDir() + "/workload_loose.sql";
+  {
+    std::ofstream out(path);
+    out << "\n\nSELECT COUNT(*) FROM users WHERE users.Reputation >= 5;\n\n";
+  }
+  auto restored = ReadWorkloadSql(*db_, path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->queries.size(), 1u);
+  EXPECT_TRUE(restored->queries[0].name.empty());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace cardbench

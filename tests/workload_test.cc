@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/imdb_gen.h"
+#include "datagen/stats_gen.h"
+#include "exec/true_card.h"
+#include "query/parser.h"
+#include "workload/workload_gen.h"
+
+namespace cardbench {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StatsGenConfig sc;
+    sc.scale = 0.04;
+    stats_ = GenerateStatsDatabase(sc).release();
+    stats_cards_ = new TrueCardService(*stats_);
+    ImdbGenConfig ic;
+    ic.scale = 0.04;
+    imdb_ = GenerateImdbDatabase(ic).release();
+    imdb_cards_ = new TrueCardService(*imdb_);
+  }
+  static void TearDownTestSuite() {
+    delete imdb_cards_;
+    delete imdb_;
+    delete stats_cards_;
+    delete stats_;
+  }
+
+  static Database* stats_;
+  static TrueCardService* stats_cards_;
+  static Database* imdb_;
+  static TrueCardService* imdb_cards_;
+};
+
+Database* WorkloadTest::stats_ = nullptr;
+TrueCardService* WorkloadTest::stats_cards_ = nullptr;
+Database* WorkloadTest::imdb_ = nullptr;
+TrueCardService* WorkloadTest::imdb_cards_ = nullptr;
+
+TEST_F(WorkloadTest, RandomTemplatesAreValidAcyclicJoins) {
+  Rng rng(4242);
+  for (int i = 0; i < 50; ++i) {
+    const size_t tables = 2 + rng.NextUint64(6);
+    auto tmpl = RandomJoinTemplate(*stats_, rng, tables, true);
+    ASSERT_TRUE(tmpl.ok());
+    EXPECT_EQ(tmpl->tables.size(), tables);
+    EXPECT_EQ(tmpl->joins.size(), tables - 1);  // tree: acyclic + connected
+    EXPECT_TRUE(ValidateQuery(*tmpl, *stats_).ok()) << tmpl->ToSql();
+    // No table twice.
+    std::set<std::string> unique(tmpl->tables.begin(), tmpl->tables.end());
+    EXPECT_EQ(unique.size(), tables);
+  }
+}
+
+TEST_F(WorkloadTest, PkFkOnlyTemplatesHaveNoFkFkEdges) {
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    auto tmpl = RandomJoinTemplate(*imdb_, rng, 3, /*allow_fk_fk=*/false);
+    ASSERT_TRUE(tmpl.ok());
+    for (const auto& edge : tmpl->joins) {
+      // On the star schema every PK-FK edge touches title.id.
+      const bool touches_title =
+          (edge.left_table == "title" && edge.left_column == "id") ||
+          (edge.right_table == "title" && edge.right_column == "id");
+      EXPECT_TRUE(touches_title) << edge.ToString();
+    }
+  }
+}
+
+TEST_F(WorkloadTest, PredicatesReferenceQueryTablesAndRealValues) {
+  Rng rng(12);
+  auto tmpl = RandomJoinTemplate(*stats_, rng, 3, true);
+  ASSERT_TRUE(tmpl.ok());
+  Query q = std::move(*tmpl);
+  AddRandomPredicates(*stats_, rng, 10, q);
+  EXPECT_GE(q.predicates.size(), 5u);
+  for (const auto& pred : q.predicates) {
+    EXPECT_GE(q.TableIndex(pred.table), 0);
+    const Column& col = stats_->TableOrDie(pred.table).ColumnByName(pred.column);
+    EXPECT_TRUE(col.kind() == ColumnKind::kNumeric ||
+                col.kind() == ColumnKind::kCategorical);
+  }
+  EXPECT_TRUE(ValidateQuery(q, *stats_).ok());
+}
+
+TEST_F(WorkloadTest, StatsCebShapeMatchesPaper) {
+  WorkloadOptions options = WorkloadOptions::StatsCeb();
+  options.num_queries = 40;  // scaled down for the test
+  options.num_templates = 20;
+  auto workload = GenerateWorkload(*stats_, *stats_cards_, "STATS-CEB", options);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_GE(workload->queries.size(), 30u);
+
+  size_t max_tables = 0, min_tables = 99;
+  bool has_fk_fk_or_many = false;
+  for (const auto& q : workload->queries) {
+    ASSERT_TRUE(ValidateQuery(q, *stats_).ok()) << q.ToSql();
+    max_tables = std::max(max_tables, q.tables.size());
+    min_tables = std::min(min_tables, q.tables.size());
+    if (q.tables.size() >= 6) has_fk_fk_or_many = true;
+    auto card = stats_cards_->Card(q);
+    ASSERT_TRUE(card.ok());
+    EXPECT_GE(*card, options.min_true_card);
+    EXPECT_LE(*card, options.max_true_card);
+  }
+  EXPECT_EQ(min_tables, 2u);
+  EXPECT_GE(max_tables, 6u);
+  EXPECT_TRUE(has_fk_fk_or_many);
+}
+
+TEST_F(WorkloadTest, WorkloadCardinalitiesSpreadWidely) {
+  WorkloadOptions options = WorkloadOptions::StatsCeb();
+  options.num_queries = 40;
+  options.num_templates = 20;
+  auto workload = GenerateWorkload(*stats_, *stats_cards_, "STATS-CEB", options);
+  ASSERT_TRUE(workload.ok());
+  double lo = 1e300, hi = 0;
+  for (const auto& q : workload->queries) {
+    const double card = *stats_cards_->Card(q);
+    lo = std::min(lo, card);
+    hi = std::max(hi, card);
+  }
+  EXPECT_GT(hi / std::max(lo, 1.0), 1e3);  // several orders of magnitude
+}
+
+TEST_F(WorkloadTest, DeterministicForSameSeed) {
+  WorkloadOptions options = WorkloadOptions::JobLight();
+  options.num_queries = 15;
+  options.num_templates = 8;
+  auto a = GenerateWorkload(*imdb_, *imdb_cards_, "JOB-LIGHT", options);
+  auto b = GenerateWorkload(*imdb_, *imdb_cards_, "JOB-LIGHT", options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->queries.size(), b->queries.size());
+  for (size_t i = 0; i < a->queries.size(); ++i) {
+    EXPECT_EQ(a->queries[i].CanonicalKey(), b->queries[i].CanonicalKey());
+  }
+}
+
+TEST_F(WorkloadTest, JobLightStaysWithinFiveTables) {
+  WorkloadOptions options = WorkloadOptions::JobLight();
+  options.num_queries = 20;
+  options.num_templates = 10;
+  auto workload = GenerateWorkload(*imdb_, *imdb_cards_, "JOB-LIGHT", options);
+  ASSERT_TRUE(workload.ok());
+  for (const auto& q : workload->queries) {
+    EXPECT_LE(q.tables.size(), 5u);
+    EXPECT_LE(q.predicates.size(), 4u + 4u);  // <= 2 per column fold
+  }
+}
+
+TEST_F(WorkloadTest, TrainingQueriesIncludeSingleTables) {
+  auto training = GenerateTrainingQueries(*stats_, *stats_cards_, 120, 55);
+  ASSERT_TRUE(training.ok());
+  EXPECT_GE(training->size(), 100u);
+  bool has_single = false, has_join = false;
+  for (const auto& tq : *training) {
+    if (tq.query.tables.size() == 1) has_single = true;
+    if (tq.query.tables.size() >= 3) has_join = true;
+    EXPECT_GE(tq.cardinality, 0.0);
+  }
+  EXPECT_TRUE(has_single);
+  EXPECT_TRUE(has_join);
+}
+
+}  // namespace
+}  // namespace cardbench
