@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure3_practicality.dir/bench_figure3_practicality.cc.o"
+  "CMakeFiles/bench_figure3_practicality.dir/bench_figure3_practicality.cc.o.d"
+  "bench_figure3_practicality"
+  "bench_figure3_practicality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_practicality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_noise.dir/bench_sensitivity_noise.cc.o"
+  "CMakeFiles/bench_sensitivity_noise.dir/bench_sensitivity_noise.cc.o.d"
+  "bench_sensitivity_noise"
+  "bench_sensitivity_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_join_tables.dir/bench_table4_join_tables.cc.o"
+  "CMakeFiles/bench_table4_join_tables.dir/bench_table4_join_tables.cc.o.d"
+  "bench_table4_join_tables"
+  "bench_table4_join_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_join_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_qerror_perror.dir/bench_table7_qerror_perror.cc.o"
+  "CMakeFiles/bench_table7_qerror_perror.dir/bench_table7_qerror_perror.cc.o.d"
+  "bench_table7_qerror_perror"
+  "bench_table7_qerror_perror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_qerror_perror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

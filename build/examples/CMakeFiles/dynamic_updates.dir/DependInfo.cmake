@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dynamic_updates.cpp" "examples/CMakeFiles/dynamic_updates.dir/dynamic_updates.cpp.o" "gcc" "examples/CMakeFiles/dynamic_updates.dir/dynamic_updates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cardest/CMakeFiles/cardbench_cardest.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/cardbench_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cardbench_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/cardbench_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cardbench_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cardbench_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/cardbench_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/cardbench_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cardbench_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cardbench_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

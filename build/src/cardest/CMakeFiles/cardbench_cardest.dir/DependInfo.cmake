@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cardest/autoregressive_est.cc" "src/cardest/CMakeFiles/cardbench_cardest.dir/autoregressive_est.cc.o" "gcc" "src/cardest/CMakeFiles/cardbench_cardest.dir/autoregressive_est.cc.o.d"
+  "/root/repo/src/cardest/bayescard_est.cc" "src/cardest/CMakeFiles/cardbench_cardest.dir/bayescard_est.cc.o" "gcc" "src/cardest/CMakeFiles/cardbench_cardest.dir/bayescard_est.cc.o.d"
+  "/root/repo/src/cardest/binner.cc" "src/cardest/CMakeFiles/cardbench_cardest.dir/binner.cc.o" "gcc" "src/cardest/CMakeFiles/cardbench_cardest.dir/binner.cc.o.d"
+  "/root/repo/src/cardest/deepdb_est.cc" "src/cardest/CMakeFiles/cardbench_cardest.dir/deepdb_est.cc.o" "gcc" "src/cardest/CMakeFiles/cardbench_cardest.dir/deepdb_est.cc.o.d"
+  "/root/repo/src/cardest/extended_table.cc" "src/cardest/CMakeFiles/cardbench_cardest.dir/extended_table.cc.o" "gcc" "src/cardest/CMakeFiles/cardbench_cardest.dir/extended_table.cc.o.d"
+  "/root/repo/src/cardest/fanout_estimator.cc" "src/cardest/CMakeFiles/cardbench_cardest.dir/fanout_estimator.cc.o" "gcc" "src/cardest/CMakeFiles/cardbench_cardest.dir/fanout_estimator.cc.o.d"
+  "/root/repo/src/cardest/foj_sampler.cc" "src/cardest/CMakeFiles/cardbench_cardest.dir/foj_sampler.cc.o" "gcc" "src/cardest/CMakeFiles/cardbench_cardest.dir/foj_sampler.cc.o.d"
+  "/root/repo/src/cardest/lw_est.cc" "src/cardest/CMakeFiles/cardbench_cardest.dir/lw_est.cc.o" "gcc" "src/cardest/CMakeFiles/cardbench_cardest.dir/lw_est.cc.o.d"
+  "/root/repo/src/cardest/mscn_est.cc" "src/cardest/CMakeFiles/cardbench_cardest.dir/mscn_est.cc.o" "gcc" "src/cardest/CMakeFiles/cardbench_cardest.dir/mscn_est.cc.o.d"
+  "/root/repo/src/cardest/multihist_est.cc" "src/cardest/CMakeFiles/cardbench_cardest.dir/multihist_est.cc.o" "gcc" "src/cardest/CMakeFiles/cardbench_cardest.dir/multihist_est.cc.o.d"
+  "/root/repo/src/cardest/postgres_est.cc" "src/cardest/CMakeFiles/cardbench_cardest.dir/postgres_est.cc.o" "gcc" "src/cardest/CMakeFiles/cardbench_cardest.dir/postgres_est.cc.o.d"
+  "/root/repo/src/cardest/query_features.cc" "src/cardest/CMakeFiles/cardbench_cardest.dir/query_features.cc.o" "gcc" "src/cardest/CMakeFiles/cardbench_cardest.dir/query_features.cc.o.d"
+  "/root/repo/src/cardest/registry.cc" "src/cardest/CMakeFiles/cardbench_cardest.dir/registry.cc.o" "gcc" "src/cardest/CMakeFiles/cardbench_cardest.dir/registry.cc.o.d"
+  "/root/repo/src/cardest/sampling_est.cc" "src/cardest/CMakeFiles/cardbench_cardest.dir/sampling_est.cc.o" "gcc" "src/cardest/CMakeFiles/cardbench_cardest.dir/sampling_est.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/cardbench_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cardbench_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/cardbench_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cardbench_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cardbench_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

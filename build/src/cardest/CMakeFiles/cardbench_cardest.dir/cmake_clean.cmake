@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardbench_cardest.dir/autoregressive_est.cc.o"
+  "CMakeFiles/cardbench_cardest.dir/autoregressive_est.cc.o.d"
+  "CMakeFiles/cardbench_cardest.dir/bayescard_est.cc.o"
+  "CMakeFiles/cardbench_cardest.dir/bayescard_est.cc.o.d"
+  "CMakeFiles/cardbench_cardest.dir/binner.cc.o"
+  "CMakeFiles/cardbench_cardest.dir/binner.cc.o.d"
+  "CMakeFiles/cardbench_cardest.dir/deepdb_est.cc.o"
+  "CMakeFiles/cardbench_cardest.dir/deepdb_est.cc.o.d"
+  "CMakeFiles/cardbench_cardest.dir/extended_table.cc.o"
+  "CMakeFiles/cardbench_cardest.dir/extended_table.cc.o.d"
+  "CMakeFiles/cardbench_cardest.dir/fanout_estimator.cc.o"
+  "CMakeFiles/cardbench_cardest.dir/fanout_estimator.cc.o.d"
+  "CMakeFiles/cardbench_cardest.dir/foj_sampler.cc.o"
+  "CMakeFiles/cardbench_cardest.dir/foj_sampler.cc.o.d"
+  "CMakeFiles/cardbench_cardest.dir/lw_est.cc.o"
+  "CMakeFiles/cardbench_cardest.dir/lw_est.cc.o.d"
+  "CMakeFiles/cardbench_cardest.dir/mscn_est.cc.o"
+  "CMakeFiles/cardbench_cardest.dir/mscn_est.cc.o.d"
+  "CMakeFiles/cardbench_cardest.dir/multihist_est.cc.o"
+  "CMakeFiles/cardbench_cardest.dir/multihist_est.cc.o.d"
+  "CMakeFiles/cardbench_cardest.dir/postgres_est.cc.o"
+  "CMakeFiles/cardbench_cardest.dir/postgres_est.cc.o.d"
+  "CMakeFiles/cardbench_cardest.dir/query_features.cc.o"
+  "CMakeFiles/cardbench_cardest.dir/query_features.cc.o.d"
+  "CMakeFiles/cardbench_cardest.dir/registry.cc.o"
+  "CMakeFiles/cardbench_cardest.dir/registry.cc.o.d"
+  "CMakeFiles/cardbench_cardest.dir/sampling_est.cc.o"
+  "CMakeFiles/cardbench_cardest.dir/sampling_est.cc.o.d"
+  "libcardbench_cardest.a"
+  "libcardbench_cardest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardbench_cardest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardbench_common.dir/logging.cc.o"
+  "CMakeFiles/cardbench_common.dir/logging.cc.o.d"
+  "CMakeFiles/cardbench_common.dir/rng.cc.o"
+  "CMakeFiles/cardbench_common.dir/rng.cc.o.d"
+  "CMakeFiles/cardbench_common.dir/str_util.cc.o"
+  "CMakeFiles/cardbench_common.dir/str_util.cc.o.d"
+  "libcardbench_common.a"
+  "libcardbench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardbench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/distributions.cc" "src/datagen/CMakeFiles/cardbench_datagen.dir/distributions.cc.o" "gcc" "src/datagen/CMakeFiles/cardbench_datagen.dir/distributions.cc.o.d"
+  "/root/repo/src/datagen/imdb_gen.cc" "src/datagen/CMakeFiles/cardbench_datagen.dir/imdb_gen.cc.o" "gcc" "src/datagen/CMakeFiles/cardbench_datagen.dir/imdb_gen.cc.o.d"
+  "/root/repo/src/datagen/stats_gen.cc" "src/datagen/CMakeFiles/cardbench_datagen.dir/stats_gen.cc.o" "gcc" "src/datagen/CMakeFiles/cardbench_datagen.dir/stats_gen.cc.o.d"
+  "/root/repo/src/datagen/update_split.cc" "src/datagen/CMakeFiles/cardbench_datagen.dir/update_split.cc.o" "gcc" "src/datagen/CMakeFiles/cardbench_datagen.dir/update_split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/cardbench_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cardbench_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

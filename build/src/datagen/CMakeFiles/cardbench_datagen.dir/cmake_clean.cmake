@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardbench_datagen.dir/distributions.cc.o"
+  "CMakeFiles/cardbench_datagen.dir/distributions.cc.o.d"
+  "CMakeFiles/cardbench_datagen.dir/imdb_gen.cc.o"
+  "CMakeFiles/cardbench_datagen.dir/imdb_gen.cc.o.d"
+  "CMakeFiles/cardbench_datagen.dir/stats_gen.cc.o"
+  "CMakeFiles/cardbench_datagen.dir/stats_gen.cc.o.d"
+  "CMakeFiles/cardbench_datagen.dir/update_split.cc.o"
+  "CMakeFiles/cardbench_datagen.dir/update_split.cc.o.d"
+  "libcardbench_datagen.a"
+  "libcardbench_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardbench_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardbench_exec.dir/executor.cc.o"
+  "CMakeFiles/cardbench_exec.dir/executor.cc.o.d"
+  "CMakeFiles/cardbench_exec.dir/plan.cc.o"
+  "CMakeFiles/cardbench_exec.dir/plan.cc.o.d"
+  "CMakeFiles/cardbench_exec.dir/true_card.cc.o"
+  "CMakeFiles/cardbench_exec.dir/true_card.cc.o.d"
+  "libcardbench_exec.a"
+  "libcardbench_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardbench_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardbench_harness.dir/bench_env.cc.o"
+  "CMakeFiles/cardbench_harness.dir/bench_env.cc.o.d"
+  "libcardbench_harness.a"
+  "libcardbench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardbench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardbench_metrics.dir/metrics.cc.o"
+  "CMakeFiles/cardbench_metrics.dir/metrics.cc.o.d"
+  "CMakeFiles/cardbench_metrics.dir/perror.cc.o"
+  "CMakeFiles/cardbench_metrics.dir/perror.cc.o.d"
+  "libcardbench_metrics.a"
+  "libcardbench_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardbench_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

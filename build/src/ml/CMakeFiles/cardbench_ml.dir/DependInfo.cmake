@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/clustering.cc" "src/ml/CMakeFiles/cardbench_ml.dir/clustering.cc.o" "gcc" "src/ml/CMakeFiles/cardbench_ml.dir/clustering.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "src/ml/CMakeFiles/cardbench_ml.dir/gbdt.cc.o" "gcc" "src/ml/CMakeFiles/cardbench_ml.dir/gbdt.cc.o.d"
+  "/root/repo/src/ml/made.cc" "src/ml/CMakeFiles/cardbench_ml.dir/made.cc.o" "gcc" "src/ml/CMakeFiles/cardbench_ml.dir/made.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/cardbench_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/cardbench_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/nn.cc" "src/ml/CMakeFiles/cardbench_ml.dir/nn.cc.o" "gcc" "src/ml/CMakeFiles/cardbench_ml.dir/nn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cardbench_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

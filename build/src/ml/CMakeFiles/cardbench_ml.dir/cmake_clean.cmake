@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardbench_ml.dir/clustering.cc.o"
+  "CMakeFiles/cardbench_ml.dir/clustering.cc.o.d"
+  "CMakeFiles/cardbench_ml.dir/gbdt.cc.o"
+  "CMakeFiles/cardbench_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/cardbench_ml.dir/made.cc.o"
+  "CMakeFiles/cardbench_ml.dir/made.cc.o.d"
+  "CMakeFiles/cardbench_ml.dir/matrix.cc.o"
+  "CMakeFiles/cardbench_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/cardbench_ml.dir/nn.cc.o"
+  "CMakeFiles/cardbench_ml.dir/nn.cc.o.d"
+  "libcardbench_ml.a"
+  "libcardbench_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardbench_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

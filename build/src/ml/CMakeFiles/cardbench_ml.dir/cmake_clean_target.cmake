@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcardbench_ml.a"
+)

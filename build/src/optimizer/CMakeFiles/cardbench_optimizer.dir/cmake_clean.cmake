@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardbench_optimizer.dir/cost_model.cc.o"
+  "CMakeFiles/cardbench_optimizer.dir/cost_model.cc.o.d"
+  "CMakeFiles/cardbench_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/cardbench_optimizer.dir/optimizer.cc.o.d"
+  "libcardbench_optimizer.a"
+  "libcardbench_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardbench_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardbench_query.dir/parser.cc.o"
+  "CMakeFiles/cardbench_query.dir/parser.cc.o.d"
+  "CMakeFiles/cardbench_query.dir/query.cc.o"
+  "CMakeFiles/cardbench_query.dir/query.cc.o.d"
+  "libcardbench_query.a"
+  "libcardbench_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardbench_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

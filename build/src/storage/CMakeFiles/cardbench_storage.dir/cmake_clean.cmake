@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardbench_storage.dir/catalog.cc.o"
+  "CMakeFiles/cardbench_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/cardbench_storage.dir/column.cc.o"
+  "CMakeFiles/cardbench_storage.dir/column.cc.o.d"
+  "CMakeFiles/cardbench_storage.dir/csv.cc.o"
+  "CMakeFiles/cardbench_storage.dir/csv.cc.o.d"
+  "CMakeFiles/cardbench_storage.dir/index.cc.o"
+  "CMakeFiles/cardbench_storage.dir/index.cc.o.d"
+  "CMakeFiles/cardbench_storage.dir/stats.cc.o"
+  "CMakeFiles/cardbench_storage.dir/stats.cc.o.d"
+  "CMakeFiles/cardbench_storage.dir/table.cc.o"
+  "CMakeFiles/cardbench_storage.dir/table.cc.o.d"
+  "libcardbench_storage.a"
+  "libcardbench_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardbench_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

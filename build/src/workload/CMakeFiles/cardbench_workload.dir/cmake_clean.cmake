@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardbench_workload.dir/workload_gen.cc.o"
+  "CMakeFiles/cardbench_workload.dir/workload_gen.cc.o.d"
+  "CMakeFiles/cardbench_workload.dir/workload_io.cc.o"
+  "CMakeFiles/cardbench_workload.dir/workload_io.cc.o.d"
+  "libcardbench_workload.a"
+  "libcardbench_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardbench_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binner_test.dir/binner_test.cc.o"
+  "CMakeFiles/binner_test.dir/binner_test.cc.o.d"
+  "binner_test"
+  "binner_test.pdb"
+  "binner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardest_test.dir/cardest_test.cc.o"
+  "CMakeFiles/cardest_test.dir/cardest_test.cc.o.d"
+  "cardest_test"
+  "cardest_test.pdb"
+  "cardest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_est_test.dir/learned_est_test.cc.o"
+  "CMakeFiles/learned_est_test.dir/learned_est_test.cc.o.d"
+  "learned_est_test"
+  "learned_est_test.pdb"
+  "learned_est_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_est_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

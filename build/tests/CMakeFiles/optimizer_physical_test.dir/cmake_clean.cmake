@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_physical_test.dir/optimizer_physical_test.cc.o"
+  "CMakeFiles/optimizer_physical_test.dir/optimizer_physical_test.cc.o.d"
+  "optimizer_physical_test"
+  "optimizer_physical_test.pdb"
+  "optimizer_physical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_physical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

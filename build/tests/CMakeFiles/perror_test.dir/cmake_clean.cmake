@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perror_test.dir/perror_test.cc.o"
+  "CMakeFiles/perror_test.dir/perror_test.cc.o.d"
+  "perror_test"
+  "perror_test.pdb"
+  "perror_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perror_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_benchmark.dir/export_benchmark.cc.o"
+  "CMakeFiles/export_benchmark.dir/export_benchmark.cc.o.d"
+  "export_benchmark"
+  "export_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
