@@ -34,7 +34,7 @@ class DampedJoinEstimator : public CardinalityEstimator {
 
   std::string name() const override { return "DampedJoin"; }
 
-  double EstimateCard(const Query& subquery) override {
+  double EstimateCard(const Query& subquery) const override {
     double card = 1.0;
     for (const auto& table : subquery.tables) {
       card *= static_cast<double>(db_.TableOrDie(table).num_rows()) *

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the repo with ThreadSanitizer and runs the concurrency-sensitive
+# tests (thread pool, estimation service, harness fan-out). Any data race in
+# the serving layer or in a shared estimator's EstimateCard path fails the
+# run.
+#
+#   scripts/run_tsan_tests.sh              # the concurrency test binaries
+#   scripts/run_tsan_tests.sh -R Service   # forward extra args to ctest
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build-tsan}
+
+cmake -B "$BUILD_DIR" -S . -DCARDBENCH_TSAN=ON >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target thread_pool_test service_test optimizer_test harness_test
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+if [ "$#" -gt 0 ]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+else
+  for test in thread_pool_test service_test optimizer_test harness_test; do
+    echo "== $test (TSAN) =="
+    "$BUILD_DIR/tests/$test"
+  done
+fi
+echo "TSAN run clean."

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/str_util.h"
 #include "common/stopwatch.h"
 
 namespace cardbench {
@@ -30,8 +31,7 @@ AutoregressiveEstimator::AutoregressiveEstimator(
     : db_(db),
       mode_(mode),
       training_queries_(training_queries),
-      options_(options),
-      inference_rng_(options.seed ^ 0xABCDEF) {
+      options_(options) {
   CARDBENCH_CHECK(
       mode_ == ArTraining::kData || training_queries_ != nullptr,
       "query-driven autoregressive estimators need training queries");
@@ -306,7 +306,8 @@ bool AutoregressiveEstimator::MapToTree(const Query& query,
 }
 
 double AutoregressiveEstimator::ProgressiveEstimate(
-    const std::vector<std::pair<size_t, std::vector<double>>>& factors) {
+    const std::vector<std::pair<size_t, std::vector<double>>>& factors,
+    Rng& rng) const {
   const size_t batch = options_.progressive_samples;
   Matrix encoded(batch, made_->input_dim());
   std::vector<double> weights(batch, 1.0);
@@ -331,7 +332,7 @@ double AutoregressiveEstimator::ProgressiveEstimate(
         continue;
       }
       // Sample the conditioning bin proportionally to prob * factor.
-      double pick = inference_rng_.NextDouble() * mass;
+      double pick = rng.NextDouble() * mass;
       size_t chosen = columns_[col].domain - 1;
       for (size_t b = 0; b < columns_[col].domain; ++b) {
         pick -= probs.At(s, b) * (*per_bin)[b];
@@ -348,7 +349,9 @@ double AutoregressiveEstimator::ProgressiveEstimate(
   return mean / static_cast<double>(batch);
 }
 
-double AutoregressiveEstimator::EstimateCard(const Query& subquery) {
+double AutoregressiveEstimator::EstimateCard(const Query& subquery) const {
+  // Per-sub-plan progressive-sampling stream (see header).
+  Rng rng(options_.seed ^ 0xABCDEF ^ Fnv1aHash(subquery.CanonicalKey()));
   std::vector<bool> in_s;
   if (!MapToTree(subquery, &in_s)) {
     // Off-tree join (FK-FK shortcut): independence fallback — single-table
@@ -431,7 +434,7 @@ double AutoregressiveEstimator::EstimateCard(const Query& subquery) {
       }
     }
   }
-  const double expectation = ProgressiveEstimate(factors);
+  const double expectation = ProgressiveEstimate(factors, rng);
   return std::max(1.0, sampler_->foj_size() * expectation);
 }
 

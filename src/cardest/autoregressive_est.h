@@ -69,7 +69,10 @@ class AutoregressiveEstimator : public CardinalityEstimator {
     return "AR";
   }
 
-  double EstimateCard(const Query& subquery) override;
+  /// Progressive-sampling randomness is derived from a hash of the
+  /// sub-plan's canonical key, so estimates are deterministic per sub-plan
+  /// and safe under concurrent callers (thread-safety contract).
+  double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
   bool SupportsUpdate() const override { return mode_ == ArTraining::kData; }
@@ -98,7 +101,8 @@ class AutoregressiveEstimator : public CardinalityEstimator {
 
   /// Factor per constrained column (empty per_bin means unconstrained).
   double ProgressiveEstimate(
-      const std::vector<std::pair<size_t, std::vector<double>>>& factors);
+      const std::vector<std::pair<size_t, std::vector<double>>>& factors,
+      Rng& rng) const;
 
   /// Maps query join edges onto tree edges; false if any edge leaves the
   /// tree.
@@ -111,7 +115,6 @@ class AutoregressiveEstimator : public CardinalityEstimator {
   std::unique_ptr<FojSampler> sampler_;
   std::vector<ModelColumn> columns_;
   std::unique_ptr<MadeModel> made_;
-  Rng inference_rng_;
   double train_seconds_ = 0.0;
 };
 

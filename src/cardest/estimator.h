@@ -14,6 +14,17 @@ namespace cardbench {
 /// exactly as the overwritten `calc_joinrel_size_estimate` injects
 /// estimates into PostgreSQL's planner. Implementations range from the
 /// built-in histogram baseline to learned data-driven models.
+///
+/// Thread-safety contract (required by `src/service` and the harness's
+/// `--threads=N` fan-out): EstimateCard is const and must be safe to call
+/// concurrently from many threads on one shared instance, and deterministic
+/// — the same sub-plan query always receives the same estimate regardless
+/// of call order or interleaving (samplers derive their randomness from a
+/// hash of the sub-plan, never from shared mutable generator state).
+/// Internal memo caches are allowed but must be internally synchronized.
+/// Update() is exempt: it is an exclusive-access operation and callers must
+/// quiesce all concurrent EstimateCard calls around it (EstimationService
+/// enforces this with a shared/exclusive lock).
 class CardinalityEstimator {
  public:
   virtual ~CardinalityEstimator() = default;
@@ -25,7 +36,8 @@ class CardinalityEstimator {
   /// Estimated COUNT(*) of `subquery` (a sub-plan query: subset of tables,
   /// induced joins and predicates). Never executes the query. Implementations
   /// should return a non-negative finite value; the optimizer clamps to >= 1.
-  virtual double EstimateCard(const Query& subquery) = 0;
+  /// Const and thread-safe per the class-level contract.
+  virtual double EstimateCard(const Query& subquery) const = 0;
 
   /// Approximate in-memory model size in bytes (paper Figure 3). Model-free
   /// methods return 0.

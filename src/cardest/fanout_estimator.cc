@@ -134,7 +134,7 @@ double FanoutModelEstimator::SubtreeRho(
   return (numer_e / denom_e) * child_scalars;
 }
 
-double FanoutModelEstimator::EstimateCard(const Query& subquery) {
+double FanoutModelEstimator::EstimateCard(const Query& subquery) const {
   CARDBENCH_CHECK(!subquery.tables.empty(), "empty query");
 
   // Single table: |T| * E[predicate factors].

@@ -57,7 +57,7 @@ class FanoutModelEstimator : public CardinalityEstimator {
   /// is recorded for Figure 3).
   FanoutModelEstimator(const Database& db, size_t max_bins);
 
-  double EstimateCard(const Query& subquery) override;
+  double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
   bool SupportsUpdate() const override { return true; }

@@ -60,7 +60,7 @@ LwNnEstimator::LwNnEstimator(const Database& db,
   train_seconds_ = watch.ElapsedSeconds();
 }
 
-double LwNnEstimator::EstimateCard(const Query& subquery) {
+double LwNnEstimator::EstimateCard(const Query& subquery) const {
   const std::vector<double> features = featurizer_.FlatFeatures(subquery);
   Matrix x(1, features.size());
   for (size_t c = 0; c < features.size(); ++c) x.At(0, c) = features[c];
@@ -85,7 +85,7 @@ LwXgbEstimator::LwXgbEstimator(const Database& db,
   train_seconds_ = watch.ElapsedSeconds();
 }
 
-double LwXgbEstimator::EstimateCard(const Query& subquery) {
+double LwXgbEstimator::EstimateCard(const Query& subquery) const {
   return CardOf(gbdt_.Predict(featurizer_.FlatFeatures(subquery)));
 }
 

@@ -120,7 +120,7 @@ double MscnEstimator::Predict(const Query& query) const {
   return std::max(1.0, std::exp2(y.At(0, 0)) - 1.0);
 }
 
-double MscnEstimator::EstimateCard(const Query& subquery) {
+double MscnEstimator::EstimateCard(const Query& subquery) const {
   return Predict(subquery);
 }
 

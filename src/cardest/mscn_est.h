@@ -30,7 +30,7 @@ class MscnEstimator : public CardinalityEstimator {
                 MscnOptions options = MscnOptions());
 
   std::string name() const override { return "MSCN"; }
-  double EstimateCard(const Query& subquery) override;
+  double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
   // Query-driven: no cheap update path (O9) — SupportsUpdate stays false.

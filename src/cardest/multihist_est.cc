@@ -116,7 +116,7 @@ double MultiHistEstimator::GroupSelectivity(
   return pass / group.total;
 }
 
-double MultiHistEstimator::EstimateCard(const Query& subquery) {
+double MultiHistEstimator::EstimateCard(const Query& subquery) const {
   double card = 1.0;
   for (const auto& table_name : subquery.tables) {
     const Table& table = db_.TableOrDie(table_name);

@@ -27,7 +27,7 @@ class MultiHistEstimator : public CardinalityEstimator {
                      double correlation_threshold = 0.3);
 
   std::string name() const override { return "MultiHist"; }
-  double EstimateCard(const Query& subquery) override;
+  double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
 

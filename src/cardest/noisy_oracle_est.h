@@ -35,14 +35,11 @@ class NoisyOracleEstimator : public CardinalityEstimator {
     return StrFormat("NoisyOracle(%.1f)", sigma_);
   }
 
-  double EstimateCard(const Query& subquery) override {
+  double EstimateCard(const Query& subquery) const override {
     auto card = service_.Card(subquery);
     if (!card.ok()) return 1.0;
     // Deterministic per-sub-plan draw.
-    const std::string key = subquery.CanonicalKey();
-    uint64_t h = seed_;
-    for (char c : key) h = h * 1099511628211ULL + static_cast<uint8_t>(c);
-    Rng rng(h);
+    Rng rng(seed_ ^ Fnv1aHash(subquery.CanonicalKey()));
     const double noise = std::exp2(sigma_ * rng.NextGaussian());
     return std::max(1.0, *card * noise);
   }

@@ -63,7 +63,7 @@ double PostgresEstimator::TableSelectivity(const Query& subquery,
   return selectivity;
 }
 
-double PostgresEstimator::EstimateCard(const Query& subquery) {
+double PostgresEstimator::EstimateCard(const Query& subquery) const {
   double card = 1.0;
   for (const auto& table : subquery.tables) {
     card *= static_cast<double>(db_.TableOrDie(table).num_rows()) *

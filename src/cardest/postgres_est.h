@@ -23,7 +23,7 @@ class PostgresEstimator : public CardinalityEstimator {
   explicit PostgresEstimator(const Database& db, size_t stats_target = 100);
 
   std::string name() const override { return "PostgreSQL"; }
-  double EstimateCard(const Query& subquery) override;
+  double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
   bool SupportsUpdate() const override { return true; }

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/str_util.h"
 
 namespace cardbench {
 
@@ -109,7 +110,7 @@ Status UniSampleEstimator::Update() {
   return Status::OK();
 }
 
-double UniSampleEstimator::EstimateCard(const Query& subquery) {
+double UniSampleEstimator::EstimateCard(const Query& subquery) const {
   double card = 1.0;
   for (const auto& table_name : subquery.tables) {
     const Table& table = db_.TableOrDie(table_name);
@@ -142,9 +143,13 @@ size_t UniSampleEstimator::ModelBytes() const {
 
 WjSampleEstimator::WjSampleEstimator(const Database& db, size_t num_walks,
                                      uint64_t seed)
-    : db_(db), num_walks_(num_walks), rng_(seed) {}
+    : db_(db), num_walks_(num_walks), seed_(seed) {}
 
-double WjSampleEstimator::EstimateCard(const Query& subquery) {
+double WjSampleEstimator::EstimateCard(const Query& subquery) const {
+  // Per-sub-plan generator: seeding from the canonical key makes the walks
+  // deterministic for a given sub-plan and keeps concurrent estimates from
+  // sharing (and racing on) one generator stream.
+  Rng rng(seed_ ^ Fnv1aHash(subquery.CanonicalKey()));
   // Root the walk at the smallest table (fewer wasted walks).
   std::string root = subquery.tables[0];
   for (const auto& t : subquery.tables) {
@@ -160,7 +165,7 @@ double WjSampleEstimator::EstimateCard(const Query& subquery) {
   for (size_t w = 0; w < num_walks_; ++w) {
     std::map<std::string, uint32_t> walk_rows;
     const uint32_t start =
-        static_cast<uint32_t>(rng_.NextUint64(root_table.num_rows()));
+        static_cast<uint32_t>(rng.NextUint64(root_table.num_rows()));
     if (!RowPasses(root_table, start, subquery, root)) continue;
     walk_rows[root] = start;
     double weight = static_cast<double>(root_table.num_rows());
@@ -187,7 +192,7 @@ double WjSampleEstimator::EstimateCard(const Query& subquery) {
         dead = true;
         break;
       }
-      const uint32_t pick = matches[rng_.NextUint64(matches.size())];
+      const uint32_t pick = matches[rng.NextUint64(matches.size())];
       if (!RowPasses(next, pick, subquery, next_table)) {
         dead = true;
         break;
@@ -244,7 +249,7 @@ double PessEstEstimator::FilteredCard(const Query& subquery,
   return static_cast<double>(count);
 }
 
-double PessEstEstimator::EstimateCard(const Query& subquery) {
+double PessEstEstimator::EstimateCard(const Query& subquery) const {
   // Exact filtered base cardinalities (the bound must hold).
   std::map<std::string, double> base;
   for (const auto& table : subquery.tables) {
@@ -269,13 +274,20 @@ double PessEstEstimator::EstimateCard(const Query& subquery) {
           next.GetIndex(next.ColumnIndexOrDie(next_col));
       double max_deg = 0.0;
       const auto key = std::make_pair(next_table, next_col);
-      auto it = max_degree_.find(key);
-      if (it != max_degree_.end()) {
-        max_deg = it->second;
-      } else {
+      bool cached = false;
+      {
+        std::lock_guard<std::mutex> lock(degree_mu_);
+        auto it = max_degree_.find(key);
+        if (it != max_degree_.end()) {
+          max_deg = it->second;
+          cached = true;
+        }
+      }
+      if (!cached) {
         for (const auto& [value, rows] : index.entries()) {
           max_deg = std::max(max_deg, static_cast<double>(rows.size()));
         }
+        std::lock_guard<std::mutex> lock(degree_mu_);
         max_degree_[key] = max_deg;
       }
       bound *= std::max(1.0, max_deg);

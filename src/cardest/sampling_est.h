@@ -2,6 +2,7 @@
 #define CARDBENCH_CARDEST_SAMPLING_EST_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,10 +23,11 @@ class UniSampleEstimator : public CardinalityEstimator {
                      uint64_t seed = 101);
 
   std::string name() const override { return "UniSample"; }
-  double EstimateCard(const Query& subquery) override;
+  double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override;
   bool SupportsUpdate() const override { return true; }
-  /// Resamples (cheap: sampling is the whole model).
+  /// Resamples (cheap: sampling is the whole model). Exclusive-access:
+  /// concurrent EstimateCard calls must be quiesced first.
   Status Update() override;
 
  private:
@@ -48,12 +50,15 @@ class WjSampleEstimator : public CardinalityEstimator {
                     uint64_t seed = 202);
 
   std::string name() const override { return "WJSample"; }
-  double EstimateCard(const Query& subquery) override;
+  /// Walk randomness is derived from a hash of the sub-plan's canonical
+  /// key (never from shared generator state), so the estimate for a given
+  /// sub-plan is deterministic and concurrent calls never interleave draws.
+  double EstimateCard(const Query& subquery) const override;
 
  private:
   const Database& db_;
   size_t num_walks_;
-  Rng rng_;
+  uint64_t seed_;
 };
 
 /// PessEst (§4.1 method 5, Cai et al.): pessimistic bound estimation —
@@ -66,7 +71,7 @@ class PessEstEstimator : public CardinalityEstimator {
   explicit PessEstEstimator(const Database& db);
 
   std::string name() const override { return "PessEst"; }
-  double EstimateCard(const Query& subquery) override;
+  double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override { return sizeof(*this); }
   bool SupportsUpdate() const override { return true; }
   /// Refreshes the degree sketches.
@@ -77,8 +82,10 @@ class PessEstEstimator : public CardinalityEstimator {
   double FilteredCard(const Query& subquery, const std::string& table) const;
 
   const Database& db_;
-  // (table, column) -> maximum join degree of any key value.
-  std::map<std::pair<std::string, std::string>, double> max_degree_;
+  // (table, column) -> maximum join degree of any key value. A lazily
+  // filled memo, synchronized so concurrent EstimateCard calls can share it.
+  mutable std::mutex degree_mu_;
+  mutable std::map<std::pair<std::string, std::string>, double> max_degree_;
 };
 
 }  // namespace cardbench

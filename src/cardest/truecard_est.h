@@ -18,7 +18,7 @@ class TrueCardEstimator : public CardinalityEstimator {
 
   std::string name() const override { return "TrueCard"; }
 
-  double EstimateCard(const Query& subquery) override {
+  double EstimateCard(const Query& subquery) const override {
     auto card = service_.Card(subquery);
     // Sub-plans whose exact count exceeded execution limits fall back to 1;
     // the harness precomputes all workload sub-plans so this is unreachable
@@ -44,7 +44,7 @@ class InjectedCardEstimator : public CardinalityEstimator {
     return fallback_.name() + "+injected";
   }
 
-  double EstimateCard(const Query& subquery) override {
+  double EstimateCard(const Query& subquery) const override {
     auto it = overrides_.find(subquery.CanonicalKey());
     if (it != overrides_.end()) return it->second;
     return fallback_.EstimateCard(subquery);

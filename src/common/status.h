@@ -19,6 +19,10 @@ enum class StatusCode {
   kUnsupported,
   kInternal,
   kIOError,
+  /// A bounded resource (request queue, admission budget) is full; the
+  /// caller should shed load or retry later. Used by the serving layer's
+  /// backpressure path.
+  kResourceExhausted,
 };
 
 /// Lightweight status object carrying a code and a human-readable message.
@@ -52,6 +56,9 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -74,6 +81,7 @@ class Status {
       case StatusCode::kUnsupported: return "Unsupported";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kIOError: return "IOError";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
     }
     return "Unknown";
   }

@@ -49,6 +49,15 @@ bool StartsWith(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
 }
 
+uint64_t Fnv1aHash(std::string_view text) {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (char c : text) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
 std::string StrFormat(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);

@@ -23,6 +23,11 @@ std::string ToLower(std::string_view text);
 /// True if `text` begins with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);
 
+/// FNV-1a 64-bit hash. Stable across platforms and runs — used to derive
+/// per-sub-plan RNG seeds (sampling estimators) and cache shard choices,
+/// where std::hash's unspecified stability would break reproducibility.
+uint64_t Fnv1aHash(std::string_view text);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

@@ -128,8 +128,11 @@ std::unique_ptr<PlanNode> TrueCardService::BuildCountingPlan(
 
 Result<double> TrueCardService::Card(const Query& query) {
   const std::string key = query.CanonicalKey();
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
 
   auto plan = BuildCountingPlan(query);
   CARDBENCH_ASSIGN_OR_RETURN(ExecResult result,
@@ -139,6 +142,7 @@ Result<double> TrueCardService::Card(const Query& query) {
                               query.ToSql());
   }
   const double card = static_cast<double>(result.count);
+  std::lock_guard<std::mutex> lock(mu_);
   cache_[key] = card;
   return card;
 }
@@ -154,12 +158,14 @@ Result<std::unordered_map<uint64_t, double>> TrueCardService::AllSubplanCards(
 }
 
 void TrueCardService::ImportFrom(const TrueCardService& other) {
+  std::scoped_lock lock(mu_, other.mu_);
   for (const auto& [key, card] : other.cache_) cache_[key] = card;
 }
 
 Status TrueCardService::SaveCache(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open " + path);
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, card] : cache_) {
     out << key << '\t' << StrFormat("%.17g", card) << '\n';
   }
@@ -169,6 +175,7 @@ Status TrueCardService::SaveCache(const std::string& path) const {
 Status TrueCardService::LoadCache(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
+  std::lock_guard<std::mutex> lock(mu_);
   std::string line;
   while (std::getline(in, line)) {
     const size_t tab = line.rfind('\t');

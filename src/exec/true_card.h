@@ -2,6 +2,7 @@
 #define CARDBENCH_EXEC_TRUE_CARD_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -22,7 +23,9 @@ class TrueCardService {
 
   /// Exact COUNT(*) of `query` (which may be a sub-plan query). Cached by
   /// the query's canonical key. Returns OutOfRange if execution exceeded the
-  /// (generous) limits.
+  /// (generous) limits. Thread-safe: the memo table is synchronized, and an
+  /// uncached execution serializes callers (the harness precomputes all
+  /// workload sub-plans, so the concurrent paths hit the memo).
   Result<double> Card(const Query& query);
 
   /// Exact cardinalities of every connected sub-plan of `query`, keyed by
@@ -43,7 +46,10 @@ class TrueCardService {
   /// results computed under different execution limits).
   void ImportFrom(const TrueCardService& other);
 
-  size_t cache_size() const { return cache_.size(); }
+  size_t cache_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
 
   static ExecLimits DefaultLimits() {
     ExecLimits limits;
@@ -58,6 +64,7 @@ class TrueCardService {
 
   const Database& db_;
   Executor executor_;
+  mutable std::mutex mu_;
   std::unordered_map<std::string, double> cache_;
 };
 

@@ -7,6 +7,7 @@
 #include "cardest/truecard_est.h"
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "datagen/imdb_gen.h"
 #include "datagen/stats_gen.h"
 #include "metrics/metrics.h"
@@ -39,6 +40,32 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       flags.training_queries = std::stoul(value_of("--training-queries="));
     } else if (StartsWith(arg, "--exec-repeats=")) {
       flags.exec_repeats = std::stoul(value_of("--exec-repeats="));
+    } else if (StartsWith(arg, "--threads=")) {
+      size_t parsed = 0;
+      try {
+        parsed = std::stoul(value_of("--threads="));
+      } catch (const std::exception&) {
+        parsed = 0;  // falls through to the range error below
+      }
+      if (parsed < 1 || parsed > 1024) {
+        std::fprintf(stderr, "--threads must be in [1, 1024], got %s\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      flags.threads = parsed;
+    } else if (StartsWith(arg, "--queue-depth=")) {
+      size_t parsed = 0;
+      try {
+        parsed = std::stoul(value_of("--queue-depth="));
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+      if (parsed < 1) {
+        std::fprintf(stderr, "--queue-depth must be >= 1, got %s\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      flags.queue_depth = parsed;
     } else if (StartsWith(arg, "--seed=")) {
       flags.seed = std::stoull(value_of("--seed="));
     } else if (StartsWith(arg, "--verbose=")) {
@@ -47,8 +74,8 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown flag %s\nflags: --fast --scale=F --max-queries=N "
                    "--exec-timeout=S --exec-repeats=N --cache-dir=D "
-                   "--estimators=a,b --training-queries=N --seed=N "
-                   "--verbose=L\n",
+                   "--estimators=a,b --training-queries=N --threads=N "
+                   "--queue-depth=N --seed=N --verbose=L\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -227,7 +254,7 @@ std::vector<double> BenchEnv::RunResult::AllPErrors() const {
   return out;
 }
 
-BenchEnv::RunResult BenchEnv::RunEstimator(CardinalityEstimator& estimator) {
+BenchEnv::RunResult BenchEnv::RunEstimator(const CardinalityEstimator& estimator) {
   RunResult result;
   result.estimator = estimator.name();
 
@@ -235,7 +262,12 @@ BenchEnv::RunResult BenchEnv::RunEstimator(CardinalityEstimator& estimator) {
   limits.timeout_seconds = flags_.exec_timeout;
   Executor executor(*db_, limits);
 
-  for (const auto& ctx : contexts_) {
+  // One slot per query, written by index: the parallel fan-out produces the
+  // same vector, in the same order, as the serial loop.
+  result.queries.resize(contexts_.size());
+
+  auto run_one = [&](size_t i) {
+    const QueryContext& ctx = contexts_[i];
     const Query& query = *ctx.query;
     QueryRun run;
     run.query_name = query.name;
@@ -289,8 +321,22 @@ BenchEnv::RunResult BenchEnv::RunEstimator(CardinalityEstimator& estimator) {
     }
     run.exec_seconds = best_seconds;
     run.timed_out = timed_out;
-    if (timed_out) ++result.timeouts;
-    result.queries.push_back(std::move(run));
+    result.queries[i] = std::move(run);
+  };
+
+  if (flags_.threads <= 1) {
+    for (size_t i = 0; i < contexts_.size(); ++i) run_one(i);
+  } else {
+    // Fan the per-query work over a pool. Safe because the estimator,
+    // optimizer, executor and true-card structures are shared read-only
+    // behind the EstimateCard thread-safety contract and internal locks;
+    // per-query wall-clock timings become noisier under contention, which
+    // is the tradeoff the flag opts into (aggregate checks stay exact).
+    ThreadPool pool(flags_.threads);
+    ParallelFor(pool, contexts_.size(), run_one);
+  }
+  for (const auto& run : result.queries) {
+    if (run.timed_out) ++result.timeouts;
   }
   return result;
 }

@@ -36,12 +36,19 @@ struct BenchFlags {
   /// Each plan is executed this many times and the minimum wall time is
   /// reported, de-noising the sub-second executions of simulator scale.
   size_t exec_repeats = 3;
+  /// Worker threads for RunEstimator's per-query fan-out and the serving
+  /// benches (1 = the paper's serial loop).
+  size_t threads = 1;
+  /// Bound of the estimation service's request queue (serving benches and
+  /// cardserve; backpressure rejects beyond it).
+  size_t queue_depth = 256;
   uint64_t seed = 2021;
 };
 
 /// Parses --scale=, --fast, --max-queries=, --exec-timeout=, --cache-dir=,
-/// --estimators=a,b,c, --training-queries=, --seed=, --verbose=.
-/// Unknown flags abort with a usage message.
+/// --estimators=a,b,c, --training-queries=, --threads=, --queue-depth=,
+/// --seed=, --verbose=. Unknown flags and invalid values abort with a
+/// usage message.
 BenchFlags ParseBenchFlags(int argc, char** argv);
 
 enum class BenchDataset { kStats, kImdb };
@@ -117,7 +124,12 @@ class BenchEnv {
   /// Plans, executes and scores every workload query with `estimator`.
   /// Execution correctness is asserted: a finished plan must return the
   /// exact COUNT(*) regardless of the injected cardinalities.
-  RunResult RunEstimator(CardinalityEstimator& estimator);
+  /// With flags.threads > 1 the queries fan out over a thread pool sharing
+  /// `estimator` (which the thread-safety contract of
+  /// CardinalityEstimator::EstimateCard makes safe); results are identical
+  /// to the serial run — same queries, same order, same estimates — only
+  /// wall-clock differs.
+  RunResult RunEstimator(const CardinalityEstimator& estimator);
 
   const BenchFlags& flags() const { return flags_; }
 

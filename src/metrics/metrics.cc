@@ -23,6 +23,7 @@ Percentiles ComputePercentiles(std::vector<double> values) {
   };
   out.p50 = at(0.50);
   out.p90 = at(0.90);
+  out.p95 = at(0.95);
   out.p99 = at(0.99);
   out.max = values.back();
   return out;

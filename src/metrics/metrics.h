@@ -10,10 +10,13 @@ namespace cardbench {
 /// max(est/true, true/est), with both sides clamped to >= 1 row.
 double QError(double estimate, double truth);
 
-/// Distribution summary used by the paper's Table 7 (50/90/99 percentiles).
+/// Distribution summary used by the paper's Table 7 (50/90/99 percentiles)
+/// and the serving layer's latency reports (which add the tail-latency
+/// convention P95).
 struct Percentiles {
   double p50 = 0.0;
   double p90 = 0.0;
+  double p95 = 0.0;
   double p99 = 0.0;
   double max = 0.0;
 };

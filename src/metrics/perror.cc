@@ -19,7 +19,7 @@ class MapEstimator : public CardinalityEstimator {
 
   std::string name() const override { return "map"; }
 
-  double EstimateCard(const Query& subquery) override {
+  double EstimateCard(const Query& subquery) const override {
     // Recover the bitmask from the sub-query's table set.
     uint64_t mask = 0;
     for (const auto& table : subquery.tables) {
@@ -51,7 +51,7 @@ PErrorCalculator::PErrorCalculator(
 }
 
 Result<double> PErrorCalculator::Evaluate(
-    CardinalityEstimator& estimator) const {
+    const CardinalityEstimator& estimator) const {
   CARDBENCH_ASSIGN_OR_RETURN(PlanResult plan,
                              optimizer_.Plan(query_, estimator));
   return EvaluatePlan(*plan.plan);

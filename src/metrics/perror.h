@@ -30,7 +30,7 @@ class PErrorCalculator {
   double true_plan_cost() const { return true_plan_cost_; }
 
   /// P-Error of the plan `estimator` induces for the query.
-  Result<double> Evaluate(CardinalityEstimator& estimator) const;
+  Result<double> Evaluate(const CardinalityEstimator& estimator) const;
 
   /// P-Error of an already-built plan (avoids re-planning when the caller
   /// holds a PlanResult).

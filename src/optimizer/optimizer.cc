@@ -22,17 +22,21 @@ double ClampCard(double card) {
 double Optimizer::NdvOf(const std::string& table,
                         const std::string& column) const {
   const std::string key = table + "." + column;
-  auto it = ndv_cache_.find(key);
-  if (it != ndv_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(ndv_mu_);
+    auto it = ndv_cache_.find(key);
+    if (it != ndv_cache_.end()) return it->second;
+  }
   const Table& t = db_.TableOrDie(table);
   const double ndv = std::max<double>(
       1.0, static_cast<double>(t.GetIndex(t.ColumnIndexOrDie(column)).num_distinct()));
+  std::lock_guard<std::mutex> lock(ndv_mu_);
   ndv_cache_[key] = ndv;
   return ndv;
 }
 
 Result<PlanResult> Optimizer::Plan(const Query& query,
-                                   CardinalityEstimator& estimator) const {
+                                   const CardinalityEstimator& estimator) const {
   Stopwatch total_watch;
   PlanResult result;
 

@@ -2,6 +2,7 @@
 #define CARDBENCH_OPTIMIZER_OPTIMIZER_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "cardest/estimator.h"
@@ -39,9 +40,11 @@ class Optimizer {
   explicit Optimizer(const Database& db, CostModel cost_model = CostModel())
       : db_(db), cost_(cost_model) {}
 
-  /// Plans `query` using cardinalities from `estimator`.
+  /// Plans `query` using cardinalities from `estimator`. Thread-safe: may
+  /// be called concurrently from many threads sharing one Optimizer and one
+  /// estimator (see the CardinalityEstimator thread-safety contract).
   Result<PlanResult> Plan(const Query& query,
-                          CardinalityEstimator& estimator) const;
+                          const CardinalityEstimator& estimator) const;
 
   /// Re-costs an existing plan shape under a different set of sub-plan
   /// cardinalities (bitmask-keyed). This is the PPC function of the P-Error
@@ -60,6 +63,7 @@ class Optimizer {
 
   const Database& db_;
   CostModel cost_;
+  mutable std::mutex ndv_mu_;
   mutable std::unordered_map<std::string, double> ndv_cache_;
 };
 

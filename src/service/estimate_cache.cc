@@ -1,0 +1,94 @@
+#include "service/estimate_cache.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace cardbench {
+
+size_t SubplanEstimateCache::KeyHash::operator()(
+    const SubplanCacheKey& key) const {
+  // FNV over both strings, mixed with the mask. Stable across runs so
+  // shard assignment (and therefore contention patterns) is reproducible.
+  uint64_t h = Fnv1aHash(key.estimator) * 31 + Fnv1aHash(key.query);
+  h ^= key.subplan_mask + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return static_cast<size_t>(h);
+}
+
+SubplanEstimateCache::SubplanEstimateCache(size_t capacity, size_t num_shards) {
+  const size_t shards = std::max<size_t>(1, num_shards);
+  per_shard_capacity_ = std::max<size_t>(1, capacity / shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SubplanEstimateCache::Shard& SubplanEstimateCache::ShardFor(
+    const SubplanCacheKey& key) {
+  return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+bool SubplanEstimateCache::Lookup(const SubplanCacheKey& key, double* estimate) {
+  const uint64_t current = version();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (it->second->version != current) {
+    // Stale under the new data version: reclaim lazily, report a miss.
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    invalidated_hits_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Touch: move to the front of the LRU list.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *estimate = it->second->estimate;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SubplanEstimateCache::Insert(const SubplanCacheKey& key, double estimate) {
+  const uint64_t current = version();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->estimate = estimate;
+    it->second->version = current;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, estimate, current});
+  shard.map[key] = shard.lru.begin();
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+EstimateCacheStats SubplanEstimateCache::stats() const {
+  EstimateCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.invalidated_hits = invalidated_hits_.load(std::memory_order_relaxed);
+  return out;
+}
+
+size_t SubplanEstimateCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace cardbench

@@ -1,0 +1,156 @@
+#include "service/estimation_service.h"
+
+#include <future>
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace cardbench {
+
+EstimationService::EstimationService(ServiceOptions options)
+    : options_(options),
+      cache_(options.cache_capacity, options.cache_shards),
+      queue_(options.queue_depth),
+      pool_(options.num_threads) {
+  // Each pool thread runs one long-lived drain loop; the pool is sized to
+  // options_.num_threads so every worker owns exactly one loop.
+  for (size_t i = 0; i < pool_.num_threads(); ++i) {
+    (void)pool_.Submit([this] { WorkerLoop(); });
+  }
+}
+
+EstimationService::~EstimationService() { Shutdown(); }
+
+void EstimationService::RegisterEstimator(
+    std::unique_ptr<CardinalityEstimator> estimator) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  estimators_[estimator->name()] = std::move(estimator);
+}
+
+const CardinalityEstimator* EstimationService::GetEstimator(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = estimators_.find(name);
+  return it == estimators_.end() ? nullptr : it->second.get();
+}
+
+Status EstimationService::Submit(EstimateRequest request,
+                                 EstimateCallback done) {
+  if (request.query == nullptr) {
+    return Status::InvalidArgument("EstimateRequest.query is null");
+  }
+  if (!queue_.TryPush(WorkItem{std::move(request), std::move(done)})) {
+    return Status::ResourceExhausted(
+        StrFormat("estimation queue full (depth %zu) or shut down",
+                  queue_.capacity()));
+  }
+  return Status::OK();
+}
+
+Result<double> EstimationService::EstimateSync(const std::string& estimator,
+                                               const Query& query,
+                                               uint64_t subplan_mask) {
+  std::promise<EstimateResponse> promise;
+  std::future<EstimateResponse> future = promise.get_future();
+  CARDBENCH_RETURN_IF_ERROR(Submit(
+      EstimateRequest{estimator, &query, subplan_mask},
+      [&promise](EstimateResponse response) {
+        promise.set_value(std::move(response));
+      }));
+  EstimateResponse response = future.get();
+  CARDBENCH_RETURN_IF_ERROR(response.status);
+  auto it = response.cards.find(subplan_mask);
+  if (it == response.cards.end()) {
+    return Status::Internal("estimate missing from response");
+  }
+  return it->second;
+}
+
+Result<std::unordered_map<uint64_t, double>>
+EstimationService::EstimateQuerySync(const std::string& estimator,
+                                     const Query& query) {
+  std::promise<EstimateResponse> promise;
+  std::future<EstimateResponse> future = promise.get_future();
+  CARDBENCH_RETURN_IF_ERROR(Submit(
+      EstimateRequest{estimator, &query, kAllSubplans},
+      [&promise](EstimateResponse response) {
+        promise.set_value(std::move(response));
+      }));
+  EstimateResponse response = future.get();
+  CARDBENCH_RETURN_IF_ERROR(response.status);
+  return std::move(response.cards);
+}
+
+Status EstimationService::NotifyDataUpdate() {
+  // Writer lock: waits out every in-flight estimate and blocks new ones
+  // while models refresh — Update() has exclusive access by contract.
+  std::unique_lock<std::shared_mutex> quiesce(update_mu_);
+  Status first_error = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (auto& [name, estimator] : estimators_) {
+      if (!estimator->SupportsUpdate()) continue;
+      Status status = estimator->Update();
+      if (!status.ok() && first_error.ok()) first_error = status;
+    }
+  }
+  // Bump even on error: serving estimates from a model in an unknown state
+  // is strictly worse than recomputing them.
+  cache_.BumpVersion();
+  return first_error;
+}
+
+void EstimationService::Shutdown() {
+  queue_.Close();
+  pool_.Shutdown();
+}
+
+void EstimationService::WorkerLoop() {
+  WorkItem item;
+  while (queue_.Pop(&item)) {
+    EstimateResponse response;
+    {
+      std::shared_lock<std::shared_mutex> serving(update_mu_);
+      response = Process(item.request);
+    }
+    if (item.done) item.done(std::move(response));
+  }
+}
+
+EstimateResponse EstimationService::Process(const EstimateRequest& request) {
+  EstimateResponse response;
+  const CardinalityEstimator* estimator = GetEstimator(request.estimator);
+  if (estimator == nullptr) {
+    response.status =
+        Status::NotFound("no estimator registered as '" + request.estimator +
+                         "'");
+    return response;
+  }
+  const Query& query = *request.query;
+  const std::string query_key = query.CanonicalKey();
+
+  std::vector<uint64_t> masks;
+  if (request.subplan_mask == kAllSubplans) {
+    masks = EnumerateConnectedSubsets(query);
+  } else {
+    masks.push_back(request.subplan_mask);
+  }
+
+  for (uint64_t mask : masks) {
+    SubplanCacheKey key{request.estimator, query_key, mask};
+    double estimate = 0.0;
+    if (cache_.Lookup(key, &estimate)) {
+      ++response.cache_hits;
+    } else {
+      estimate = mask == query.FullMask()
+                     ? estimator->EstimateCard(query)
+                     : estimator->EstimateCard(query.Induced(mask));
+      cache_.Insert(key, estimate);
+      ++response.cache_misses;
+    }
+    response.cards[mask] = estimate;
+  }
+  return response;
+}
+
+}  // namespace cardbench

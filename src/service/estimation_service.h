@@ -1,0 +1,144 @@
+#ifndef CARDBENCH_SERVICE_ESTIMATION_SERVICE_H_
+#define CARDBENCH_SERVICE_ESTIMATION_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cardest/estimator.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "query/query.h"
+#include "service/estimate_cache.h"
+#include "service/request_queue.h"
+
+namespace cardbench {
+
+/// Sizing knobs of the serving layer.
+struct ServiceOptions {
+  /// Worker threads answering estimation requests.
+  size_t num_threads = 4;
+  /// Bound of the request queue; Submit rejects with ResourceExhausted
+  /// beyond it (never blocks the caller).
+  size_t queue_depth = 256;
+  /// Total sub-plan estimate cache entries, split across shards.
+  size_t cache_capacity = 65536;
+  size_t cache_shards = 16;
+};
+
+/// In `subplan_mask`, requests estimation of every connected sub-plan of
+/// the query (the optimizer's full sub-plan query space, §4.2).
+inline constexpr uint64_t kAllSubplans = 0;
+
+/// One estimation request: which estimator, which query, which sub-plan(s).
+/// `query` is borrowed — it must outlive the request's completion (workload
+/// queries live in the Workload that outlives the replay; the planner's
+/// sub-plan queries live for the planning call).
+struct EstimateRequest {
+  std::string estimator;
+  const Query* query = nullptr;
+  uint64_t subplan_mask = kAllSubplans;
+};
+
+/// The answer. For a single-mask request `cards` has one entry; for
+/// kAllSubplans one entry per connected sub-plan, bitmask-keyed exactly
+/// like BenchEnv::QueryContext::true_cards.
+struct EstimateResponse {
+  Status status;
+  std::unordered_map<uint64_t, double> cards;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+};
+
+using EstimateCallback = std::function<void(EstimateResponse)>;
+
+/// The concurrent cardinality-estimation serving layer: owns trained
+/// estimator instances and answers estimation requests from a fixed-size
+/// worker pool behind a bounded request queue, memoizing sub-plan estimates
+/// in a sharded, version-invalidated LRU cache.
+///
+///   callers --TryPush--> RequestQueue --Pop--> ThreadPool workers
+///                                                |  SubplanEstimateCache
+///                                                +--CardinalityEstimator::EstimateCard (const, shared)
+///
+/// Concurrency contract: estimators are shared across workers and accessed
+/// only through the const, thread-safe EstimateCard path (see the contract
+/// in cardest/estimator.h). NotifyDataUpdate is the one exclusive
+/// operation: it quiesces workers with a writer lock, runs the estimators'
+/// Update() hooks, and bumps the cache version so stale estimates can never
+/// be served afterwards.
+class EstimationService {
+ public:
+  explicit EstimationService(ServiceOptions options = ServiceOptions());
+  ~EstimationService();
+
+  EstimationService(const EstimationService&) = delete;
+  EstimationService& operator=(const EstimationService&) = delete;
+
+  /// Registers `estimator` under its name(). Replaces an existing
+  /// registration of the same name.
+  void RegisterEstimator(std::unique_ptr<CardinalityEstimator> estimator);
+
+  /// Registered estimator lookup (nullptr if absent). The pointer stays
+  /// valid until the service is destroyed.
+  const CardinalityEstimator* GetEstimator(const std::string& name) const;
+
+  /// Enqueues `request`; `done` runs on a worker thread when it completes
+  /// (including with a non-OK response status, e.g. unknown estimator).
+  /// Returns ResourceExhausted — without invoking `done` — when the queue
+  /// is full or the service is shut down.
+  Status Submit(EstimateRequest request, EstimateCallback done);
+
+  /// Blocking single sub-plan estimate (convenience over Submit).
+  Result<double> EstimateSync(const std::string& estimator, const Query& query,
+                              uint64_t subplan_mask);
+
+  /// Blocking whole-query estimate: every connected sub-plan, one request.
+  Result<std::unordered_map<uint64_t, double>> EstimateQuerySync(
+      const std::string& estimator, const Query& query);
+
+  /// Data-update hook: quiesces all in-flight estimation, invokes Update()
+  /// on every estimator that SupportsUpdate, and invalidates the cache.
+  /// Returns the first estimator-update error (after finishing the rest and
+  /// always bumping the cache version).
+  Status NotifyDataUpdate();
+
+  EstimateCacheStats cache_stats() const { return cache_.stats(); }
+  const SubplanEstimateCache& cache() const { return cache_; }
+  size_t num_threads() const { return pool_.num_threads(); }
+  size_t queue_capacity() const { return queue_.capacity(); }
+
+  /// Stops admission, drains queued requests (their callbacks still run)
+  /// and joins the workers. Idempotent; the destructor calls it.
+  void Shutdown();
+
+ private:
+  struct WorkItem {
+    EstimateRequest request;
+    EstimateCallback done;
+  };
+
+  void WorkerLoop();
+  EstimateResponse Process(const EstimateRequest& request);
+
+  ServiceOptions options_;
+  SubplanEstimateCache cache_;
+  RequestQueue<WorkItem> queue_;
+
+  /// Readers: workers serving estimates. Writer: NotifyDataUpdate.
+  std::shared_mutex update_mu_;
+
+  mutable std::mutex registry_mu_;
+  std::unordered_map<std::string, std::unique_ptr<CardinalityEstimator>>
+      estimators_;
+
+  ThreadPool pool_;  // last member: workers must die before queue/registry
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_SERVICE_ESTIMATION_SERVICE_H_

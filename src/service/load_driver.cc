@@ -1,0 +1,106 @@
+#include "service/load_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace cardbench {
+
+LoadDriver::LoadDriver(EstimationService& service,
+                       std::vector<const Query*> queries)
+    : service_(service), queries_(std::move(queries)) {}
+
+Result<LoadReport> LoadDriver::Run(const LoadOptions& options) {
+  if (queries_.empty()) {
+    return Status::InvalidArgument("load driver has no queries");
+  }
+  if (options.estimator.empty()) {
+    return Status::InvalidArgument("LoadOptions.estimator is empty");
+  }
+  if (service_.GetEstimator(options.estimator) == nullptr) {
+    return Status::NotFound("no estimator registered as '" +
+                            options.estimator + "'");
+  }
+
+  const size_t total_requests =
+      queries_.size() * std::max<size_t>(1, options.replays);
+  const size_t concurrency = std::max<size_t>(1, options.concurrency);
+  const EstimateCacheStats before = service_.cache_stats();
+
+  // Work distribution: one shared ticket counter; clients pull the next
+  // query index until the replay budget is exhausted (closed loop).
+  std::atomic<size_t> next_ticket{0};
+  std::atomic<size_t> total_estimates{0};
+  std::atomic<size_t> total_rejected{0};
+  std::atomic<bool> failed{false};
+  Status first_error = Status::OK();
+  std::mutex error_mu;
+
+  std::vector<std::vector<double>> client_latencies(concurrency);
+  std::vector<std::thread> clients;
+  clients.reserve(concurrency);
+
+  Stopwatch wall;
+  for (size_t c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<double>& latencies = client_latencies[c];
+      for (;;) {
+        const size_t ticket = next_ticket.fetch_add(1);
+        if (ticket >= total_requests || failed.load()) return;
+        const Query& query = *queries_[ticket % queries_.size()];
+        Stopwatch request_watch;
+        for (;;) {
+          auto cards = service_.EstimateQuerySync(options.estimator, query);
+          if (cards.ok()) {
+            total_estimates.fetch_add(cards->size());
+            break;
+          }
+          if (cards.status().code() == StatusCode::kResourceExhausted) {
+            // Backpressure: the queue is full. A closed-loop client yields
+            // and retries — load self-adjusts instead of dropping work.
+            total_rejected.fetch_add(1);
+            std::this_thread::yield();
+            continue;
+          }
+          {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.ok()) first_error = cards.status();
+          }
+          failed.store(true);
+          return;
+        }
+        latencies.push_back(request_watch.ElapsedSeconds());
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  if (failed.load()) return first_error;
+
+  LoadReport report;
+  report.wall_seconds = wall_seconds;
+  report.rejected = total_rejected.load();
+  report.estimates = total_estimates.load();
+  std::vector<double> all_latencies;
+  for (const auto& latencies : client_latencies) {
+    all_latencies.insert(all_latencies.end(), latencies.begin(),
+                         latencies.end());
+  }
+  report.requests = all_latencies.size();
+  report.latency = ComputePercentiles(std::move(all_latencies));
+
+  const EstimateCacheStats after = service_.cache_stats();
+  report.cache.hits = after.hits - before.hits;
+  report.cache.misses = after.misses - before.misses;
+  report.cache.evictions = after.evictions - before.evictions;
+  report.cache.invalidated_hits =
+      after.invalidated_hits - before.invalidated_hits;
+  return report;
+}
+
+}  // namespace cardbench

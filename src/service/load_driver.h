@@ -1,0 +1,69 @@
+#ifndef CARDBENCH_SERVICE_LOAD_DRIVER_H_
+#define CARDBENCH_SERVICE_LOAD_DRIVER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "metrics/metrics.h"
+#include "query/query.h"
+#include "service/estimation_service.h"
+
+namespace cardbench {
+
+/// Load-generation knobs.
+struct LoadOptions {
+  /// Registered estimator to drive.
+  std::string estimator;
+  /// Closed-loop clients: each keeps exactly one request in flight, so
+  /// offered load self-adjusts to service capacity (no coordinated-omission
+  /// inflation in the latency numbers).
+  size_t concurrency = 8;
+  /// Passes over the workload. Replays after the first hit the sub-plan
+  /// cache — the serving-layer analogue of a plan-cache-warm steady state.
+  size_t replays = 1;
+};
+
+/// Outcome of one load run.
+struct LoadReport {
+  size_t requests = 0;   ///< completed query-estimation requests
+  size_t rejected = 0;   ///< backpressure rejections (retried until served)
+  size_t estimates = 0;  ///< sub-plan estimates inside those requests
+  double wall_seconds = 0.0;
+  /// Per-request latency distribution, in seconds.
+  Percentiles latency;
+  /// Cache counters accumulated over this run only (delta, not lifetime).
+  EstimateCacheStats cache;
+
+  double QueriesPerSecond() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(requests) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Closed-loop workload replayer against an EstimationService: `concurrency`
+/// clients round-robin the workload's queries, each requesting estimation
+/// of every connected sub-plan of its query (one request = one planner
+/// visit to the estimator, the unit the paper times as inference latency).
+/// Records throughput and P50/P95/P99 latency — the Figure-3-style
+/// practicality numbers, but under concurrent load.
+class LoadDriver {
+ public:
+  /// `queries` are borrowed and must outlive Run calls.
+  LoadDriver(EstimationService& service, std::vector<const Query*> queries);
+
+  /// Runs one load session. Fails fast on the first non-backpressure error
+  /// (unknown estimator, null query); backpressure rejections are counted
+  /// and retried, never dropped.
+  Result<LoadReport> Run(const LoadOptions& options);
+
+ private:
+  EstimationService& service_;
+  std::vector<const Query*> queries_;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_SERVICE_LOAD_DRIVER_H_

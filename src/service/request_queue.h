@@ -1,0 +1,77 @@
+#ifndef CARDBENCH_SERVICE_REQUEST_QUEUE_H_
+#define CARDBENCH_SERVICE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace cardbench {
+
+/// Bounded multi-producer / multi-consumer queue — the admission-control
+/// edge of the estimation service. Producers never block: when the queue is
+/// at capacity TryPush fails immediately and the service surfaces a
+/// ResourceExhausted status to the caller (reject-with-status backpressure;
+/// a planner thread must never be parked indefinitely inside its
+/// cardinality provider). Consumers block in Pop until an item arrives or
+/// the queue is closed and drained.
+template <typename T>
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Enqueues `item` unless the queue is full or closed. Never blocks.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (returns true) or the queue is
+  /// closed and empty (returns false). Items enqueued before Close are
+  /// always drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Rejects future pushes and wakes all blocked consumers. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_SERVICE_REQUEST_QUEUE_H_

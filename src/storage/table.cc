@@ -56,6 +56,7 @@ Status Table::AppendRow(const std::vector<std::optional<Value>>& row) {
 
 const HashIndex& Table::GetIndex(size_t col_idx) const {
   CARDBENCH_CHECK(col_idx < columns_.size(), "bad column index");
+  std::lock_guard<std::mutex> lock(index_mu_);
   if (indexes_[col_idx] == nullptr) {
     indexes_[col_idx] = std::make_unique<HashIndex>(columns_[col_idx]);
   }

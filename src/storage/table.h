@@ -2,6 +2,7 @@
 #define CARDBENCH_STORAGE_TABLE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -65,6 +66,10 @@ class Table {
   std::string name_;
   std::vector<Column> columns_;
   std::unordered_map<std::string, size_t> column_index_;
+  // Guards the lazy index builds below so concurrent readers can trigger
+  // GetIndex safely; AppendRows (which invalidates) remains an
+  // exclusive-access owner operation.
+  mutable std::mutex index_mu_;
   // Lazily built per-column indexes; mutable because building an index does
   // not change the logical table state.
   mutable std::vector<std::unique_ptr<HashIndex>> indexes_;

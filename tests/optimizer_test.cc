@@ -15,7 +15,7 @@ class PerfectEstimator : public CardinalityEstimator {
  public:
   explicit PerfectEstimator(TrueCardService& svc) : svc_(svc) {}
   std::string name() const override { return "TrueCard"; }
-  double EstimateCard(const Query& subquery) override {
+  double EstimateCard(const Query& subquery) const override {
     auto card = svc_.Card(subquery);
     return card.ok() ? *card : 1.0;
   }
@@ -29,7 +29,7 @@ class ConstEstimator : public CardinalityEstimator {
  public:
   explicit ConstEstimator(double value) : value_(value) {}
   std::string name() const override { return "Const"; }
-  double EstimateCard(const Query&) override { return value_; }
+  double EstimateCard(const Query&) const override { return value_; }
 
  private:
   double value_;

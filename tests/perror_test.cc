@@ -77,7 +77,7 @@ TEST_F(PErrorTest, WorsePlansScoreHigher) {
         const Query& q, const std::unordered_map<uint64_t, double>& cards)
         : query_(q), cards_(cards) {}
     std::string name() const override { return "inverting"; }
-    double EstimateCard(const Query& subquery) override {
+    double EstimateCard(const Query& subquery) const override {
       uint64_t mask = 0;
       for (const auto& t : subquery.tables) {
         mask |= uint64_t{1} << query_.TableIndex(t);

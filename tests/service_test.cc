@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/str_util.h"
+#include "query/parser.h"
+#include "service/estimation_service.h"
+#include "service/load_driver.h"
+#include "service/request_queue.h"
+
+namespace cardbench {
+namespace {
+
+/// Deterministic stand-in estimator: the estimate is a pure function of the
+/// sub-plan's canonical key, so serial and concurrent runs must agree to the
+/// last bit. Counts EstimateCard invocations to observe cache effectiveness.
+class HashEstimator : public CardinalityEstimator {
+ public:
+  std::string name() const override { return "Hash"; }
+  double EstimateCard(const Query& subquery) const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    return 1.0 +
+           static_cast<double>(Fnv1aHash(subquery.CanonicalKey()) % 1000003);
+  }
+  size_t calls() const { return calls_.load(); }
+
+ private:
+  mutable std::atomic<size_t> calls_{0};
+};
+
+/// Updatable estimator whose answers change with every Update() — lets the
+/// tests prove that NotifyDataUpdate actually invalidates cached estimates.
+class VersionedEstimator : public CardinalityEstimator {
+ public:
+  std::string name() const override { return "Versioned"; }
+  double EstimateCard(const Query& subquery) const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    return 1e6 * static_cast<double>(model_version_.load()) +
+           static_cast<double>(subquery.tables.size());
+  }
+  bool SupportsUpdate() const override { return true; }
+  Status Update() override {
+    model_version_.fetch_add(1);
+    ++update_calls_;
+    return Status::OK();
+  }
+  size_t calls() const { return calls_.load(); }
+  size_t update_calls() const { return update_calls_; }
+
+ private:
+  mutable std::atomic<size_t> calls_{0};
+  std::atomic<uint64_t> model_version_{1};
+  size_t update_calls_ = 0;
+};
+
+/// Estimator that parks inside EstimateCard until released — used to pin a
+/// worker so the request queue can be filled deterministically.
+class GateEstimator : public CardinalityEstimator {
+ public:
+  std::string name() const override { return "Gate"; }
+  double EstimateCard(const Query&) const override {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++entered_;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return released_; });
+    return 42.0;
+  }
+  void WaitUntilEntered() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return entered_ > 0; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable int entered_ = 0;
+  bool released_ = false;
+};
+
+Query Parse(const std::string& sql) {
+  auto q = ParseSql(sql);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+std::vector<Query> TestQueries() {
+  std::vector<Query> queries;
+  queries.push_back(Parse(
+      "SELECT COUNT(*) FROM users, posts, comments, badges WHERE "
+      "users.Id = posts.OwnerUserId AND posts.Id = comments.PostId AND "
+      "users.Id = badges.UserId AND posts.Score >= 5 AND "
+      "users.Reputation >= 30;"));
+  queries.push_back(Parse(
+      "SELECT COUNT(*) FROM posts, comments WHERE posts.Id = "
+      "comments.PostId AND comments.Score >= 1;"));
+  queries.push_back(
+      Parse("SELECT COUNT(*) FROM users WHERE users.Reputation >= 100;"));
+  return queries;
+}
+
+/// Serial ground truth: what one thread calling the estimator directly
+/// computes for every connected sub-plan of `query`.
+std::unordered_map<uint64_t, double> SerialEstimates(
+    const CardinalityEstimator& estimator, const Query& query) {
+  std::unordered_map<uint64_t, double> cards;
+  for (uint64_t mask : EnumerateConnectedSubsets(query)) {
+    cards[mask] = mask == query.FullMask()
+                      ? estimator.EstimateCard(query)
+                      : estimator.EstimateCard(query.Induced(mask));
+  }
+  return cards;
+}
+
+TEST(RequestQueueTest, TryPushRespectsCapacityAndNeverBlocks) {
+  RequestQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full: immediate rejection
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.TryPush(3));  // space freed
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(RequestQueueTest, CloseDrainsPendingItemsThenReportsEmpty) {
+  RequestQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(7));
+  ASSERT_TRUE(queue.TryPush(8));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(9));  // closed: no new admissions
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(queue.Pop(&out));  // closed and drained
+}
+
+TEST(RequestQueueTest, ZeroCapacityClampsToOne) {
+  RequestQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_FALSE(queue.TryPush(2));
+}
+
+TEST(EstimationServiceTest, SingleSubplanMatchesDirectEstimate) {
+  EstimationService service;
+  service.RegisterEstimator(std::make_unique<HashEstimator>());
+  HashEstimator reference;
+
+  const Query q = TestQueries()[1];
+  auto result = service.EstimateSync("Hash", q, q.FullMask());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, reference.EstimateCard(q));
+}
+
+TEST(EstimationServiceTest, WholeQueryCoversEveryConnectedSubplan) {
+  EstimationService service;
+  service.RegisterEstimator(std::make_unique<HashEstimator>());
+  HashEstimator reference;
+
+  for (const Query& q : TestQueries()) {
+    auto cards = service.EstimateQuerySync("Hash", q);
+    ASSERT_TRUE(cards.ok()) << cards.status().ToString();
+    const auto expected = SerialEstimates(reference, q);
+    ASSERT_EQ(cards->size(), expected.size());
+    for (const auto& [mask, card] : expected) {
+      ASSERT_TRUE(cards->count(mask)) << "missing mask " << mask;
+      EXPECT_EQ(cards->at(mask), card) << "mask " << mask;
+    }
+  }
+}
+
+TEST(EstimationServiceTest, UnknownEstimatorReturnsNotFound) {
+  EstimationService service;
+  const Query q = TestQueries()[2];
+  auto result = service.EstimateSync("NoSuchModel", q, q.FullMask());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EstimationServiceTest, SubmitAfterShutdownIsRejectedWithoutCallback) {
+  EstimationService service;
+  service.RegisterEstimator(std::make_unique<HashEstimator>());
+  service.Shutdown();
+
+  const Query q = TestQueries()[2];
+  std::atomic<bool> callback_ran{false};
+  Status status =
+      service.Submit(EstimateRequest{"Hash", &q, kAllSubplans},
+                     [&](EstimateResponse) { callback_ran.store(true); });
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(callback_ran.load());
+}
+
+TEST(EstimationServiceTest, FullQueueRejectsWithResourceExhausted) {
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.queue_depth = 1;
+  EstimationService service(options);
+  auto gate = std::make_unique<GateEstimator>();
+  GateEstimator* gate_ptr = gate.get();
+  service.RegisterEstimator(std::move(gate));
+
+  const Query q = TestQueries()[2];
+  std::atomic<int> completed{0};
+  auto done = [&](EstimateResponse response) {
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+    completed.fetch_add(1);
+  };
+
+  // First request occupies the single worker inside the gated EstimateCard.
+  ASSERT_TRUE(service.Submit(EstimateRequest{"Gate", &q, q.FullMask()}, done)
+                  .ok());
+  gate_ptr->WaitUntilEntered();
+  // Second request sits in the depth-1 queue; the third has nowhere to go.
+  ASSERT_TRUE(service.Submit(EstimateRequest{"Gate", &q, q.FullMask()}, done)
+                  .ok());
+  Status overflow =
+      service.Submit(EstimateRequest{"Gate", &q, q.FullMask()}, done);
+  EXPECT_EQ(overflow.code(), StatusCode::kResourceExhausted);
+
+  gate_ptr->Release();
+  service.Shutdown();  // drains the queued request
+  EXPECT_EQ(completed.load(), 2);
+}
+
+TEST(EstimationServiceTest, EightThreadHammerMatchesSerialExactly) {
+  ServiceOptions options;
+  options.num_threads = 8;
+  options.queue_depth = 64;
+  EstimationService service(options);
+  service.RegisterEstimator(std::make_unique<HashEstimator>());
+  HashEstimator reference;
+
+  const std::vector<Query> queries = TestQueries();
+  std::vector<std::unordered_map<uint64_t, double>> expected;
+  for (const Query& q : queries) {
+    expected.push_back(SerialEstimates(reference, q));
+  }
+
+  constexpr size_t kClients = 8;
+  constexpr size_t kIterations = 50;
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < kIterations; ++i) {
+        const size_t qi = (c + i) % queries.size();
+        auto cards = service.EstimateQuerySync("Hash", queries[qi]);
+        if (!cards.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Byte-identical to the serial reference: exact double comparison.
+        if (*cards != expected[qi]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(EstimationServiceTest, RepeatedReplayServesFromCache) {
+  EstimationService service;
+  auto owned = std::make_unique<HashEstimator>();
+  HashEstimator* estimator = owned.get();
+  service.RegisterEstimator(std::move(owned));
+
+  const Query q = TestQueries()[0];
+  const size_t num_subplans = EnumerateConnectedSubsets(q).size();
+
+  auto first = service.EstimateQuerySync("Hash", q);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(estimator->calls(), num_subplans);
+  EXPECT_EQ(service.cache_stats().misses, num_subplans);
+
+  auto second = service.EstimateQuerySync("Hash", q);
+  ASSERT_TRUE(second.ok());
+  // Every sub-plan was served from the cache: the model was not re-invoked.
+  EXPECT_EQ(estimator->calls(), num_subplans);
+  EXPECT_EQ(service.cache_stats().hits, num_subplans);
+  EXPECT_EQ(*first, *second);
+}
+
+TEST(EstimationServiceTest, DataUpdateInvalidatesCacheAndRefreshesModel) {
+  EstimationService service;
+  auto owned = std::make_unique<VersionedEstimator>();
+  VersionedEstimator* estimator = owned.get();
+  service.RegisterEstimator(std::move(owned));
+
+  const Query q = TestQueries()[1];
+  const size_t num_subplans = EnumerateConnectedSubsets(q).size();
+
+  auto before = service.EstimateQuerySync("Versioned", q);
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(estimator->calls(), num_subplans);
+
+  ASSERT_TRUE(service.NotifyDataUpdate().ok());
+  EXPECT_EQ(estimator->update_calls(), 1u);
+
+  auto after = service.EstimateQuerySync("Versioned", q);
+  ASSERT_TRUE(after.ok());
+  // Stale entries were not served: every sub-plan was re-estimated against
+  // the refreshed model, and the answers visibly moved.
+  EXPECT_EQ(estimator->calls(), 2 * num_subplans);
+  EXPECT_EQ(service.cache_stats().invalidated_hits, num_subplans);
+  for (const auto& [mask, card] : *before) {
+    EXPECT_NE(after->at(mask), card) << "mask " << mask;
+  }
+}
+
+TEST(LoadDriverTest, ClosedLoopReplayReportsThroughputAndCacheDelta) {
+  ServiceOptions options;
+  options.num_threads = 4;
+  EstimationService service(options);
+  service.RegisterEstimator(std::make_unique<HashEstimator>());
+
+  const std::vector<Query> queries = TestQueries();
+  std::vector<const Query*> pointers;
+  for (const Query& q : queries) pointers.push_back(&q);
+  LoadDriver driver(service, pointers);
+
+  LoadOptions load;
+  load.estimator = "Hash";
+  load.concurrency = 4;
+  load.replays = 3;
+  auto report = driver.Run(load);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(report->requests, queries.size() * load.replays);
+  EXPECT_GT(report->QueriesPerSecond(), 0.0);
+  EXPECT_GE(report->latency.p99, report->latency.p50);
+  // Replays 2 and 3 hit the sub-plan cache.
+  EXPECT_GT(report->cache.hits, 0u);
+  EXPECT_GT(report->cache.HitRate(), 0.0);
+}
+
+TEST(LoadDriverTest, UnknownEstimatorFailsFast) {
+  EstimationService service;
+  const Query q = TestQueries()[2];
+  LoadDriver driver(service, {&q});
+  LoadOptions load;
+  load.estimator = "NoSuchModel";
+  auto report = driver.Run(load);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace cardbench

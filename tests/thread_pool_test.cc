@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cardbench {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadRequestClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  auto f = pool.Submit([] {});
+  f.get();
+}
+
+TEST(ThreadPoolTest, TaskExceptionLandsInFutureNotWorker) {
+  ThreadPool pool(2);
+  auto bad = pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must still be alive and serving.
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++counter;
+      });
+    }
+    pool.Shutdown();  // must wait for all 50, not drop queued work
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndDestructorSafe) {
+  ThreadPool pool(2);
+  pool.Submit([] {}).get();
+  pool.Shutdown();
+  pool.Shutdown();  // second call is a no-op
+  // Destructor runs another Shutdown when the scope closes.
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRejectsViaFuture) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  auto f = pool.Submit([] {});
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, hits.size(), [&hits](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(pool, 16,
+                           [](size_t i) {
+                             if (i == 7) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cardbench

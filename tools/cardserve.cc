@@ -1,0 +1,140 @@
+// cardserve: a small serving front-end over the EstimationService. Builds
+// the STATS environment, trains the requested estimators, then answers
+// cardinality estimates for SQL queries read one-per-line from stdin. With
+// no stdin input it instead replays the STATS-CEB workload once through the
+// service and prints a serving report (throughput, tail latency, cache).
+//
+//   build/tools/cardserve --fast --estimators=PostgreSQL --threads=4
+//   echo "SELECT COUNT(*) FROM users WHERE users.Reputation >= 100;" \
+//     | build/tools/cardserve --fast
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "harness/bench_env.h"
+#include "query/parser.h"
+#include "service/estimation_service.h"
+#include "service/load_driver.h"
+
+namespace cardbench {
+namespace {
+
+void PrintCacheStats(const EstimationService& service) {
+  const EstimateCacheStats stats = service.cache_stats();
+  std::printf("cache: %llu hits / %llu misses (%.1f%% hit rate), "
+              "%llu evictions\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              100.0 * stats.HitRate(),
+              static_cast<unsigned long long>(stats.evictions));
+}
+
+/// Serves SQL queries from stdin. Returns the number served.
+size_t ServeStdin(EstimationService& service, BenchEnv& env,
+                  const std::vector<std::string>& estimators) {
+  size_t served = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto query = ParseSql(line);
+    if (!query.ok()) {
+      std::printf("parse error: %s\n", query.status().ToString().c_str());
+      continue;
+    }
+    if (Status valid = ValidateQuery(*query, env.db()); !valid.ok()) {
+      std::printf("invalid query: %s\n", valid.ToString().c_str());
+      continue;
+    }
+    for (const std::string& name : estimators) {
+      Stopwatch watch;
+      auto card = service.EstimateSync(name, *query, query->FullMask());
+      if (!card.ok()) {
+        std::printf("%-12s error: %s\n", name.c_str(),
+                    card.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-12s %14.1f rows   (%s)\n", name.c_str(), *card,
+                  FormatDuration(watch.ElapsedSeconds()).c_str());
+    }
+    ++served;
+  }
+  return served;
+}
+
+/// Replays the workload once through the service, per estimator.
+void ReplayWorkload(EstimationService& service, BenchEnv& env,
+                    const std::vector<std::string>& estimators,
+                    size_t concurrency) {
+  std::vector<const Query*> queries;
+  for (const auto& ctx : env.query_contexts()) queries.push_back(ctx.query);
+  std::printf("no stdin input — replaying %zu workload queries\n",
+              queries.size());
+  for (const std::string& name : estimators) {
+    LoadDriver driver(service, queries);
+    LoadOptions load;
+    load.estimator = name;
+    load.concurrency = concurrency;
+    load.replays = 2;  // second pass exercises the sub-plan cache
+    auto report = driver.Run(load);
+    if (!report.ok()) {
+      std::printf("%-12s replay failed: %s\n", name.c_str(),
+                  report.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-12s %8.1f QPS   p50 %s   p95 %s   p99 %s   "
+                "hit rate %.1f%%   rejected %zu\n",
+                name.c_str(), report->QueriesPerSecond(),
+                FormatDuration(report->latency.p50).c_str(),
+                FormatDuration(report->latency.p95).c_str(),
+                FormatDuration(report->latency.p99).c_str(),
+                100.0 * report->cache.HitRate(), report->rejected);
+  }
+}
+
+int Run(const BenchFlags& flags) {
+  auto env_result = BenchEnv::Create(BenchDataset::kStats, flags);
+  CARDBENCH_CHECK(env_result.ok(), "env creation failed: %s",
+                  env_result.status().ToString().c_str());
+  BenchEnv& env = **env_result;
+
+  std::vector<std::string> estimators = flags.estimators;
+  if (estimators.empty()) estimators = {"PostgreSQL"};
+
+  ServiceOptions options;
+  options.num_threads = flags.threads;
+  options.queue_depth = flags.queue_depth;
+  EstimationService service(options);
+  for (std::string& name : estimators) {
+    auto est = env.MakeNamedEstimator(name);
+    CARDBENCH_CHECK(est.ok(), "estimator %s failed: %s", name.c_str(),
+                    est.status().ToString().c_str());
+    // Registry name and the model's self-reported name may differ; serving
+    // lookups go by the registered (self-reported) one.
+    name = (*est)->name();
+    service.RegisterEstimator(std::move(*est));
+  }
+  std::printf("cardserve: %zu worker(s), queue depth %zu, %zu estimator(s) "
+              "on %s\n",
+              service.num_threads(), service.queue_capacity(),
+              estimators.size(), env.dataset_name().c_str());
+
+  if (ServeStdin(service, env, estimators) == 0) {
+    ReplayWorkload(service, env, estimators,
+                   std::max<size_t>(2, flags.threads * 2));
+  }
+  PrintCacheStats(service);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cardbench
+
+int main(int argc, char** argv) {
+  const cardbench::BenchFlags flags = cardbench::ParseBenchFlags(argc, argv);
+  return cardbench::Run(flags);
+}
