@@ -47,6 +47,10 @@ run bench_ablation_fanout
 run bench_sensitivity_noise
 "$BENCH/bench_micro_inference" --benchmark_min_time=0.2s \
   > "$LOGS/bench_micro_inference.log" 2>&1
+# Executor thread/batch sweep; emits bench_micro_executor.json alongside its
+# table (the JSON artifact records the speedup-vs-serial curve).
+run bench_micro_executor
+[ -f bench_micro_executor.json ] && mv bench_micro_executor.json "$LOGS/"
 
 # Collect in paper order.
 : > bench_output.txt
@@ -55,7 +59,8 @@ for name in bench_table1_datasets bench_table2_workloads \
             bench_table5_oltp_olap bench_table6_update \
             bench_table7_qerror_perror bench_figure2_case_study \
             bench_figure3_practicality bench_ablation_fanout \
-            bench_sensitivity_noise bench_micro_inference; do
+            bench_sensitivity_noise bench_micro_inference \
+            bench_micro_executor; do
   {
     echo "================================================================"
     echo "==== $name"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds the repo with AddressSanitizer and runs the tests that pound the
+# executor's raw-pointer batch kernels (selection vectors, key gathers,
+# morsel buffers) plus the concurrency-sensitive binaries. Any out-of-bounds
+# access or leak in the vectorized pipeline fails the run.
+#
+#   scripts/run_asan_tests.sh               # the default binary set
+#   scripts/run_asan_tests.sh -R Parity     # forward extra args to ctest
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . -DCARDBENCH_ASAN=ON >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target storage_test exec_test exec_parity_test thread_pool_test \
+           service_test harness_test
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
+if [ "$#" -gt 0 ]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+else
+  for test in storage_test exec_test exec_parity_test thread_pool_test \
+              service_test harness_test; do
+    echo "== $test (ASAN) =="
+    "$BUILD_DIR/tests/$test"
+  done
+fi
+echo "ASAN run clean."

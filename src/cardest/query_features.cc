@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "storage/filter.h"
 #include "storage/stats.h"
 
 namespace cardbench {
@@ -117,17 +118,11 @@ QueryFeaturizer::SetFeatures QueryFeaturizer::MscnFeatures(
     if (it != table_index_.end()) element[it->second] = 1.0;
     const Table& table = db_.TableOrDie(table_name);
     const auto& rows = bitmap_rows_.at(table_name);
+    const auto compiled =
+        CompilePredicatesFor(table, table_name, query.predicates);
     for (size_t i = 0; i < rows.size(); ++i) {
-      bool pass = table.num_rows() > 0;
-      for (const auto& pred : query.predicates) {
-        if (pred.table != table_name) continue;
-        const Column& col = table.ColumnByName(pred.column);
-        if (!col.IsValid(rows[i]) ||
-            !EvalCompare(col.Get(rows[i]), pred.op, pred.value)) {
-          pass = false;
-          break;
-        }
-      }
+      const bool pass =
+          table.num_rows() > 0 && RowPassesCompiled(compiled, rows[i]);
       element[table_index_.size() + i] = pass ? 1.0 : 0.0;
     }
     out.tables.push_back(std::move(element));

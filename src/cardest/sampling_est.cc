@@ -7,22 +7,11 @@
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "storage/filter.h"
 
 namespace cardbench {
 
 namespace {
-
-bool RowPasses(const Table& table, uint32_t row, const Query& query,
-               const std::string& table_name) {
-  for (const auto& pred : query.predicates) {
-    if (pred.table != table_name) continue;
-    const Column& col = table.ColumnByName(pred.column);
-    if (!col.IsValid(row) || !EvalCompare(col.Get(row), pred.op, pred.value)) {
-      return false;
-    }
-  }
-  return true;
-}
 
 double JoinUniformitySelectivity(const Database& db, const JoinEdge& edge) {
   const Table& lt = db.TableOrDie(edge.left_table);
@@ -115,10 +104,10 @@ double UniSampleEstimator::EstimateCard(const Query& subquery) const {
   for (const auto& table_name : subquery.tables) {
     const Table& table = db_.TableOrDie(table_name);
     const auto& sample = samples_.at(table_name);
-    size_t pass = 0;
-    for (uint32_t row : sample) {
-      pass += RowPasses(table, row, subquery, table_name);
-    }
+    const auto compiled =
+        CompilePredicatesFor(table, table_name, subquery.predicates);
+    std::vector<uint32_t> passing = sample;
+    const size_t pass = FilterRowsConjunction(compiled, &passing);
     const double sel = sample.empty()
                            ? 1.0
                            : static_cast<double>(pass) /
@@ -161,12 +150,20 @@ double WjSampleEstimator::EstimateCard(const Query& subquery) const {
   const Table& root_table = db_.TableOrDie(root);
   if (root_table.num_rows() == 0) return 1e-6;
 
+  // Compile each table's filter conjunction once; walks check single rows
+  // against the compiled form.
+  std::map<std::string, std::vector<CompiledPredicate>> compiled;
+  for (const auto& t : subquery.tables) {
+    compiled[t] =
+        CompilePredicatesFor(db_.TableOrDie(t), t, subquery.predicates);
+  }
+
   double total = 0.0;
   for (size_t w = 0; w < num_walks_; ++w) {
     std::map<std::string, uint32_t> walk_rows;
     const uint32_t start =
         static_cast<uint32_t>(rng.NextUint64(root_table.num_rows()));
-    if (!RowPasses(root_table, start, subquery, root)) continue;
+    if (!RowPassesCompiled(compiled.at(root), start)) continue;
     walk_rows[root] = start;
     double weight = static_cast<double>(root_table.num_rows());
     bool dead = false;
@@ -193,7 +190,7 @@ double WjSampleEstimator::EstimateCard(const Query& subquery) const {
         break;
       }
       const uint32_t pick = matches[rng.NextUint64(matches.size())];
-      if (!RowPasses(next, pick, subquery, next_table)) {
+      if (!RowPassesCompiled(compiled.at(next_table), pick)) {
         dead = true;
         break;
       }
@@ -242,11 +239,10 @@ Status PessEstEstimator::Update() {
 double PessEstEstimator::FilteredCard(const Query& subquery,
                                       const std::string& table_name) const {
   const Table& table = db_.TableOrDie(table_name);
-  size_t count = 0;
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    count += RowPasses(table, static_cast<uint32_t>(row), subquery, table_name);
-  }
-  return static_cast<double>(count);
+  const auto compiled =
+      CompilePredicatesFor(table, table_name, subquery.predicates);
+  return static_cast<double>(
+      CountRangeConjunction(compiled, 0, table.num_rows()));
 }
 
 double PessEstEstimator::EstimateCard(const Query& subquery) const {

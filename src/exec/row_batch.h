@@ -1,0 +1,42 @@
+#ifndef CARDBENCH_EXEC_ROW_BATCH_H_
+#define CARDBENCH_EXEC_ROW_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace cardbench {
+
+/// A fixed-capacity unit of vectorized work: a selection vector of row ids
+/// (base-table rows for scans, input-tuple indexes for joins). Operators
+/// produce and consume RowBatches of at most ExecOptions::batch_size
+/// entries; the batch boundaries are an implementation detail and never
+/// affect results.
+struct RowBatch {
+  std::vector<uint32_t> sel;
+
+  size_t size() const { return sel.size(); }
+  bool empty() const { return sel.empty(); }
+  void Clear() { sel.clear(); }
+  void Reserve(size_t n) { sel.reserve(n); }
+};
+
+/// Gather buffers for batched join-key access: `rows[i]` is the base-table
+/// row of input tuple i of the batch, `keys[i]`/`valid[i]` the gathered key
+/// value and its non-NULL flag (see Column::Gather).
+struct KeyBatch {
+  std::vector<uint32_t> rows;
+  std::vector<Value> keys;
+  std::vector<uint8_t> valid;
+
+  void Resize(size_t n) {
+    rows.resize(n);
+    keys.resize(n);
+    valid.resize(n);
+  }
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_EXEC_ROW_BATCH_H_

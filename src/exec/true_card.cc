@@ -9,30 +9,21 @@
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "storage/filter.h"
 
 namespace cardbench {
 
-TrueCardService::TrueCardService(const Database& db, ExecLimits limits)
-    : db_(db), executor_(db, limits) {}
+TrueCardService::TrueCardService(const Database& db, ExecLimits limits,
+                                 ExecOptions options)
+    : db_(db), executor_(db, limits, options) {}
 
 double TrueCardService::FilteredBaseCard(const Query& query,
                                          const std::string& table_name) const {
   const Table& table = db_.TableOrDie(table_name);
-  size_t count = 0;
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    bool pass = true;
-    for (const auto& pred : query.predicates) {
-      if (pred.table != table_name) continue;
-      const Column& col = table.ColumnByName(pred.column);
-      if (!col.IsValid(row) ||
-          !EvalCompare(col.Get(row), pred.op, pred.value)) {
-        pass = false;
-        break;
-      }
-    }
-    count += pass;
-  }
-  return static_cast<double>(count);
+  const auto compiled =
+      CompilePredicatesFor(table, table_name, query.predicates);
+  return static_cast<double>(
+      CountRangeConjunction(compiled, 0, table.num_rows()));
 }
 
 std::unique_ptr<PlanNode> TrueCardService::BuildCountingPlan(

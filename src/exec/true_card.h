@@ -19,7 +19,8 @@ namespace cardbench {
 class TrueCardService {
  public:
   explicit TrueCardService(const Database& db,
-                           ExecLimits limits = DefaultLimits());
+                           ExecLimits limits = DefaultLimits(),
+                           ExecOptions options = ExecOptions());
 
   /// Exact COUNT(*) of `query` (which may be a sub-plan query). Cached by
   /// the query's canonical key. Returns OutOfRange if execution exceeded the

@@ -14,16 +14,30 @@ namespace cardbench {
 struct TupleSet {
   /// Constituent base tables, defining component order within each tuple.
   std::vector<std::string> tables;
+  /// Interned catalog ids of `tables`, kept parallel by the executor so join
+  /// loops resolve components with integer compares, never strings.
+  std::vector<int> table_ids;
   /// Row ids, row-major; size is a multiple of arity().
   std::vector<uint32_t> data;
 
   size_t arity() const { return tables.size(); }
   size_t size() const { return tables.empty() ? 0 : data.size() / arity(); }
 
-  /// Component index of `table` or -1.
+  /// Component index of `table` or -1. String-comparing fallback for
+  /// diagnostics and tests; operators resolve via ComponentOfId.
   int ComponentOf(const std::string& table) const {
     for (size_t i = 0; i < tables.size(); ++i) {
       if (tables[i] == table) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Component index of the interned table id `table_id`, or -1. Negative
+  /// ids (unknown tables) never match.
+  int ComponentOfId(int table_id) const {
+    if (table_id < 0) return -1;
+    for (size_t i = 0; i < table_ids.size(); ++i) {
+      if (table_ids[i] == table_id) return static_cast<int>(i);
     }
     return -1;
   }

@@ -66,6 +66,32 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
         std::exit(2);
       }
       flags.queue_depth = parsed;
+    } else if (StartsWith(arg, "--exec-threads=")) {
+      size_t parsed = 0;
+      try {
+        parsed = std::stoul(value_of("--exec-threads="));
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+      if (parsed < 1 || parsed > 1024) {
+        std::fprintf(stderr, "--exec-threads must be in [1, 1024], got %s\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      flags.exec_threads = parsed;
+    } else if (StartsWith(arg, "--batch-size=")) {
+      size_t parsed = 0;
+      try {
+        parsed = std::stoul(value_of("--batch-size="));
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+      if (parsed < 1) {
+        std::fprintf(stderr, "--batch-size must be >= 1, got %s\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      flags.batch_size = parsed;
     } else if (StartsWith(arg, "--seed=")) {
       flags.seed = std::stoull(value_of("--seed="));
     } else if (StartsWith(arg, "--verbose=")) {
@@ -75,7 +101,8 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
                    "unknown flag %s\nflags: --fast --scale=F --max-queries=N "
                    "--exec-timeout=S --exec-repeats=N --cache-dir=D "
                    "--estimators=a,b --training-queries=N --threads=N "
-                   "--queue-depth=N --seed=N --verbose=L\n",
+                   "--queue-depth=N --exec-threads=N --batch-size=N "
+                   "--seed=N --verbose=L\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -116,7 +143,8 @@ Status BenchEnv::Prepare(BenchDataset dataset, const BenchFlags& flags) {
     config.seed = flags.seed + 1;
     db_ = GenerateImdbDatabase(config);
   }
-  truecard_ = std::make_unique<TrueCardService>(*db_);
+  truecard_ = std::make_unique<TrueCardService>(
+      *db_, TrueCardService::DefaultLimits(), flags.exec_options());
   optimizer_ = std::make_unique<Optimizer>(*db_);
 
   // Pre-build every key-column index so no estimator's first execution
@@ -194,7 +222,7 @@ const std::vector<TrainingQuery>& BenchEnv::training() {
     ExecLimits limits;
     limits.timeout_seconds = 10.0;
     limits.max_intermediate_tuples = 20000000;
-    TrueCardService service(*db_, limits);
+    TrueCardService service(*db_, limits, flags_.exec_options());
     (void)service.LoadCache(cache_path_);
     auto result = GenerateTrainingQueries(*db_, service,
                                           flags_.training_queries,
@@ -260,7 +288,7 @@ BenchEnv::RunResult BenchEnv::RunEstimator(const CardinalityEstimator& estimator
 
   ExecLimits limits;
   limits.timeout_seconds = flags_.exec_timeout;
-  Executor executor(*db_, limits);
+  Executor executor(*db_, limits, flags_.exec_options());
 
   // One slot per query, written by index: the parallel fan-out produces the
   // same vector, in the same order, as the serial loop.

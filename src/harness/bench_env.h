@@ -42,13 +42,25 @@ struct BenchFlags {
   /// Bound of the estimation service's request queue (serving benches and
   /// cardserve; backpressure rejects beyond it).
   size_t queue_depth = 256;
+  /// Intra-query morsel parallelism of the executor (ExecOptions::
+  /// num_threads); orthogonal to `threads`, which fans out across queries.
+  size_t exec_threads = 1;
+  /// Vectorized batch size of the executor (ExecOptions::batch_size).
+  size_t batch_size = 1024;
   uint64_t seed = 2021;
+
+  ExecOptions exec_options() const {
+    ExecOptions options;
+    options.batch_size = batch_size;
+    options.num_threads = exec_threads;
+    return options;
+  }
 };
 
 /// Parses --scale=, --fast, --max-queries=, --exec-timeout=, --cache-dir=,
 /// --estimators=a,b,c, --training-queries=, --threads=, --queue-depth=,
-/// --seed=, --verbose=. Unknown flags and invalid values abort with a
-/// usage message.
+/// --exec-threads=, --batch-size=, --seed=, --verbose=. Unknown flags and
+/// invalid values abort with a usage message.
 BenchFlags ParseBenchFlags(int argc, char** argv);
 
 enum class BenchDataset { kStats, kImdb };

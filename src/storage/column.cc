@@ -1,6 +1,84 @@
 #include "storage/column.h"
 
+#include <algorithm>
+
 namespace cardbench {
+
+namespace {
+
+template <typename Cmp>
+size_t FilterRangeImpl(const Value* values, const uint8_t* valid, size_t begin,
+                       size_t end, Value rhs, std::vector<uint32_t>* sel,
+                       Cmp cmp) {
+  const size_t before = sel->size();
+  for (size_t row = begin; row < end; ++row) {
+    if (valid[row] && cmp(values[row], rhs)) {
+      sel->push_back(static_cast<uint32_t>(row));
+    }
+  }
+  return sel->size() - before;
+}
+
+template <typename Cmp>
+size_t FilterRowsImpl(const Value* values, const uint8_t* valid, uint32_t* rows,
+                      size_t n, Value rhs, Cmp cmp) {
+  size_t out = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t row = rows[i];
+    rows[out] = row;
+    out += valid[row] && cmp(values[row], rhs) ? 1 : 0;
+  }
+  return out;
+}
+
+/// Dispatches on the comparison operator once, outside the row loop.
+template <typename Fn>
+auto WithComparator(CompareOp op, Fn fn) {
+  switch (op) {
+    case CompareOp::kEq:
+      return fn([](Value a, Value b) { return a == b; });
+    case CompareOp::kNeq:
+      return fn([](Value a, Value b) { return a != b; });
+    case CompareOp::kLt:
+      return fn([](Value a, Value b) { return a < b; });
+    case CompareOp::kLe:
+      return fn([](Value a, Value b) { return a <= b; });
+    case CompareOp::kGt:
+      return fn([](Value a, Value b) { return a > b; });
+    case CompareOp::kGe:
+      return fn([](Value a, Value b) { return a >= b; });
+  }
+  return fn([](Value, Value) { return false; });
+}
+
+}  // namespace
+
+size_t Column::FilterRange(size_t begin, size_t end, CompareOp op, Value value,
+                           std::vector<uint32_t>* sel) const {
+  end = std::min(end, values_.size());
+  if (begin >= end) return 0;
+  return WithComparator(op, [&](auto cmp) {
+    return FilterRangeImpl(values_.data(), valid_.data(), begin, end, value,
+                           sel, cmp);
+  });
+}
+
+size_t Column::FilterRows(uint32_t* rows, size_t n, CompareOp op,
+                          Value value) const {
+  return WithComparator(op, [&](auto cmp) {
+    return FilterRowsImpl(values_.data(), valid_.data(), rows, n, value, cmp);
+  });
+}
+
+void Column::Gather(const uint32_t* rows, size_t n, Value* keys,
+                    uint8_t* valid) const {
+  const Value* values = values_.data();
+  const uint8_t* ok = valid_.data();
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = values[rows[i]];
+    valid[i] = ok[rows[i]];
+  }
+}
 
 size_t Column::null_count() const {
   size_t n = 0;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "query/predicate.h"
 #include "storage/value.h"
 
 namespace cardbench {
@@ -39,6 +40,28 @@ class Column {
 
   /// False iff the value at `row` is NULL.
   bool IsValid(size_t row) const { return valid_[row] != 0; }
+
+  // --- batch kernels -------------------------------------------------------
+  // The vectorized execution pipeline evaluates predicates over row ranges
+  // and selection vectors in tight loops over the raw value/validity arrays:
+  // one dispatch on the operator, no per-row indirection. NULL rows never
+  // pass (SQL semantics).
+
+  /// Appends to `*sel` the ids of rows in [begin, end) whose value is
+  /// non-NULL and satisfies `op value`, in ascending order. Returns the
+  /// number of rows appended.
+  size_t FilterRange(size_t begin, size_t end, CompareOp op, Value value,
+                     std::vector<uint32_t>* sel) const;
+
+  /// Compacts the selection vector `rows[0, n)` in place, keeping (in
+  /// order) the ids whose value is non-NULL and satisfies `op value`.
+  /// Returns the new count.
+  size_t FilterRows(uint32_t* rows, size_t n, CompareOp op, Value value) const;
+
+  /// Bulk accessor for join-key gathering: `keys[i]` receives the value at
+  /// `rows[i]` and `valid[i]` its non-NULL flag, for i in [0, n).
+  void Gather(const uint32_t* rows, size_t n, Value* keys,
+              uint8_t* valid) const;
 
   /// Raw value vector (includes placeholder 0 at NULL positions). Exposed
   /// for vectorized scans and statistics builders.

@@ -1,0 +1,70 @@
+#ifndef CARDBENCH_STORAGE_FILTER_H_
+#define CARDBENCH_STORAGE_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+#include "storage/table.h"
+
+namespace cardbench {
+
+/// One filter predicate with its column reference resolved: the shared
+/// compiled form behind every predicate-evaluation loop in the repo (the
+/// executor's scans, TrueCardService's filtered base cardinalities, and the
+/// sampling estimators). Resolving names once per operator keeps string
+/// lookups out of per-row loops.
+struct CompiledPredicate {
+  const Column* column = nullptr;
+  CompareOp op = CompareOp::kEq;
+  Value value = 0;
+};
+
+/// Resolves every predicate in `predicates` against `table`. All predicates
+/// must name columns of `table` (callers pass plan-node filter lists, which
+/// the planner has already scoped); unknown columns die.
+std::vector<CompiledPredicate> CompilePredicates(
+    const Table& table, const std::vector<Predicate>& predicates);
+
+/// Like CompilePredicates but takes a mixed query-level predicate list and
+/// keeps only the predicates on `table_name` (the form estimators see).
+std::vector<CompiledPredicate> CompilePredicatesFor(
+    const Table& table, const std::string& table_name,
+    const std::vector<Predicate>& predicates);
+
+/// Scalar fallback: true iff `row` satisfies every compiled predicate
+/// (NULLs never pass). For call sites that test isolated rows (samples,
+/// index postings, random walks).
+inline bool RowPassesCompiled(const std::vector<CompiledPredicate>& predicates,
+                              uint32_t row) {
+  for (const auto& p : predicates) {
+    if (!p.column->IsValid(row) ||
+        !EvalCompare(p.column->Get(row), p.op, p.value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Appends to `*sel` the ids of rows in [begin, end) passing every compiled
+/// predicate, in ascending order: the first predicate runs as a range kernel
+/// producing a selection vector, the rest refine it. Returns the number of
+/// rows appended. An empty conjunction admits the whole range.
+size_t FilterRangeConjunction(const std::vector<CompiledPredicate>& predicates,
+                              size_t begin, size_t end,
+                              std::vector<uint32_t>* sel);
+
+/// In-place refinement of the selection vector `*sel` by every compiled
+/// predicate, preserving order. Returns the new size.
+size_t FilterRowsConjunction(const std::vector<CompiledPredicate>& predicates,
+                             std::vector<uint32_t>* sel);
+
+/// Number of rows in [begin, end) passing every compiled predicate, without
+/// materializing a selection vector.
+uint64_t CountRangeConjunction(const std::vector<CompiledPredicate>& predicates,
+                               size_t begin, size_t end);
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_STORAGE_FILTER_H_

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/stats_gen.h"
+#include "exec/executor.h"
+#include "exec/true_card.h"
+
+namespace cardbench {
+namespace {
+
+/// Parity suite of the vectorized, morsel-parallel executor: every join
+/// method × scan method must produce the same count as its materialization,
+/// and every (num_threads, batch_size) configuration must produce results
+/// identical to the serial run — counts, tuples AND tuple order (morsel
+/// outputs are concatenated in morsel order).
+class ExecParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StatsGenConfig config;
+    config.scale = 0.01;
+    db_ = GenerateStatsDatabase(config).release();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static std::unique_ptr<PlanNode> Scan(const std::string& table,
+                                        ScanMethod method,
+                                        std::vector<Predicate> filters,
+                                        uint64_t mask) {
+    auto scan = std::make_unique<PlanNode>();
+    scan->type = PlanNode::Type::kScan;
+    scan->table = table;
+    scan->scan_method = method;
+    scan->filters = std::move(filters);
+    scan->table_mask = mask;
+    return scan;
+  }
+
+  /// users ⋈ comments on users.Id = comments.UserId. The comments leaf
+  /// carries the equality filter comments.Score = 1, so it supports both
+  /// scan methods; the users leaf keeps a range filter (seq scan only).
+  static std::unique_ptr<PlanNode> TwoWayPlan(JoinMethod join_method,
+                                              ScanMethod inner_scan) {
+    auto join = std::make_unique<PlanNode>();
+    join->type = PlanNode::Type::kJoin;
+    join->join_method = join_method;
+    join->edge = {"users", "Id", "comments", "UserId"};
+    join->left = Scan("users", ScanMethod::kSeqScan,
+                      {{"users", "Reputation", CompareOp::kGe, 20}}, 1);
+    join->right = Scan("comments", inner_scan,
+                       {{"comments", "Score", CompareOp::kEq, 1}}, 2);
+    join->table_mask = 3;
+    return join;
+  }
+
+  static Database* db_;
+};
+
+Database* ExecParityTest::db_ = nullptr;
+
+constexpr JoinMethod kJoinMethods[] = {
+    JoinMethod::kHashJoin, JoinMethod::kMergeJoin, JoinMethod::kIndexNestLoop};
+constexpr ScanMethod kScanMethods[] = {ScanMethod::kSeqScan,
+                                       ScanMethod::kIndexScan};
+
+TEST_F(ExecParityTest, CountMatchesMaterializeAcrossMethods) {
+  Executor reference(*db_);
+  const uint64_t expected =
+      reference.ExecuteCount(*TwoWayPlan(JoinMethod::kHashJoin,
+                                         ScanMethod::kSeqScan))
+          ->count;
+  ASSERT_GT(expected, 0u);
+  for (JoinMethod jm : kJoinMethods) {
+    for (ScanMethod sm : kScanMethods) {
+      const auto plan = TwoWayPlan(jm, sm);
+      auto count = reference.ExecuteCount(*plan);
+      auto tuples = reference.Materialize(*plan);
+      ASSERT_TRUE(count.ok()) << count.status().ToString();
+      ASSERT_TRUE(tuples.ok()) << tuples.status().ToString();
+      EXPECT_EQ(count->count, expected)
+          << JoinMethodName(jm) << "/" << ScanMethodName(sm);
+      EXPECT_EQ(tuples->size(), count->count)
+          << JoinMethodName(jm) << "/" << ScanMethodName(sm);
+    }
+  }
+}
+
+TEST_F(ExecParityTest, ThreadAndBatchConfigsAreBitIdentical) {
+  // Baseline: serial, default batch.
+  Executor baseline(*db_);
+  for (JoinMethod jm : kJoinMethods) {
+    for (ScanMethod sm : kScanMethods) {
+      const auto plan = TwoWayPlan(jm, sm);
+      const auto expected = baseline.Materialize(*plan);
+      ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+      for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+        for (size_t batch : {size_t{1}, size_t{7}, size_t{1024}}) {
+          ExecOptions options;
+          options.batch_size = batch;
+          options.num_threads = threads;
+          Executor exec(*db_, ExecLimits(), options);
+          auto count = exec.ExecuteCount(*plan);
+          auto tuples = exec.Materialize(*plan);
+          ASSERT_TRUE(count.ok()) << count.status().ToString();
+          ASSERT_TRUE(tuples.ok()) << tuples.status().ToString();
+          EXPECT_EQ(count->count, expected->size())
+              << JoinMethodName(jm) << "/" << ScanMethodName(sm) << " threads="
+              << threads << " batch=" << batch;
+          EXPECT_EQ(tuples->data, expected->data)
+              << JoinMethodName(jm) << "/" << ScanMethodName(sm) << " threads="
+              << threads << " batch=" << batch;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ExecParityTest, ExplainAnalyzeIdenticalSerialVsParallel) {
+  ExecOptions parallel;
+  parallel.num_threads = 8;
+  Executor serial_exec(*db_);
+  Executor parallel_exec(*db_, ExecLimits(), parallel);
+  for (JoinMethod jm : kJoinMethods) {
+    const auto plan = TwoWayPlan(jm, ScanMethod::kSeqScan);
+    auto serial = serial_exec.ExecuteCount(*plan, /*analyze=*/true);
+    auto threaded = parallel_exec.ExecuteCount(*plan, /*analyze=*/true);
+    ASSERT_TRUE(serial.ok() && threaded.ok());
+    EXPECT_FALSE(serial->actual_rows.empty());
+    EXPECT_EQ(serial->actual_rows, threaded->actual_rows)
+        << JoinMethodName(jm);
+  }
+}
+
+// Regression: the wall-clock budget must be enforced on the index-scan path
+// and inside join build/sort loops, not just in seq scans. An expired budget
+// must trip even when every leaf is an index scan.
+TEST_F(ExecParityTest, IndexScanHonorsTimeout) {
+  ExecLimits limits;
+  limits.timeout_seconds = 0.0;
+  Executor exec(*db_, limits);
+  const auto plan = Scan("comments", ScanMethod::kIndexScan,
+                         {{"comments", "Score", CompareOp::kEq, 1}}, 1);
+  auto result = exec.ExecuteCount(*plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->timed_out);
+}
+
+TEST_F(ExecParityTest, JoinsWithIndexLeavesHonorTimeout) {
+  ExecLimits limits;
+  limits.timeout_seconds = 0.0;
+  for (JoinMethod jm : kJoinMethods) {
+    Executor exec(*db_, limits);
+    auto result = exec.ExecuteCount(*TwoWayPlan(jm, ScanMethod::kIndexScan));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->timed_out) << JoinMethodName(jm);
+  }
+}
+
+TEST_F(ExecParityTest, IntermediateCapEnforcedByEveryJoinMethod) {
+  ExecLimits limits;
+  limits.max_intermediate_tuples = 4;
+  for (JoinMethod jm : kJoinMethods) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      ExecOptions options;
+      options.num_threads = threads;
+      Executor exec(*db_, limits, options);
+      auto tuples = exec.Materialize(*TwoWayPlan(jm, ScanMethod::kSeqScan));
+      EXPECT_FALSE(tuples.ok())
+          << JoinMethodName(jm) << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ExecParityTest, ConcurrentCallersShareOneExecutor) {
+  // The serving layer calls one Executor from many threads; results must
+  // match the single-caller run.
+  ExecOptions options;
+  options.num_threads = 2;
+  Executor exec(*db_, ExecLimits(), options);
+  const auto plan = TwoWayPlan(JoinMethod::kHashJoin, ScanMethod::kSeqScan);
+  const uint64_t expected = exec.ExecuteCount(*plan)->count;
+  ThreadPool callers(4);
+  std::vector<uint64_t> counts(8, 0);
+  ParallelFor(callers, counts.size(), [&](size_t i) {
+    counts[i] = exec.ExecuteCount(*plan)->count;
+  });
+  for (uint64_t c : counts) EXPECT_EQ(c, expected);
+}
+
+}  // namespace
+}  // namespace cardbench

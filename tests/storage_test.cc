@@ -6,6 +6,7 @@
 #include "datagen/stats_gen.h"
 #include "storage/catalog.h"
 #include "storage/csv.h"
+#include "storage/filter.h"
 #include "storage/stats.h"
 #include "storage/table.h"
 
@@ -191,6 +192,132 @@ TEST(FullOuterJoinEstimateTest, GrowsWithChildTables) {
   // The FOJ must dwarf the base row count by orders of magnitude (the paper
   // quotes 3e16 against ~1M stored rows for the real STATS).
   EXPECT_GT(foj, 1e3 * static_cast<double>(total_rows));
+}
+
+// ------------------------------------------------------ batch filter kernels
+
+constexpr CompareOp kAllOps[] = {CompareOp::kEq, CompareOp::kNeq,
+                                 CompareOp::kLt, CompareOp::kLe,
+                                 CompareOp::kGt, CompareOp::kGe};
+
+/// Deterministic test column: values cycle through a small domain and every
+/// 7th row (offset 3) is NULL.
+Column MakeKernelColumn(size_t n) {
+  Column col("c", ColumnKind::kNumeric);
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 7 == 3) {
+      col.AppendNull();
+    } else {
+      col.Append(static_cast<Value>((i * 37) % 50));
+    }
+  }
+  return col;
+}
+
+TEST(FilterKernelTest, FilterRangeMatchesScalarForAllOps) {
+  const Column col = MakeKernelColumn(300);
+  for (CompareOp op : kAllOps) {
+    std::vector<uint32_t> sel;
+    const size_t count = col.FilterRange(10, 290, op, 25, &sel);
+    std::vector<uint32_t> expected;
+    for (size_t r = 10; r < 290; ++r) {
+      if (col.IsValid(r) && EvalCompare(col.Get(r), op, 25)) {
+        expected.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    EXPECT_EQ(count, expected.size()) << CompareOpName(op);
+    EXPECT_EQ(sel, expected) << CompareOpName(op);
+  }
+}
+
+TEST(FilterKernelTest, FilterRangeClampsEndAndAppends) {
+  const Column col = MakeKernelColumn(100);
+  std::vector<uint32_t> sel = {12345};  // pre-existing content is kept
+  col.FilterRange(0, 100000, CompareOp::kGe, 0, &sel);
+  ASSERT_FALSE(sel.empty());
+  EXPECT_EQ(sel.front(), 12345u);
+  // All 100 rows minus the NULLs pass `>= 0` (domain is non-negative).
+  EXPECT_EQ(sel.size() - 1, 100 - col.null_count());
+  EXPECT_EQ(sel.back(), 99u);
+}
+
+TEST(FilterKernelTest, FilterRowsCompactsInPlaceForAllOps) {
+  const Column col = MakeKernelColumn(300);
+  for (CompareOp op : kAllOps) {
+    std::vector<uint32_t> sel;
+    for (uint32_t r = 0; r < 300; r += 2) sel.push_back(r);
+    const size_t kept = col.FilterRows(sel.data(), sel.size(), op, 25);
+    sel.resize(kept);
+    std::vector<uint32_t> expected;
+    for (uint32_t r = 0; r < 300; r += 2) {
+      if (col.IsValid(r) && EvalCompare(col.Get(r), op, 25)) {
+        expected.push_back(r);
+      }
+    }
+    EXPECT_EQ(sel, expected) << CompareOpName(op);
+  }
+}
+
+TEST(FilterKernelTest, GatherReportsValuesAndNulls) {
+  const Column col = MakeKernelColumn(50);
+  const std::vector<uint32_t> rows = {3, 0, 49, 10, 17};
+  std::vector<Value> keys(rows.size());
+  std::vector<uint8_t> valid(rows.size());
+  col.Gather(rows.data(), rows.size(), keys.data(), valid.data());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(valid[i] != 0, col.IsValid(rows[i])) << rows[i];
+    if (valid[i]) EXPECT_EQ(keys[i], col.Get(rows[i])) << rows[i];
+  }
+}
+
+TEST(FilterKernelTest, ConjunctionHelpersMatchScalar) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", ColumnKind::kNumeric).ok());
+  ASSERT_TRUE(t.AddColumn("b", ColumnKind::kNumeric).ok());
+  for (size_t i = 0; i < 500; ++i) {
+    if (i % 11 == 5) {
+      ASSERT_TRUE(t.AppendRow({static_cast<Value>(i % 40), std::nullopt}).ok());
+    } else {
+      ASSERT_TRUE(t.AppendRow({static_cast<Value>(i % 40),
+                               static_cast<Value>(i % 13)}).ok());
+    }
+  }
+  const std::vector<Predicate> preds = {
+      {"t", "a", CompareOp::kGe, 10},
+      {"t", "b", CompareOp::kLt, 9},
+  };
+  const auto compiled = CompilePredicates(t, preds);
+
+  std::vector<uint32_t> expected;
+  for (uint32_t r = 0; r < 500; ++r) {
+    bool pass = true;
+    for (const auto& p : preds) {
+      const Column& col = t.ColumnByName(p.column);
+      if (!col.IsValid(r) || !EvalCompare(col.Get(r), p.op, p.value)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) expected.push_back(r);
+  }
+
+  std::vector<uint32_t> sel;
+  EXPECT_EQ(FilterRangeConjunction(compiled, 0, 500, &sel), expected.size());
+  EXPECT_EQ(sel, expected);
+  EXPECT_EQ(CountRangeConjunction(compiled, 0, 500), expected.size());
+
+  std::vector<uint32_t> all(500);
+  for (uint32_t r = 0; r < 500; ++r) all[r] = r;
+  EXPECT_EQ(FilterRowsConjunction(compiled, &all), expected.size());
+  EXPECT_EQ(all, expected);
+
+  for (uint32_t r = 0; r < expected.size(); ++r) {
+    EXPECT_TRUE(RowPassesCompiled(compiled, expected[r]));
+  }
+
+  // An empty conjunction admits the whole range.
+  const std::vector<CompiledPredicate> none;
+  EXPECT_EQ(CountRangeConjunction(none, 7, 123), 116u);
 }
 
 }  // namespace

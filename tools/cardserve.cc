@@ -119,9 +119,10 @@ int Run(const BenchFlags& flags) {
     service.RegisterEstimator(std::move(*est));
   }
   std::printf("cardserve: %zu worker(s), queue depth %zu, %zu estimator(s) "
-              "on %s\n",
+              "on %s (exec: %zu thread(s), batch %zu)\n",
               service.num_threads(), service.queue_capacity(),
-              estimators.size(), env.dataset_name().c_str());
+              estimators.size(), env.dataset_name().c_str(),
+              flags.exec_threads, flags.batch_size);
 
   if (ServeStdin(service, env, estimators) == 0) {
     ReplayWorkload(service, env, estimators,
