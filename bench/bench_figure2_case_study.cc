@@ -27,7 +27,7 @@ void ShowPlan(BenchEnv& env, const Query& query,
   auto exec = executor.ExecuteCount(*plan->plan, /*analyze=*/true);
   CARDBENCH_CHECK(exec.ok(), "execution failed");
   const double recost =
-      env.optimizer().RecostWithCards(*plan->plan, query, ctx.true_cards);
+      env.optimizer().RecostWithCards(*plan->plan, ctx.true_cards);
   const double perror =
       ctx.true_plan_cost > 0 ? recost / ctx.true_plan_cost : 1.0;
   std::printf("--- %s ---\n", est.name().c_str());

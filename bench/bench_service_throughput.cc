@@ -71,7 +71,7 @@ class RemoteModelEstimator : public CardinalityEstimator {
 Result<LoadReport> SweepPoint(BenchEnv& env, const BenchFlags& flags,
                               const std::string& registry_name,
                               const std::string& serving_name,
-                              const std::vector<const Query*>& queries,
+                              const std::vector<const QueryGraph*>& graphs,
                               size_t workers, size_t requests,
                               double rpc_latency) {
   ServiceOptions options;
@@ -91,11 +91,11 @@ Result<LoadReport> SweepPoint(BenchEnv& env, const BenchFlags& flags,
     service.RegisterEstimator(std::move(est));
   }
 
-  LoadDriver driver(service, queries);
+  LoadDriver driver(service, graphs);
   LoadOptions load;
   load.estimator = rpc_latency > 0.0 ? "RemoteModel" : serving_name;
   load.concurrency = workers * 2;  // keep every worker saturated
-  load.replays = std::max<size_t>(1, requests / queries.size());
+  load.replays = std::max<size_t>(1, requests / graphs.size());
   return driver.Run(load);
 }
 
@@ -109,7 +109,11 @@ void RunBench(const BenchFlags& flags) {
       flags.estimators.empty() ? "PostgreSQL" : flags.estimators[0];
 
   std::vector<const Query*> queries;
-  for (const auto& ctx : env.query_contexts()) queries.push_back(ctx.query);
+  std::vector<const QueryGraph*> graphs;
+  for (const auto& ctx : env.query_contexts()) {
+    queries.push_back(ctx.query);
+    graphs.push_back(ctx.graph.get());
+  }
   std::printf("\nworkload: %s, %zu queries, estimator: %s\n",
               env.dataset_name().c_str(), queries.size(),
               estimator_name.c_str());
@@ -141,7 +145,7 @@ void RunBench(const BenchFlags& flags) {
   double cpu_top = 0.0;
   for (size_t workers : worker_counts) {
     auto report = SweepPoint(env, flags, estimator_name, serving_name,
-                             queries, workers, 1000, 0.0);
+                             graphs, workers, 1000, 0.0);
     CARDBENCH_CHECK(report.ok(), "load run failed: %s",
                     report.status().ToString().c_str());
     if (workers == 1) cpu_baseline = report->QueriesPerSecond();
@@ -167,7 +171,7 @@ void RunBench(const BenchFlags& flags) {
   double rpc_top = 0.0;
   for (size_t workers : worker_counts) {
     auto report = SweepPoint(env, flags, estimator_name, serving_name,
-                             queries, workers, 200, 100e-6);
+                             graphs, workers, 200, 100e-6);
     CARDBENCH_CHECK(report.ok(), "load run failed: %s",
                     report.status().ToString().c_str());
     if (workers == 1) rpc_baseline = report->QueriesPerSecond();
@@ -208,7 +212,10 @@ void RunBench(const BenchFlags& flags) {
 
   // Hot-cache replay: the workload was just served, so a repeat should be
   // absorbed by the sub-plan cache.
-  LoadDriver hot_driver(*last_service, queries);
+  // Graph-dispatch replay against entries the query-path identity check just
+  // inserted: a hit rate > 0 proves graph and graph-less requests share
+  // cache entries through the fingerprint key.
+  LoadDriver hot_driver(*last_service, graphs);
   LoadOptions hot;
   hot.estimator = serving_name;
   hot.concurrency = kTopWorkers * 2;

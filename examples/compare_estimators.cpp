@@ -50,7 +50,7 @@ int main() {
   auto oracle = MakeEstimator("TrueCard", *db, truecard, nullptr, fast);
   auto oracle_plan = optimizer.Plan(*query, **oracle);
   const double best_cost =
-      optimizer.RecostWithCards(*oracle_plan->plan, *query, *true_cards);
+      optimizer.RecostWithCards(*oracle_plan->plan, *true_cards);
 
   Executor executor(*db);
   std::printf("%-12s %10s %10s %10s   plan summary\n", "method", "P-Error",
@@ -63,7 +63,7 @@ int main() {
     auto plan = optimizer.Plan(*query, **est);
     if (!plan.ok()) continue;
     const double cost =
-        optimizer.RecostWithCards(*plan->plan, *query, *true_cards);
+        optimizer.RecostWithCards(*plan->plan, *true_cards);
     auto exec = executor.ExecuteCount(*plan->plan);
     // Render the join order as a compact left-deep-ish summary: the root
     // join method plus the table order of the leaves.

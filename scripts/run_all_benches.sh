@@ -51,6 +51,10 @@ run bench_sensitivity_noise
 # table (the JSON artifact records the speedup-vs-serial curve).
 run bench_micro_executor
 [ -f bench_micro_executor.json ] && mv bench_micro_executor.json "$LOGS/"
+# Planner path comparison (legacy strings vs compiled QueryGraph); emits
+# bench_micro_planner.json with the plans/sec and dispatch-overhead numbers.
+run bench_micro_planner
+[ -f bench_micro_planner.json ] && mv bench_micro_planner.json "$LOGS/"
 
 # Collect in paper order.
 : > bench_output.txt
@@ -60,7 +64,7 @@ for name in bench_table1_datasets bench_table2_workloads \
             bench_table7_qerror_perror bench_figure2_case_study \
             bench_figure3_practicality bench_ablation_fanout \
             bench_sensitivity_noise bench_micro_inference \
-            bench_micro_executor; do
+            bench_micro_executor bench_micro_planner; do
   {
     echo "================================================================"
     echo "==== $name"

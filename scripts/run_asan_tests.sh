@@ -14,14 +14,15 @@ BUILD_DIR=${BUILD_DIR:-build-asan}
 cmake -B "$BUILD_DIR" -S . -DCARDBENCH_ASAN=ON >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target storage_test exec_test exec_parity_test thread_pool_test \
-           service_test harness_test
+           service_test harness_test query_graph_test planner_parity_test
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
 if [ "$#" -gt 0 ]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
 else
   for test in storage_test exec_test exec_parity_test thread_pool_test \
-              service_test harness_test; do
+              service_test harness_test query_graph_test \
+              planner_parity_test; do
     echo "== $test (ASAN) =="
     "$BUILD_DIR/tests/$test"
   done

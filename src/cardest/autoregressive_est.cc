@@ -1,7 +1,9 @@
 #include "cardest/autoregressive_est.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/str_util.h"
@@ -13,6 +15,15 @@ namespace {
 
 Value ClampToValue(double v) {
   return static_cast<Value>(std::min(v, 4.0e18));
+}
+
+/// Packs an oriented (parent table, parent column, child table, child
+/// column) id quadruple into one lookup key.
+uint64_t PackTreeEdge(int ptid, int pcid, int ctid, int ccid) {
+  return (static_cast<uint64_t>(static_cast<uint16_t>(ptid)) << 48) |
+         (static_cast<uint64_t>(static_cast<uint16_t>(pcid)) << 32) |
+         (static_cast<uint64_t>(static_cast<uint16_t>(ctid)) << 16) |
+         static_cast<uint16_t>(ccid);
 }
 
 /// Materializes a vector of doubles as a storage Column for binning.
@@ -37,9 +48,33 @@ AutoregressiveEstimator::AutoregressiveEstimator(
       "query-driven autoregressive estimators need training queries");
   Stopwatch watch;
   sampler_ = std::make_unique<FojSampler>(db_);
+  RebuildIdMaps();
   BuildColumns();
   Train();
   train_seconds_ = watch.ElapsedSeconds();
+}
+
+void AutoregressiveEstimator::RebuildIdMaps() {
+  std::unordered_map<std::string, int> name_to_tid;
+  for (size_t t = 0; t < db_.table_names().size(); ++t) {
+    name_to_tid[db_.table_names()[t]] = static_cast<int>(t);
+  }
+  sampler_idx_by_table_id_.assign(db_.table_names().size(), -1);
+  for (size_t t = 0; t < db_.table_names().size(); ++t) {
+    sampler_idx_by_table_id_[t] = sampler_->TableIndex(db_.table_names()[t]);
+  }
+  tree_edge_keys_.clear();
+  for (const auto& tree_edge : sampler_->edges()) {
+    const std::string& parent = sampler_->bfs_order()[tree_edge.parent_idx];
+    const std::string& child = sampler_->bfs_order()[tree_edge.child_idx];
+    const Table& pt = db_.TableOrDie(parent);
+    const Table& ct = db_.TableOrDie(child);
+    tree_edge_keys_.insert(PackTreeEdge(
+        name_to_tid.at(parent),
+        static_cast<int>(pt.ColumnIndexOrDie(tree_edge.parent_col)),
+        name_to_tid.at(child),
+        static_cast<int>(ct.ColumnIndexOrDie(tree_edge.child_col))));
+  }
 }
 
 void AutoregressiveEstimator::BuildColumns() {
@@ -64,6 +99,7 @@ void AutoregressiveEstimator::BuildColumns() {
       attr.kind = ModelColumn::Kind::kAttr;
       attr.table_idx = t;
       attr.attr = col.name();
+      attr.attr_column_id = static_cast<int>(c);
       attr.binner =
           std::make_unique<ColumnBinner>(col, options_.bins_per_column);
       attr.domain = attr.binner->num_bins();
@@ -263,6 +299,7 @@ Status AutoregressiveEstimator::Update() {
   // samples (binned with the frozen binners) and fine-tune.
   Stopwatch watch;
   sampler_ = std::make_unique<FojSampler>(db_);
+  RebuildIdMaps();
   Rng rng(options_.seed ^ 0x5555);
   const auto rows = DrawDataTuples(options_.training_samples, rng);
   for (size_t epoch = 0; epoch < std::max<size_t>(2, options_.epochs / 2);
@@ -347,6 +384,124 @@ double AutoregressiveEstimator::ProgressiveEstimate(
   double mean = 0.0;
   for (double w : weights) mean += w;
   return mean / static_cast<double>(batch);
+}
+
+bool AutoregressiveEstimator::GraphMapToTree(
+    const QueryGraph& graph, uint64_t mask, std::vector<bool>* table_in_s,
+    std::vector<int>* local_of_sampler) const {
+  table_in_s->assign(sampler_->bfs_order().size(), false);
+  local_of_sampler->assign(sampler_->bfs_order().size(), -1);
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const int local = std::countr_zero(rest);
+    const int idx = sampler_idx_by_table_id_[graph.table(local).table_id];
+    if (idx < 0) return false;
+    (*table_in_s)[static_cast<size_t>(idx)] = true;
+    (*local_of_sampler)[static_cast<size_t>(idx)] = local;
+  }
+  for (const auto& edge : graph.edges()) {
+    if ((edge.mask & mask) != edge.mask) continue;
+    const bool forward = tree_edge_keys_.count(
+                             PackTreeEdge(edge.left_table_id,
+                                          edge.left_column_id,
+                                          edge.right_table_id,
+                                          edge.right_column_id)) > 0;
+    const bool backward = tree_edge_keys_.count(
+                              PackTreeEdge(edge.right_table_id,
+                                           edge.right_column_id,
+                                           edge.left_table_id,
+                                           edge.left_column_id)) > 0;
+    if (!forward && !backward) return false;
+  }
+  return true;
+}
+
+double AutoregressiveEstimator::EstimateCard(const QueryGraph& graph,
+                                             uint64_t mask) const {
+  // Same per-sub-plan stream as the Query overload: the graph's canonical
+  // key is byte-identical to the induced sub-query's.
+  Rng rng(options_.seed ^ 0xABCDEF ^ Fnv1aHash(graph.CanonicalKey(mask)));
+  std::vector<bool> in_s;
+  std::vector<int> local_of_sampler;
+  if (!GraphMapToTree(graph, mask, &in_s, &local_of_sampler)) {
+    // Off-tree join (FK-FK shortcut): independence fallback — single-table
+    // estimates combined with 1/max(ndv) per edge (tree-schema limitation).
+    // Singleton masks recurse through this overload; their canonical keys
+    // equal the per-table Query the legacy fallback materializes.
+    double card = 1.0;
+    for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+      card *= EstimateCard(graph, rest & ~(rest - 1));
+    }
+    for (const auto& edge : graph.edges()) {
+      if ((edge.mask & mask) != edge.mask) continue;
+      const double lndv = std::max<double>(
+          1.0, static_cast<double>(
+                   edge.left_table->GetIndex(edge.left_column_id)
+                       .num_distinct()));
+      const double rndv = std::max<double>(
+          1.0, static_cast<double>(
+                   edge.right_table->GetIndex(edge.right_column_id)
+                       .num_distinct()));
+      card /= std::max(lndv, rndv);
+    }
+    return std::max(card, 1.0);
+  }
+
+  // Top of S: the BFS-shallowest table (parents precede children).
+  size_t top = 0;
+  for (size_t t = 0; t < in_s.size(); ++t) {
+    if (in_s[t]) {
+      top = t;
+      break;
+    }
+  }
+
+  std::vector<std::pair<size_t, std::vector<double>>> factors;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const ModelColumn& mc = columns_[c];
+    const bool table_in_query = in_s[mc.table_idx];
+    switch (mc.kind) {
+      case ModelColumn::Kind::kPresence:
+        if (table_in_query) factors.push_back({c, {0.0, 1.0}});
+        break;
+      case ModelColumn::Kind::kAttr: {
+        if (!table_in_query) break;
+        const QueryGraph::TableInfo& info =
+            graph.table(local_of_sampler[mc.table_idx]);
+        std::vector<Predicate> preds;
+        for (size_t p = 0; p < info.preds.size(); ++p) {
+          if (info.pred_column_ids[p] == mc.attr_column_id) {
+            preds.push_back(info.preds[p]);
+          }
+        }
+        if (!preds.empty()) {
+          factors.push_back({c, mc.binner->PredicateFractions(preds)});
+        }
+        break;
+      }
+      case ModelColumn::Kind::kUpward: {
+        if (mc.table_idx != top) break;
+        std::vector<double> inv(mc.domain);
+        for (uint16_t b = 0; b < mc.domain; ++b) {
+          inv[b] = mc.binner->BinInverseMean(b);
+        }
+        factors.push_back({c, std::move(inv)});
+        break;
+      }
+      case ModelColumn::Kind::kEdgeDup: {
+        if (!table_in_query) break;
+        const auto& edge = sampler_->edges()[static_cast<size_t>(mc.edge_idx)];
+        if (in_s[edge.child_idx]) break;  // child joined: no duplication
+        std::vector<double> inv(mc.domain);
+        for (uint16_t b = 0; b < mc.domain; ++b) {
+          inv[b] = mc.binner->BinInverseMean(b);
+        }
+        factors.push_back({c, std::move(inv)});
+        break;
+      }
+    }
+  }
+  const double expectation = ProgressiveEstimate(factors, rng);
+  return std::max(1.0, sampler_->foj_size() * expectation);
 }
 
 double AutoregressiveEstimator::EstimateCard(const Query& subquery) const {

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "cardest/binner.h"
@@ -71,7 +72,11 @@ class AutoregressiveEstimator : public CardinalityEstimator {
 
   /// Progressive-sampling randomness is derived from a hash of the
   /// sub-plan's canonical key, so estimates are deterministic per sub-plan
-  /// and safe under concurrent callers (thread-safety contract).
+  /// and safe under concurrent callers (thread-safety contract). The graph
+  /// overload seeds from the precomputed canonical key and maps tables and
+  /// join edges onto the FOJ spanning tree by resolved ids, so both paths
+  /// draw identical progressive samples.
+  double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
@@ -86,6 +91,7 @@ class AutoregressiveEstimator : public CardinalityEstimator {
     Kind kind = Kind::kPresence;
     size_t table_idx = 0;
     std::string attr;                      // kAttr
+    int attr_column_id = -1;               // kAttr: column index in the table
     int edge_idx = -1;                     // kEdgeDup
     std::unique_ptr<ColumnBinner> binner;  // null for presence
     size_t domain = 2;
@@ -108,11 +114,28 @@ class AutoregressiveEstimator : public CardinalityEstimator {
   /// tree.
   bool MapToTree(const Query& query, std::vector<bool>* table_in_s) const;
 
+  /// Graph-path MapToTree: ids instead of names. Also records which local
+  /// table occupies each sampler slot (-1 when absent from the mask).
+  bool GraphMapToTree(const QueryGraph& graph, uint64_t mask,
+                      std::vector<bool>* table_in_s,
+                      std::vector<int>* local_of_sampler) const;
+
+  /// Rebuilds the id-keyed views over the sampler's spanning tree (table id
+  /// -> sampler slot; packed edge keys) — called whenever sampler_ is
+  /// replaced (constructor, Update).
+  void RebuildIdMaps();
+
   const Database& db_;
   ArTraining mode_;
   const std::vector<TrainingQuery>* training_queries_;
   ArOptions options_;
   std::unique_ptr<FojSampler> sampler_;
+  // Global table id -> sampler BFS slot (-1 when the sampler's tree does
+  // not cover the table).
+  std::vector<int> sampler_idx_by_table_id_;
+  // Parent-first packed (table_id, column_id, table_id, column_id) keys of
+  // the spanning-tree edges.
+  std::unordered_set<uint64_t> tree_edge_keys_;
   std::vector<ModelColumn> columns_;
   std::unique_ptr<MadeModel> made_;
   double train_seconds_ = 0.0;

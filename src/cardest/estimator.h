@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "query/query.h"
+#include "query/query_graph.h"
 
 namespace cardbench {
 
@@ -32,6 +33,24 @@ class CardinalityEstimator {
   /// Method name as it appears in the paper's tables ("PostgreSQL",
   /// "BayesCard", "FLAT", ...).
   virtual std::string name() const = 0;
+
+  /// Estimated COUNT(*) of the sub-plan of `graph` selected by `mask` (a
+  /// *connected* table subset, as enumerated by the optimizer's DP). This is
+  /// the primary dispatch: the graph carries pre-resolved table/column ids,
+  /// pre-bound predicate slots and precomputed canonical keys, so no name is
+  /// re-resolved per sub-plan. Never executes the query; implementations
+  /// should return a non-negative finite value (the optimizer clamps >= 1).
+  /// Const and thread-safe per the class-level contract.
+  ///
+  /// The default adapter forwards to the string-based overload on the
+  /// precomputed induced sub-query, so estimators that only implement the
+  /// legacy overload keep working unchanged. Exactly one of the two
+  /// overloads must be overridden (the migrated estimators override both:
+  /// the graph overload is the serving path, the Query overload remains the
+  /// reference implementation the parity suite compares against).
+  virtual double EstimateCard(const QueryGraph& graph, uint64_t mask) const {
+    return EstimateCard(graph.InducedRef(mask));
+  }
 
   /// Estimated COUNT(*) of `subquery` (a sub-plan query: subset of tables,
   /// induced joins and predicates). Never executes the query. Implementations

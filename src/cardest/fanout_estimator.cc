@@ -1,6 +1,7 @@
 #include "cardest/fanout_estimator.h"
 
 #include <algorithm>
+#include <bit>
 #include <queue>
 #include <set>
 
@@ -132,6 +133,208 @@ double FanoutModelEstimator::SubtreeRho(
   const double denom_e = ExpectWithFactors(table, std::move(denom));
   if (denom_e <= 1e-12) return 0.0;
   return (numer_e / denom_e) * child_scalars;
+}
+
+double FanoutModelEstimator::GraphSubtreeRho(
+    const QueryGraph& graph, int local, int parent_local,
+    const QueryGraph::EdgeInfo& parent_edge,
+    const std::map<int, std::vector<std::pair<const QueryGraph::EdgeInfo*,
+                                              int>>>& tree_children) const {
+  const QueryGraph::TableInfo& info = graph.table(local);
+  const ExtendedTable& ext = *ext_tables_.at(info.name);
+
+  // Fanout column counting this table's matches in the parent. Orientation
+  // comes from the resolved local ids; column/table names from the edge.
+  const JoinEdge& je = *parent_edge.edge;
+  const bool i_am_left = parent_edge.left_local == local;
+  const std::string& my_col = i_am_left ? je.left_column : je.right_column;
+  const std::string& parent_col = i_am_left ? je.right_column : je.left_column;
+  const std::string& parent_name = graph.table(parent_local).name;
+  const int up_idx = ext.FanoutIndex(my_col, {parent_name, parent_col});
+  CARDBENCH_CHECK(up_idx >= 0, "no fanout column %s.%s -> %s.%s",
+                  info.name.c_str(), my_col.c_str(), parent_name.c_str(),
+                  parent_col.c_str());
+
+  std::vector<ColumnFactor> numer;
+  numer.push_back(
+      {static_cast<size_t>(up_idx),
+       ext.FanoutMeanFactor(static_cast<size_t>(up_idx))});
+  for (const auto& group : info.pred_groups) {
+    const int idx = ext.AttrIndex(group.column);
+    if (idx < 0) continue;  // predicate on unmodeled column: ignore
+    numer.push_back(
+        {static_cast<size_t>(idx),
+         ext.PredicateFactor(static_cast<size_t>(idx), group.preds)});
+  }
+
+  double child_scalars = 1.0;
+  auto it = tree_children.find(local);
+  if (it != tree_children.end()) {
+    for (const auto& [edge, child] : it->second) {
+      const JoinEdge& ce = *edge->edge;
+      const bool child_is_right = edge->left_local == local;
+      const std::string& down_col =
+          child_is_right ? ce.left_column : ce.right_column;
+      const std::string& child_col =
+          child_is_right ? ce.right_column : ce.left_column;
+      const int idx = ext.FanoutIndex(
+          down_col, {graph.table(child).name, child_col});
+      CARDBENCH_CHECK(idx >= 0, "no fanout column for child edge");
+      numer.push_back({static_cast<size_t>(idx),
+                       ext.FanoutMeanFactor(static_cast<size_t>(idx))});
+      child_scalars *=
+          GraphSubtreeRho(graph, child, local, *edge, tree_children);
+    }
+  }
+
+  const double numer_e = ExpectWithFactors(info.name, std::move(numer));
+  std::vector<ColumnFactor> denom;
+  denom.push_back(
+      {static_cast<size_t>(up_idx),
+       ext.FanoutMeanFactor(static_cast<size_t>(up_idx))});
+  const double denom_e = ExpectWithFactors(info.name, std::move(denom));
+  if (denom_e <= 1e-12) return 0.0;
+  return (numer_e / denom_e) * child_scalars;
+}
+
+double FanoutModelEstimator::EstimateCard(const QueryGraph& graph,
+                                          uint64_t mask) const {
+  CARDBENCH_CHECK(mask != 0, "empty query");
+
+  // Single table: |T| * E[predicate factors].
+  if (std::popcount(mask) == 1) {
+    const QueryGraph::TableInfo& info = graph.table(std::countr_zero(mask));
+    const ExtendedTable& ext = *ext_tables_.at(info.name);
+    std::vector<ColumnFactor> factors;
+    for (const auto& group : info.pred_groups) {
+      const int idx = ext.AttrIndex(group.column);
+      if (idx < 0) continue;
+      factors.push_back(
+          {static_cast<size_t>(idx),
+           ext.PredicateFactor(static_cast<size_t>(idx), group.preds)});
+    }
+    const double rows = static_cast<double>(info.table->num_rows());
+    return std::max(1.0,
+                    rows * ExpectWithFactors(info.name, std::move(factors)));
+  }
+
+  // Ablation mode: join uniformity over single-table model estimates. The
+  // single-table recursion takes the popcount==1 branch above, which folds
+  // exactly like the legacy per-table Query materialization.
+  if (!use_fanout_join_) {
+    double card = 1.0;
+    for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+      card *= EstimateCard(graph, rest & ~(rest - 1));
+    }
+    for (const auto& edge : graph.edges()) {
+      if ((edge.mask & mask) != edge.mask) continue;
+      const double lndv = std::max<double>(
+          1.0, static_cast<double>(
+                   edge.left_table->GetIndex(edge.left_column_id)
+                       .num_distinct()));
+      const double rndv = std::max<double>(
+          1.0, static_cast<double>(
+                   edge.right_table->GetIndex(edge.right_column_id)
+                       .num_distinct()));
+      card /= std::max(lndv, rndv);
+    }
+    return std::max(card, 1e-6);
+  }
+
+  // Spanning tree of the query join graph rooted at the largest table;
+  // non-tree (parallel) edges contribute independence selectivities.
+  int root = std::countr_zero(mask);
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const int local = std::countr_zero(rest);
+    if (graph.table(local).table->num_rows() >
+        graph.table(root).table->num_rows()) {
+      root = local;
+    }
+  }
+  std::map<int, std::vector<std::pair<const QueryGraph::EdgeInfo*, int>>>
+      tree_children;
+  std::vector<const QueryGraph::EdgeInfo*> non_tree;
+  {
+    uint64_t visited = uint64_t{1} << root;
+    std::queue<int> frontier;
+    frontier.push(root);
+    std::vector<bool> used(graph.edges().size(), false);
+    while (!frontier.empty()) {
+      const int at = frontier.front();
+      frontier.pop();
+      for (size_t e = 0; e < graph.edges().size(); ++e) {
+        if (used[e]) continue;
+        const QueryGraph::EdgeInfo& edge = graph.edges()[e];
+        if ((edge.mask & mask) != edge.mask) continue;
+        int other;
+        if (edge.left_local == at) {
+          other = edge.right_local;
+        } else if (edge.right_local == at) {
+          other = edge.left_local;
+        } else {
+          continue;
+        }
+        if ((visited >> other) & 1) continue;
+        used[e] = true;
+        visited |= uint64_t{1} << other;
+        tree_children[at].push_back({&edge, other});
+        frontier.push(other);
+      }
+    }
+    for (size_t e = 0; e < graph.edges().size(); ++e) {
+      const QueryGraph::EdgeInfo& edge = graph.edges()[e];
+      if ((edge.mask & mask) != edge.mask) continue;
+      if (!used[e]) non_tree.push_back(&edge);
+    }
+  }
+
+  const QueryGraph::TableInfo& root_info = graph.table(root);
+  const ExtendedTable& root_ext = *ext_tables_.at(root_info.name);
+  std::vector<ColumnFactor> factors;
+  for (const auto& group : root_info.pred_groups) {
+    const int idx = root_ext.AttrIndex(group.column);
+    if (idx < 0) continue;
+    factors.push_back(
+        {static_cast<size_t>(idx),
+         root_ext.PredicateFactor(static_cast<size_t>(idx), group.preds)});
+  }
+  double scalars = 1.0;
+  auto it = tree_children.find(root);
+  if (it != tree_children.end()) {
+    for (const auto& [edge, child] : it->second) {
+      const JoinEdge& je = *edge->edge;
+      const bool child_is_right = edge->left_local == root;
+      const std::string& my_col =
+          child_is_right ? je.left_column : je.right_column;
+      const std::string& child_col =
+          child_is_right ? je.right_column : je.left_column;
+      const int idx = root_ext.FanoutIndex(
+          my_col, {graph.table(child).name, child_col});
+      CARDBENCH_CHECK(idx >= 0, "no fanout column for root edge");
+      factors.push_back({static_cast<size_t>(idx),
+                         root_ext.FanoutMeanFactor(static_cast<size_t>(idx))});
+      scalars *= GraphSubtreeRho(graph, child, root, *edge, tree_children);
+    }
+  }
+
+  double card = static_cast<double>(root_info.table->num_rows()) *
+                ExpectWithFactors(root_info.name, std::move(factors)) *
+                scalars;
+
+  // Independence correction for parallel/non-tree edges (PostgreSQL's
+  // 1/max(ndv) equi-join selectivity).
+  for (const QueryGraph::EdgeInfo* edge : non_tree) {
+    const double lndv = std::max<double>(
+        1.0, static_cast<double>(
+                 edge->left_table->GetIndex(edge->left_column_id)
+                     .num_distinct()));
+    const double rndv = std::max<double>(
+        1.0, static_cast<double>(
+                 edge->right_table->GetIndex(edge->right_column_id)
+                     .num_distinct()));
+    card /= std::max(lndv, rndv);
+  }
+  return std::max(card, 1e-6);
 }
 
 double FanoutModelEstimator::EstimateCard(const Query& subquery) const {

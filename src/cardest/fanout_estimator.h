@@ -57,6 +57,11 @@ class FanoutModelEstimator : public CardinalityEstimator {
   /// is recorded for Figure 3).
   FanoutModelEstimator(const Database& db, size_t max_bins);
 
+  /// Mask-based dispatch: spanning tree built over local table ids and
+  /// pre-resolved edges; predicate groups come from the graph (no per-call
+  /// name grouping). Model lookups stay name-keyed — the per-table models
+  /// are string-keyed internal state, untouched by the dispatch refactor.
+  double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
@@ -115,6 +120,13 @@ class FanoutModelEstimator : public CardinalityEstimator {
                     const JoinEdge& parent_edge,
                     const std::map<std::string, std::vector<std::pair<JoinEdge, std::string>>>&
                         tree_children) const;
+
+  /// Graph-path ρ: same recursion keyed on local table ids.
+  double GraphSubtreeRho(
+      const QueryGraph& graph, int local, int parent_local,
+      const QueryGraph::EdgeInfo& parent_edge,
+      const std::map<int, std::vector<std::pair<const QueryGraph::EdgeInfo*,
+                                                int>>>& tree_children) const;
 
   size_t max_bins_;
   bool use_fanout_join_ = true;

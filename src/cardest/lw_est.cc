@@ -60,6 +60,14 @@ LwNnEstimator::LwNnEstimator(const Database& db,
   train_seconds_ = watch.ElapsedSeconds();
 }
 
+double LwNnEstimator::EstimateCard(const QueryGraph& graph,
+                                   uint64_t mask) const {
+  const std::vector<double> features = featurizer_.FlatFeatures(graph, mask);
+  Matrix x(1, features.size());
+  for (size_t c = 0; c < features.size(); ++c) x.At(0, c) = features[c];
+  return CardOf(net_->Infer(x).At(0, 0));
+}
+
 double LwNnEstimator::EstimateCard(const Query& subquery) const {
   const std::vector<double> features = featurizer_.FlatFeatures(subquery);
   Matrix x(1, features.size());
@@ -83,6 +91,11 @@ LwXgbEstimator::LwXgbEstimator(const Database& db,
   }
   gbdt_.Fit(features, targets);
   train_seconds_ = watch.ElapsedSeconds();
+}
+
+double LwXgbEstimator::EstimateCard(const QueryGraph& graph,
+                                    uint64_t mask) const {
+  return CardOf(gbdt_.Predict(featurizer_.FlatFeatures(graph, mask)));
 }
 
 double LwXgbEstimator::EstimateCard(const Query& subquery) const {

@@ -31,6 +31,7 @@ class LwNnEstimator : public CardinalityEstimator {
                 LwNnOptions options = LwNnOptions());
 
   std::string name() const override { return "LW-NN"; }
+  double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override { return net_->ParamBytes(); }
   double TrainSeconds() const override { return train_seconds_; }
@@ -50,6 +51,7 @@ class LwXgbEstimator : public CardinalityEstimator {
                  GbdtOptions options = GbdtOptions(), uint64_t seed = 17);
 
   std::string name() const override { return "LW-XGB"; }
+  double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override { return gbdt_.ModelBytes(); }
   double TrainSeconds() const override { return train_seconds_; }

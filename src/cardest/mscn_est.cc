@@ -104,7 +104,11 @@ MscnEstimator::MscnEstimator(const Database& db,
 }
 
 double MscnEstimator::Predict(const Query& query) const {
-  const auto features = featurizer_.MscnFeatures(query);
+  return Forward(featurizer_.MscnFeatures(query));
+}
+
+double MscnEstimator::Forward(
+    const QueryFeaturizer::SetFeatures& features) const {
   const size_t h = options_.hidden_units;
   const Matrix pt = MeanPool(table_module_->Infer(ToMatrix(features.tables)));
   const Matrix pj = MeanPool(join_module_->Infer(ToMatrix(features.joins)));
@@ -118,6 +122,11 @@ double MscnEstimator::Predict(const Query& query) const {
   }
   const Matrix y = head_->Infer(concat);
   return std::max(1.0, std::exp2(y.At(0, 0)) - 1.0);
+}
+
+double MscnEstimator::EstimateCard(const QueryGraph& graph,
+                                   uint64_t mask) const {
+  return Forward(featurizer_.MscnFeatures(graph, mask));
 }
 
 double MscnEstimator::EstimateCard(const Query& subquery) const {

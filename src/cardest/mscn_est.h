@@ -30,6 +30,9 @@ class MscnEstimator : public CardinalityEstimator {
                 MscnOptions options = MscnOptions());
 
   std::string name() const override { return "MSCN"; }
+  /// Mask-based dispatch: features come from the featurizer's graph
+  /// overload (dense id-resolved vocabularies), then the same forward pass.
+  double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
@@ -41,6 +44,7 @@ class MscnEstimator : public CardinalityEstimator {
                        const std::vector<std::vector<double>>& elements,
                        Matrix* cache_in) const;
   double Predict(const Query& query) const;
+  double Forward(const QueryFeaturizer::SetFeatures& features) const;
 
   QueryFeaturizer featurizer_;
   MscnOptions options_;

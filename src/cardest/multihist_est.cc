@@ -1,6 +1,7 @@
 #include "cardest/multihist_est.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/stopwatch.h"
 #include "ml/clustering.h"
@@ -77,6 +78,7 @@ void MultiHistEstimator::Build(const Database& db) {
       for (size_t m : member) {
         const Column& col = table.column(filterable[m]);
         group.columns.push_back(col.name());
+        group.column_ids.push_back(static_cast<int>(filterable[m]));
         group.binners.push_back(std::make_unique<ColumnBinner>(col, bins));
       }
       for (size_t row = 0; row < n; ++row) {
@@ -92,6 +94,10 @@ void MultiHistEstimator::Build(const Database& db) {
       group.total = static_cast<double>(n);
       groups_[table_name].push_back(std::move(group));
     }
+  }
+  groups_by_id_.clear();
+  for (const auto& table_name : db.table_names()) {
+    groups_by_id_.push_back(&groups_.at(table_name));
   }
 }
 
@@ -114,6 +120,41 @@ double MultiHistEstimator::GroupSelectivity(
     pass += count * phi;
   }
   return pass / group.total;
+}
+
+double MultiHistEstimator::EstimateCard(const QueryGraph& graph,
+                                        uint64_t mask) const {
+  double card = 1.0;
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const QueryGraph::TableInfo& info = graph.table(std::countr_zero(rest));
+    double selectivity = 1.0;
+    for (const auto& group : *groups_by_id_[info.table_id]) {
+      std::vector<std::vector<Predicate>> preds(group.columns.size());
+      for (size_t p = 0; p < info.preds.size(); ++p) {
+        for (size_t k = 0; k < group.column_ids.size(); ++k) {
+          if (group.column_ids[k] == info.pred_column_ids[p]) {
+            preds[k].push_back(info.preds[p]);
+          }
+        }
+      }
+      selectivity *= GroupSelectivity(group, preds);
+    }
+    card *= static_cast<double>(info.table->num_rows()) * selectivity;
+  }
+  // Join uniformity, like the other histogram methods.
+  for (const auto& edge : graph.edges()) {
+    if ((edge.mask & mask) != edge.mask) continue;
+    const double lndv = std::max<double>(
+        1.0, static_cast<double>(
+                 edge.left_table->GetIndex(edge.left_column_id)
+                     .num_distinct()));
+    const double rndv = std::max<double>(
+        1.0, static_cast<double>(
+                 edge.right_table->GetIndex(edge.right_column_id)
+                     .num_distinct()));
+    card /= std::max(lndv, rndv);
+  }
+  return std::max(card, 1e-6);
 }
 
 double MultiHistEstimator::EstimateCard(const Query& subquery) const {

@@ -27,6 +27,9 @@ class MultiHistEstimator : public CardinalityEstimator {
                      double correlation_threshold = 0.3);
 
   std::string name() const override { return "MultiHist"; }
+  /// Mask-based dispatch: groups looked up by table id, predicates matched
+  /// to group dimensions by resolved column id.
+  double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
@@ -34,6 +37,7 @@ class MultiHistEstimator : public CardinalityEstimator {
  private:
   struct Group {
     std::vector<std::string> columns;
+    std::vector<int> column_ids;  // resolved at Build, parallel to columns
     std::vector<std::unique_ptr<ColumnBinner>> binners;
     std::map<std::vector<uint16_t>, double> joint;  // bucket counts
     double total = 0.0;
@@ -50,6 +54,8 @@ class MultiHistEstimator : public CardinalityEstimator {
   double correlation_threshold_;
   double train_seconds_ = 0.0;
   std::map<std::string, std::vector<Group>> groups_;  // per table
+  // groups_ entries indexed by global table id (database table order).
+  std::vector<const std::vector<Group>*> groups_by_id_;
 };
 
 }  // namespace cardbench

@@ -35,6 +35,16 @@ class NoisyOracleEstimator : public CardinalityEstimator {
     return StrFormat("NoisyOracle(%.1f)", sigma_);
   }
 
+  double EstimateCard(const QueryGraph& graph, uint64_t mask) const override {
+    auto card = service_.Card(graph, mask);
+    if (!card.ok()) return 1.0;
+    // Same deterministic draw as the Query overload: the graph's canonical
+    // key is byte-identical to the induced sub-query's.
+    Rng rng(seed_ ^ Fnv1aHash(graph.CanonicalKey(mask)));
+    const double noise = std::exp2(sigma_ * rng.NextGaussian());
+    return std::max(1.0, *card * noise);
+  }
+
   double EstimateCard(const Query& subquery) const override {
     auto card = service_.Card(subquery);
     if (!card.ok()) return 1.0;

@@ -1,9 +1,11 @@
 #include "cardest/postgres_est.h"
 
 #include <algorithm>
+#include <bit>
 
 #include <fstream>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "storage/stats.h"
 
@@ -29,6 +31,19 @@ void PostgresEstimator::Analyze() {
       entry.ndv = std::max<double>(
           1.0, static_cast<double>(ValueFrequencies(col).size()));
       stats_[{table_name, col.name()}] = std::move(entry);
+    }
+  }
+  RebuildIdIndex();
+}
+
+void PostgresEstimator::RebuildIdIndex() {
+  stats_by_id_.assign(db_.num_tables(), {});
+  for (size_t t = 0; t < db_.table_names().size(); ++t) {
+    const Table& table = db_.TableOrDie(db_.table_names()[t]);
+    stats_by_id_[t].assign(table.num_columns(), nullptr);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      auto it = stats_.find({db_.table_names()[t], table.column(c).name()});
+      if (it != stats_.end()) stats_by_id_[t][c] = &it->second;
     }
   }
 }
@@ -61,6 +76,48 @@ double PostgresEstimator::TableSelectivity(const Query& subquery,
     selectivity *= sel;
   }
   return selectivity;
+}
+
+double PostgresEstimator::GraphTableSelectivity(
+    const QueryGraph::TableInfo& info) const {
+  // Same fold as TableSelectivity: the graph's predicate groups come
+  // pre-sorted by column name, matching the std::map iteration order of
+  // the string path, so the product accumulates identically.
+  double selectivity = 1.0;
+  for (const auto& group : info.pred_groups) {
+    const ColumnStatsEntry* entry = StatsById(info.table_id, group.column_id);
+    if (entry == nullptr) continue;
+    const ColumnBinner& binner = *entry->binner;
+    const std::vector<double> fractions = binner.PredicateFractions(group.preds);
+    double sel = 0.0;
+    for (uint16_t b = 0; b < binner.num_bins(); ++b) {
+      sel += binner.BinMass(b) * fractions[b];
+    }
+    selectivity *= sel;
+  }
+  return selectivity;
+}
+
+double PostgresEstimator::EstimateCard(const QueryGraph& graph,
+                                       uint64_t mask) const {
+  double card = 1.0;
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const QueryGraph::TableInfo& info = graph.table(std::countr_zero(rest));
+    card *= static_cast<double>(info.table->num_rows()) *
+            GraphTableSelectivity(info);
+  }
+  for (const auto& edge : graph.edges()) {
+    if ((edge.mask & mask) != edge.mask) continue;
+    const ColumnStatsEntry* left =
+        StatsById(edge.left_table_id, edge.left_column_id);
+    const ColumnStatsEntry* right =
+        StatsById(edge.right_table_id, edge.right_column_id);
+    CARDBENCH_CHECK(left != nullptr && right != nullptr,
+                    "missing join-column statistics");
+    card *= (1.0 - left->null_frac) * (1.0 - right->null_frac) /
+            std::max(left->ndv, right->ndv);
+  }
+  return std::max(card, 1e-6);
 }
 
 double PostgresEstimator::EstimateCard(const Query& subquery) const {
@@ -113,6 +170,7 @@ Result<std::unique_ptr<PostgresEstimator>> PostgresEstimator::LoadModel(
     entry.binner = std::make_unique<ColumnBinner>(std::move(binner));
     est->stats_[{table, column}] = std::move(entry);
   }
+  est->RebuildIdIndex();
   return est;
 }
 

@@ -4,6 +4,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cardest/binner.h"
 #include "cardest/estimator.h"
@@ -23,6 +25,10 @@ class PostgresEstimator : public CardinalityEstimator {
   explicit PostgresEstimator(const Database& db, size_t stats_target = 100);
 
   std::string name() const override { return "PostgreSQL"; }
+  /// Mask-based dispatch: per-table selectivities from the graph's
+  /// pre-resolved predicate groups, eqjoinsel per in-mask edge through a
+  /// dense (table_id, column_id) statistics index — no name lookups.
+  double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
@@ -52,12 +58,23 @@ class PostgresEstimator : public CardinalityEstimator {
     double null_frac = 0.0;
   };
 
+  /// Rebuilds the dense (table_id, column_id) view over stats_ — called
+  /// whenever stats_ is replaced (Analyze, LoadModel).
+  void RebuildIdIndex();
+  const ColumnStatsEntry* StatsById(int table_id, int column_id) const {
+    return stats_by_id_[table_id][column_id];
+  }
+  double GraphTableSelectivity(const QueryGraph::TableInfo& info) const;
+
   const Database& db_;
   size_t stats_target_;
   double train_seconds_ = 0.0;
   // (table, column) -> stats for every column (join keys included: joins
   // need ndv/nullfrac).
   std::map<std::pair<std::string, std::string>, ColumnStatsEntry> stats_;
+  // Dense id-indexed pointers into stats_ (nullptr where absent), indexed
+  // [table_id][column_id] in database order.
+  std::vector<std::vector<const ColumnStatsEntry*>> stats_by_id_;
 };
 
 }  // namespace cardbench

@@ -1,6 +1,7 @@
 #include "cardest/query_features.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.h"
 #include "storage/filter.h"
@@ -42,6 +43,26 @@ QueryFeaturizer::QueryFeaturizer(const Database& db, uint64_t seed,
       info.max = std::max(static_cast<double>(stats.max), info.min + 1.0);
       column_info_[{name, col.name()}] = info;
     }
+  }
+  // Dense id-indexed views for the graph path.
+  table_slot_.clear();
+  bitmap_by_id_.clear();
+  column_slot_.clear();
+  column_info_by_id_.clear();
+  for (const auto& name : db.table_names()) {
+    const Table& table = db.TableOrDie(name);
+    table_slot_.push_back(table_index_.at(name));
+    bitmap_by_id_.push_back(&bitmap_rows_.at(name));
+    std::vector<int> slots(table.num_columns(), -1);
+    std::vector<const ColumnInfo*> infos(table.num_columns(), nullptr);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      auto it = column_index_.find({name, table.column(c).name()});
+      if (it == column_index_.end()) continue;
+      slots[c] = static_cast<int>(it->second);
+      infos[c] = &column_info_.at({name, table.column(c).name()});
+    }
+    column_slot_.push_back(std::move(slots));
+    column_info_by_id_.push_back(std::move(infos));
   }
   // Join vocabulary: all join-compatible unordered column pairs.
   for (const auto& group : JoinColumnGroups(db)) {
@@ -104,6 +125,104 @@ std::vector<double> QueryFeaturizer::FlatFeatures(const Query& query) const {
         norm(static_cast<double>(range.hi));
   }
   return features;
+}
+
+std::vector<double> QueryFeaturizer::FlatFeatures(const QueryGraph& graph,
+                                                  uint64_t mask) const {
+  std::vector<double> features(flat_dim(), 0.0);
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    features[table_slot_[graph.table(std::countr_zero(rest)).table_id]] = 1.0;
+  }
+  const size_t join_base = table_index_.size();
+  for (const auto& edge : graph.edges()) {
+    if ((edge.mask & mask) != edge.mask) continue;
+    auto it = join_index_.find(edge.canonical);
+    if (it != join_index_.end()) features[join_base + it->second] = 1.0;
+  }
+  const size_t col_base = join_base + join_index_.size();
+  // Fold predicates per column into a normalized range (resolved ids; same
+  // per-column Apply order as the name-keyed path).
+  std::map<std::pair<int, int>, ValueRange> ranges;
+  for (const auto& pred : graph.predicates()) {
+    if (((mask >> pred.local_table) & 1) == 0) continue;
+    if (pred.pred.op == CompareOp::kNeq) {
+      // Represent <> as "has predicate" with the full range.
+      ranges.try_emplace({pred.table_id, pred.column_id});
+      continue;
+    }
+    ranges[{pred.table_id, pred.column_id}].Apply(pred.pred.op,
+                                                  pred.pred.value);
+  }
+  // Default encoding for unconstrained columns: has_pred=0, lo=0, hi=1.
+  for (const auto& [key, idx] : column_index_) {
+    features[col_base + 3 * idx + 1] = 0.0;
+    features[col_base + 3 * idx + 2] = 1.0;
+  }
+  for (const auto& [key, range] : ranges) {
+    const int slot = column_slot_[key.first][key.second];
+    if (slot < 0) continue;
+    const ColumnInfo& info = *column_info_by_id_[key.first][key.second];
+    auto norm = [&](double v) {
+      return std::clamp((v - info.min) / (info.max - info.min), 0.0, 1.0);
+    };
+    features[col_base + 3 * slot] = 1.0;
+    features[col_base + 3 * slot + 1] = norm(static_cast<double>(range.lo));
+    features[col_base + 3 * slot + 2] = norm(static_cast<double>(range.hi));
+  }
+  return features;
+}
+
+QueryFeaturizer::SetFeatures QueryFeaturizer::MscnFeatures(
+    const QueryGraph& graph, uint64_t mask) const {
+  SetFeatures out;
+
+  // Table elements: one-hot table plus predicate-satisfaction bitmap over
+  // the table's materialized sample, evaluated through the graph's
+  // pre-bound compiled predicates.
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const QueryGraph::TableInfo& info = graph.table(std::countr_zero(rest));
+    std::vector<double> element(table_element_dim(), 0.0);
+    element[table_slot_[info.table_id]] = 1.0;
+    const auto& rows = *bitmap_by_id_[info.table_id];
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const bool pass = info.table->num_rows() > 0 &&
+                        RowPassesCompiled(info.compiled, rows[i]);
+      element[table_index_.size() + i] = pass ? 1.0 : 0.0;
+    }
+    out.tables.push_back(std::move(element));
+  }
+
+  for (const auto& edge : graph.edges()) {
+    if ((edge.mask & mask) != edge.mask) continue;
+    std::vector<double> element(join_element_dim(), 0.0);
+    auto it = join_index_.find(edge.canonical);
+    if (it != join_index_.end()) element[it->second] = 1.0;
+    out.joins.push_back(std::move(element));
+  }
+  if (out.joins.empty()) {
+    out.joins.push_back(std::vector<double>(join_element_dim(), 0.0));
+  }
+
+  for (const auto& pred : graph.predicates()) {
+    if (((mask >> pred.local_table) & 1) == 0) continue;
+    std::vector<double> element(predicate_element_dim(), 0.0);
+    const int slot = column_slot_[pred.table_id][pred.column_id];
+    if (slot >= 0) element[static_cast<size_t>(slot)] = 1.0;
+    element[column_index_.size() + static_cast<size_t>(pred.pred.op)] = 1.0;
+    const ColumnInfo* info = column_info_by_id_[pred.table_id][pred.column_id];
+    if (info != nullptr) {
+      element[column_index_.size() + 6] =
+          std::clamp((static_cast<double>(pred.pred.value) - info->min) /
+                         (info->max - info->min),
+                     0.0, 1.0);
+    }
+    out.predicates.push_back(std::move(element));
+  }
+  if (out.predicates.empty()) {
+    out.predicates.push_back(
+        std::vector<double>(predicate_element_dim(), 0.0));
+  }
+  return out;
 }
 
 QueryFeaturizer::SetFeatures QueryFeaturizer::MscnFeatures(

@@ -8,6 +8,7 @@
 #include "cardest/extended_table.h"
 #include "common/rng.h"
 #include "query/query.h"
+#include "query/query_graph.h"
 #include "storage/catalog.h"
 
 namespace cardbench {
@@ -32,6 +33,11 @@ class QueryFeaturizer {
 
   /// Flat feature vector for LW-style regressors.
   std::vector<double> FlatFeatures(const Query& query) const;
+  /// Mask-based variant: vocabulary slots resolved through dense
+  /// (table_id, column_id) tables and the graph's precomputed canonical
+  /// edge keys; element values and orders match the Query path exactly.
+  std::vector<double> FlatFeatures(const QueryGraph& graph,
+                                   uint64_t mask) const;
   size_t flat_dim() const;
 
   /// Per-set element features for MSCN's three modules. Empty sets are
@@ -42,6 +48,7 @@ class QueryFeaturizer {
     std::vector<std::vector<double>> predicates;
   };
   SetFeatures MscnFeatures(const Query& query) const;
+  SetFeatures MscnFeatures(const QueryGraph& graph, uint64_t mask) const;
   size_t table_element_dim() const { return table_index_.size() + bitmap_size_; }
   size_t join_element_dim() const { return join_index_.size(); }
   size_t predicate_element_dim() const { return column_index_.size() + 6 + 1; }
@@ -63,6 +70,12 @@ class QueryFeaturizer {
   std::map<std::pair<std::string, std::string>, ColumnInfo> column_info_;
   // Per table: sampled row ids for the bitmap feature.
   std::map<std::string, std::vector<uint32_t>> bitmap_rows_;
+  // Dense views over the vocabularies for the graph path, indexed by global
+  // table id (and column id), built alongside the maps above.
+  std::vector<size_t> table_slot_;
+  std::vector<const std::vector<uint32_t>*> bitmap_by_id_;
+  std::vector<std::vector<int>> column_slot_;  // -1: not in the vocabulary
+  std::vector<std::vector<const ColumnInfo*>> column_info_by_id_;
 };
 
 }  // namespace cardbench

@@ -1,6 +1,7 @@
 #include "cardest/sampling_est.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <queue>
 #include <set>
@@ -67,6 +68,67 @@ QueryTree BuildQueryTree(const Query& query, const std::string& root) {
   return tree;
 }
 
+double GraphJoinUniformitySelectivity(const QueryGraph::EdgeInfo& edge) {
+  const double lndv = std::max<double>(
+      1.0, static_cast<double>(
+               edge.left_table->GetIndex(edge.left_column_id).num_distinct()));
+  const double rndv = std::max<double>(
+      1.0, static_cast<double>(
+               edge.right_table->GetIndex(edge.right_column_id).num_distinct()));
+  return 1.0 / std::max(lndv, rndv);
+}
+
+/// BuildQueryTree over a compiled graph restricted to `mask`: BFS in the
+/// same visit order as the string version runs on the induced sub-query
+/// (edges considered in query order per frontier table), but over local
+/// table ids with no name comparisons.
+struct GraphQueryTree {
+  struct Step {
+    const QueryGraph::EdgeInfo* edge;
+    int next_local;
+  };
+  std::vector<Step> steps;
+  std::vector<const QueryGraph::EdgeInfo*> non_tree;
+};
+
+GraphQueryTree BuildGraphQueryTree(const QueryGraph& graph, uint64_t mask,
+                                   int root_local) {
+  GraphQueryTree tree;
+  uint64_t visited = uint64_t{1} << root_local;
+  std::queue<int> frontier;
+  frontier.push(root_local);
+  std::vector<bool> used(graph.edges().size(), false);
+  while (!frontier.empty()) {
+    const int at = frontier.front();
+    frontier.pop();
+    for (size_t e = 0; e < graph.edges().size(); ++e) {
+      if (used[e]) continue;
+      const QueryGraph::EdgeInfo& edge = graph.edges()[e];
+      if ((edge.mask & mask) != edge.mask) continue;  // not in the sub-plan
+      int other;
+      if (edge.left_local == at) {
+        other = edge.right_local;
+      } else if (edge.right_local == at) {
+        other = edge.left_local;
+      } else {
+        continue;
+      }
+      if (visited & (uint64_t{1} << other)) continue;
+      used[e] = true;
+      visited |= uint64_t{1} << other;
+      tree.steps.push_back({&edge, other});
+      frontier.push(other);
+    }
+  }
+  for (size_t e = 0; e < graph.edges().size(); ++e) {
+    const QueryGraph::EdgeInfo& edge = graph.edges()[e];
+    if (!used[e] && (edge.mask & mask) == edge.mask) {
+      tree.non_tree.push_back(&edge);
+    }
+  }
+  return tree;
+}
+
 }  // namespace
 
 // ----------------------------------------------------------- UniSample
@@ -92,6 +154,33 @@ void UniSampleEstimator::Resample() {
       }
     }
   }
+  // Id-indexed view for mask-based dispatch (map nodes are stable).
+  samples_by_id_.clear();
+  samples_by_id_.reserve(db_.num_tables());
+  for (const auto& name : db_.table_names()) {
+    samples_by_id_.push_back(&samples_.at(name));
+  }
+}
+
+double UniSampleEstimator::EstimateCard(const QueryGraph& graph,
+                                        uint64_t mask) const {
+  double card = 1.0;
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const QueryGraph::TableInfo& info = graph.table(std::countr_zero(rest));
+    const std::vector<uint32_t>& sample = *samples_by_id_[info.table_id];
+    std::vector<uint32_t> passing = sample;
+    const size_t pass = FilterRowsConjunction(info.compiled, &passing);
+    const double sel = sample.empty()
+                           ? 1.0
+                           : static_cast<double>(pass) /
+                                 static_cast<double>(sample.size());
+    card *= static_cast<double>(info.table->num_rows()) * sel;
+  }
+  for (const auto& edge : graph.edges()) {
+    if ((edge.mask & mask) != edge.mask) continue;
+    card *= GraphJoinUniformitySelectivity(edge);
+  }
+  return std::max(card, 1e-6);
 }
 
 Status UniSampleEstimator::Update() {
@@ -133,6 +222,83 @@ size_t UniSampleEstimator::ModelBytes() const {
 WjSampleEstimator::WjSampleEstimator(const Database& db, size_t num_walks,
                                      uint64_t seed)
     : db_(db), num_walks_(num_walks), seed_(seed) {}
+
+double WjSampleEstimator::EstimateCard(const QueryGraph& graph,
+                                       uint64_t mask) const {
+  // Same per-sub-plan generator as the string path: the graph's canonical
+  // key is byte-identical to the induced sub-query's, so the walks (and
+  // therefore the estimate) match exactly.
+  Rng rng(seed_ ^ Fnv1aHash(graph.CanonicalKey(mask)));
+  // Root the walk at the smallest table (fewer wasted walks).
+  int root = std::countr_zero(mask);
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const int local = std::countr_zero(rest);
+    if (graph.table(local).table->num_rows() <
+        graph.table(root).table->num_rows()) {
+      root = local;
+    }
+  }
+  const GraphQueryTree tree = BuildGraphQueryTree(graph, mask, root);
+  const Table& root_table = *graph.table(root).table;
+  if (root_table.num_rows() == 0) return 1e-6;
+
+  // Filter conjunctions come pre-compiled from the graph; walks check
+  // single rows against them.
+  double total = 0.0;
+  std::vector<uint32_t> walk_rows(graph.num_tables(), 0);
+  for (size_t w = 0; w < num_walks_; ++w) {
+    const uint32_t start =
+        static_cast<uint32_t>(rng.NextUint64(root_table.num_rows()));
+    if (!RowPassesCompiled(graph.table(root).compiled, start)) continue;
+    walk_rows[root] = start;
+    double weight = static_cast<double>(root_table.num_rows());
+    bool dead = false;
+    for (const auto& step : tree.steps) {
+      const QueryGraph::EdgeInfo& edge = *step.edge;
+      const bool next_is_left = edge.left_local == step.next_local;
+      const int prev_local = next_is_left ? edge.right_local : edge.left_local;
+      const Column& key =
+          *(next_is_left ? edge.right_column : edge.left_column);
+      const Table& next = *(next_is_left ? edge.left_table : edge.right_table);
+      const int next_col =
+          next_is_left ? edge.left_column_id : edge.right_column_id;
+      const uint32_t prev_row = walk_rows[prev_local];
+      if (!key.IsValid(prev_row)) {
+        dead = true;
+        break;
+      }
+      const auto& matches = next.GetIndex(next_col).Lookup(key.Get(prev_row));
+      if (matches.empty()) {
+        dead = true;
+        break;
+      }
+      const uint32_t pick = matches[rng.NextUint64(matches.size())];
+      if (!RowPassesCompiled(graph.table(step.next_local).compiled, pick)) {
+        dead = true;
+        break;
+      }
+      walk_rows[step.next_local] = pick;
+      weight *= static_cast<double>(matches.size());
+    }
+    if (dead) continue;
+    // Non-tree edges act as rejection filters on the completed walk.
+    bool pass = true;
+    for (const QueryGraph::EdgeInfo* edge : tree.non_tree) {
+      const Column& lcol = *edge->left_column;
+      const Column& rcol = *edge->right_column;
+      const uint32_t lrow = walk_rows[edge->left_local];
+      const uint32_t rrow = walk_rows[edge->right_local];
+      if (!lcol.IsValid(lrow) || !rcol.IsValid(rrow) ||
+          lcol.Get(lrow) != rcol.Get(rrow)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) total += weight;
+  }
+  const double estimate = total / static_cast<double>(num_walks_);
+  return std::max(estimate, 1e-6);
+}
 
 double WjSampleEstimator::EstimateCard(const Query& subquery) const {
   // Per-sub-plan generator: seeding from the canonical key makes the walks
@@ -222,7 +388,30 @@ double WjSampleEstimator::EstimateCard(const Query& subquery) const {
 // ------------------------------------------------------------- PessEst
 
 PessEstEstimator::PessEstEstimator(const Database& db) : db_(db) {
+  for (size_t i = 0; i < db.table_names().size(); ++i) {
+    table_ids_[db.table_names()[i]] = static_cast<int>(i);
+  }
   BuildDegreeSketches();
+}
+
+double PessEstEstimator::MaxDegreeOf(int table_id, int column_id,
+                                     const Table& table) const {
+  const uint64_t key =
+      (static_cast<uint64_t>(static_cast<uint32_t>(table_id)) << 32) |
+      static_cast<uint32_t>(column_id);
+  {
+    std::lock_guard<std::mutex> lock(degree_mu_);
+    auto it = max_degree_.find(key);
+    if (it != max_degree_.end()) return it->second;
+  }
+  double max_deg = 0.0;
+  const HashIndex& index = table.GetIndex(column_id);
+  for (const auto& [value, rows] : index.entries()) {
+    max_deg = std::max(max_deg, static_cast<double>(rows.size()));
+  }
+  std::lock_guard<std::mutex> lock(degree_mu_);
+  max_degree_[key] = max_deg;
+  return max_deg;
 }
 
 void PessEstEstimator::BuildDegreeSketches() {
@@ -243,6 +432,42 @@ double PessEstEstimator::FilteredCard(const Query& subquery,
       CompilePredicatesFor(table, table_name, subquery.predicates);
   return static_cast<double>(
       CountRangeConjunction(compiled, 0, table.num_rows()));
+}
+
+double PessEstEstimator::EstimateCard(const QueryGraph& graph,
+                                      uint64_t mask) const {
+  // Exact filtered base cardinalities (the bound must hold), through the
+  // graph's pre-bound compiled predicates.
+  std::vector<double> base(graph.num_tables(), 0.0);
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const int local = std::countr_zero(rest);
+    const QueryGraph::TableInfo& info = graph.table(local);
+    base[local] = static_cast<double>(
+        CountRangeConjunction(info.compiled, 0, info.table->num_rows()));
+  }
+  if (std::popcount(mask) == 1) {
+    return std::max(base[std::countr_zero(mask)], 1e-6);
+  }
+
+  // Tightest bound over root choices: |σT_r| × Π max-degree of each tree
+  // step's target column (unfiltered degrees keep it a true upper bound).
+  double best = std::numeric_limits<double>::infinity();
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const int root = std::countr_zero(rest);
+    const GraphQueryTree tree = BuildGraphQueryTree(graph, mask, root);
+    double bound = base[root];
+    for (const auto& step : tree.steps) {
+      const QueryGraph::EdgeInfo& edge = *step.edge;
+      const bool next_is_left = edge.left_local == step.next_local;
+      const QueryGraph::TableInfo& next = graph.table(step.next_local);
+      const int next_col =
+          next_is_left ? edge.left_column_id : edge.right_column_id;
+      bound *= std::max(
+          1.0, MaxDegreeOf(next.table_id, next_col, *next.table));
+    }
+    best = std::min(best, bound);
+  }
+  return std::max(best, 1e-6);
 }
 
 double PessEstEstimator::EstimateCard(const Query& subquery) const {
@@ -266,27 +491,13 @@ double PessEstEstimator::EstimateCard(const Query& subquery) const {
       const std::string& next_col =
           next_is_left ? edge.left_column : edge.right_column;
       const Table& next = db_.TableOrDie(next_table);
-      const HashIndex& index =
-          next.GetIndex(next.ColumnIndexOrDie(next_col));
-      double max_deg = 0.0;
-      const auto key = std::make_pair(next_table, next_col);
-      bool cached = false;
-      {
-        std::lock_guard<std::mutex> lock(degree_mu_);
-        auto it = max_degree_.find(key);
-        if (it != max_degree_.end()) {
-          max_deg = it->second;
-          cached = true;
-        }
-      }
-      if (!cached) {
-        for (const auto& [value, rows] : index.entries()) {
-          max_deg = std::max(max_deg, static_cast<double>(rows.size()));
-        }
-        std::lock_guard<std::mutex> lock(degree_mu_);
-        max_degree_[key] = max_deg;
-      }
-      bound *= std::max(1.0, max_deg);
+      auto tid = table_ids_.find(next_table);
+      CARDBENCH_CHECK(tid != table_ids_.end(), "unknown table '%s'",
+                      next_table.c_str());
+      bound *= std::max(
+          1.0, MaxDegreeOf(tid->second,
+                           static_cast<int>(next.ColumnIndexOrDie(next_col)),
+                           next));
     }
     best = std::min(best, bound);
   }

@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cardest/estimator.h"
@@ -23,6 +24,9 @@ class UniSampleEstimator : public CardinalityEstimator {
                      uint64_t seed = 101);
 
   std::string name() const override { return "UniSample"; }
+  /// Mask-based dispatch: samples looked up by table id, filters evaluated
+  /// through the graph's pre-bound compiled predicates.
+  double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override;
   bool SupportsUpdate() const override { return true; }
@@ -37,6 +41,9 @@ class UniSampleEstimator : public CardinalityEstimator {
   size_t sample_size_;
   Rng rng_;
   std::map<std::string, std::vector<uint32_t>> samples_;
+  /// samples_ entries indexed by global table id (database table order);
+  /// rebuilt by Resample.
+  std::vector<const std::vector<uint32_t>*> samples_by_id_;
 };
 
 /// WJSample (§4.1 method 4): wander join — random walks along the query's
@@ -53,6 +60,10 @@ class WjSampleEstimator : public CardinalityEstimator {
   /// Walk randomness is derived from a hash of the sub-plan's canonical
   /// key (never from shared generator state), so the estimate for a given
   /// sub-plan is deterministic and concurrent calls never interleave draws.
+  /// The graph overload seeds from the precomputed canonical key (byte-
+  /// identical to the induced sub-query's) and walks the spanning tree over
+  /// local table ids, so both paths draw identical walks.
+  double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
 
  private:
@@ -71,6 +82,7 @@ class PessEstEstimator : public CardinalityEstimator {
   explicit PessEstEstimator(const Database& db);
 
   std::string name() const override { return "PessEst"; }
+  double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
   size_t ModelBytes() const override { return sizeof(*this); }
   bool SupportsUpdate() const override { return true; }
@@ -80,12 +92,15 @@ class PessEstEstimator : public CardinalityEstimator {
  private:
   void BuildDegreeSketches();
   double FilteredCard(const Query& subquery, const std::string& table) const;
+  double MaxDegreeOf(int table_id, int column_id, const Table& table) const;
 
   const Database& db_;
-  // (table, column) -> maximum join degree of any key value. A lazily
-  // filled memo, synchronized so concurrent EstimateCard calls can share it.
+  std::unordered_map<std::string, int> table_ids_;
+  // (table_id << 32 | column_id) -> maximum join degree of any key value.
+  // A lazily filled memo, synchronized so concurrent EstimateCard calls can
+  // share it; both dispatch paths key it on ids (no heap string keys).
   mutable std::mutex degree_mu_;
-  mutable std::map<std::pair<std::string, std::string>, double> max_degree_;
+  mutable std::unordered_map<uint64_t, double> max_degree_;
 };
 
 }  // namespace cardbench

@@ -18,6 +18,11 @@ class TrueCardEstimator : public CardinalityEstimator {
 
   std::string name() const override { return "TrueCard"; }
 
+  double EstimateCard(const QueryGraph& graph, uint64_t mask) const override {
+    auto card = service_.Card(graph, mask);
+    return card.ok() ? *card : 1.0;
+  }
+
   double EstimateCard(const Query& subquery) const override {
     auto card = service_.Card(subquery);
     // Sub-plans whose exact count exceeded execution limits fall back to 1;
@@ -42,6 +47,12 @@ class InjectedCardEstimator : public CardinalityEstimator {
 
   std::string name() const override {
     return fallback_.name() + "+injected";
+  }
+
+  double EstimateCard(const QueryGraph& graph, uint64_t mask) const override {
+    auto it = overrides_.find(graph.CanonicalKey(mask));
+    if (it != overrides_.end()) return it->second;
+    return fallback_.EstimateCard(graph, mask);
   }
 
   double EstimateCard(const Query& subquery) const override {

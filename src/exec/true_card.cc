@@ -138,11 +138,33 @@ Result<double> TrueCardService::Card(const Query& query) {
   return card;
 }
 
+Result<double> TrueCardService::Card(const QueryGraph& graph, uint64_t mask) {
+  const std::string& key = graph.CanonicalKey(mask);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Uncached: execute the counting plan of the precomputed induced
+  // sub-query (the slow path; identical to the Query overload's).
+  return Card(graph.InducedRef(mask));
+}
+
 Result<std::unordered_map<uint64_t, double>> TrueCardService::AllSubplanCards(
     const Query& query) {
   std::unordered_map<uint64_t, double> cards;
   for (uint64_t mask : EnumerateConnectedSubsets(query)) {
     CARDBENCH_ASSIGN_OR_RETURN(double card, Card(query.Induced(mask)));
+    cards[mask] = card;
+  }
+  return cards;
+}
+
+Result<std::unordered_map<uint64_t, double>> TrueCardService::AllSubplanCards(
+    const QueryGraph& graph) {
+  std::unordered_map<uint64_t, double> cards;
+  for (uint64_t mask : graph.connected_subsets()) {
+    CARDBENCH_ASSIGN_OR_RETURN(double card, Card(graph, mask));
     cards[mask] = card;
   }
   return cards;

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "exec/executor.h"
 #include "query/query.h"
+#include "query/query_graph.h"
 
 namespace cardbench {
 
@@ -29,10 +30,21 @@ class TrueCardService {
   /// workload sub-plans, so the concurrent paths hit the memo).
   Result<double> Card(const Query& query);
 
+  /// Exact COUNT(*) of the sub-plan of `graph` selected by the connected
+  /// table subset `mask`. Memo-compatible with the Query overload: the key
+  /// is the precomputed canonical key of the induced sub-query, so disk
+  /// caches written by either path serve the other.
+  Result<double> Card(const QueryGraph& graph, uint64_t mask);
+
   /// Exact cardinalities of every connected sub-plan of `query`, keyed by
   /// table-subset bitmask — the full sub-plan query space of §4.2.
   Result<std::unordered_map<uint64_t, double>> AllSubplanCards(
       const Query& query);
+
+  /// Same, over a compiled graph: the connected-subset enumeration and the
+  /// per-mask canonical keys come precomputed from the graph.
+  Result<std::unordered_map<uint64_t, double>> AllSubplanCards(
+      const QueryGraph& graph);
 
   /// Builds the greedy left-deep hash-join counting plan used internally.
   /// Exposed for tests and for the executor's own test coverage.
@@ -51,6 +63,8 @@ class TrueCardService {
     std::lock_guard<std::mutex> lock(mu_);
     return cache_.size();
   }
+
+  const Database& db() const { return db_; }
 
   static ExecLimits DefaultLimits() {
     ExecLimits limits;

@@ -199,13 +199,14 @@ Status BenchEnv::Prepare(BenchDataset dataset, const BenchFlags& flags) {
   for (const auto& query : workload_.queries) {
     QueryContext ctx;
     ctx.query = &query;
+    ctx.graph = std::make_unique<QueryGraph>(query, *db_);
     ctx.num_tables = query.tables.size();
     CARDBENCH_ASSIGN_OR_RETURN(ctx.true_cards,
-                               truecard_->AllSubplanCards(query));
+                               truecard_->AllSubplanCards(*ctx.graph));
     CARDBENCH_ASSIGN_OR_RETURN(PlanResult true_plan,
-                               optimizer_->Plan(query, oracle));
+                               optimizer_->Plan(*ctx.graph, oracle));
     ctx.true_plan_cost =
-        optimizer_->RecostWithCards(*true_plan.plan, query, ctx.true_cards);
+        optimizer_->RecostWithCards(*true_plan.plan, ctx.true_cards);
     contexts_.push_back(std::move(ctx));
   }
   CARDBENCH_RETURN_IF_ERROR(truecard_->SaveCache(cache_path_));
@@ -302,7 +303,7 @@ BenchEnv::RunResult BenchEnv::RunEstimator(const CardinalityEstimator& estimator
     run.num_tables = ctx.num_tables;
     run.true_card = ctx.true_cards.at(query.FullMask());
 
-    auto plan_result = optimizer_->Plan(query, estimator);
+    auto plan_result = optimizer_->Plan(*ctx.graph, estimator);
     CARDBENCH_CHECK(plan_result.ok(), "planning failed for %s: %s",
                     query.name.c_str(),
                     plan_result.status().ToString().c_str());
@@ -311,8 +312,8 @@ BenchEnv::RunResult BenchEnv::RunEstimator(const CardinalityEstimator& estimator
     run.num_estimates = plan_result->num_estimates;
 
     // P-Error: re-cost the chosen plan under true cardinalities.
-    const double plan_cost_true = optimizer_->RecostWithCards(
-        *plan_result->plan, query, ctx.true_cards);
+    const double plan_cost_true =
+        optimizer_->RecostWithCards(*plan_result->plan, ctx.true_cards);
     run.p_error =
         ctx.true_plan_cost > 0 ? plan_cost_true / ctx.true_plan_cost : 1.0;
 

@@ -11,6 +11,7 @@
 #include "exec/executor.h"
 #include "exec/true_card.h"
 #include "optimizer/optimizer.h"
+#include "query/query_graph.h"
 #include "storage/catalog.h"
 #include "workload/workload_gen.h"
 
@@ -89,6 +90,9 @@ class BenchEnv {
   /// Per-workload-query precomputed context.
   struct QueryContext {
     const Query* query = nullptr;
+    /// The query's compiled IR, built once here and shared by every
+    /// planning, estimation and recosting pass over the workload.
+    std::unique_ptr<QueryGraph> graph;
     size_t num_tables = 0;
     /// Exact cardinality of every connected sub-plan, bitmask-keyed.
     std::unordered_map<uint64_t, double> true_cards;

@@ -1,38 +1,47 @@
 #include "metrics/perror.h"
 
 #include <algorithm>
+#include <utility>
 
-#include "cardest/truecard_est.h"
 #include "common/logging.h"
 
 namespace cardbench {
 
 namespace {
 
-/// A throwaway estimator serving the precomputed true cardinalities by
-/// bitmask (avoids needing a TrueCardService here).
-class MapEstimator : public CardinalityEstimator {
+/// Serves the precomputed true cardinalities by sub-plan bitmask. Purely
+/// graph-dispatched: the optimizer's graph path never materializes
+/// sub-queries for it, and an unknown mask dies instead of degrading into
+/// a silent estimate.
+class TrueCardMapEstimator : public CardinalityEstimator {
  public:
-  MapEstimator(const Query& query,
-               const std::unordered_map<uint64_t, double>& cards)
-      : query_(query), cards_(cards) {}
+  TrueCardMapEstimator(const QueryGraph& graph,
+                       const std::unordered_map<uint64_t, double>& cards)
+      : graph_(graph), cards_(cards) {}
 
-  std::string name() const override { return "map"; }
+  std::string name() const override { return "truecard-map"; }
+
+  double EstimateCard(const QueryGraph& graph, uint64_t mask) const override {
+    auto it = cards_.find(mask);
+    CARDBENCH_CHECK(it != cards_.end(),
+                    "no true cardinality for sub-plan mask %llu",
+                    static_cast<unsigned long long>(mask));
+    return it->second;
+  }
 
   double EstimateCard(const Query& subquery) const override {
-    // Recover the bitmask from the sub-query's table set.
+    // Legacy-dispatch adapter: recover the bitmask from the table set.
     uint64_t mask = 0;
     for (const auto& table : subquery.tables) {
-      const int idx = query_.TableIndex(table);
+      const int idx = graph_.query().TableIndex(table);
       CARDBENCH_CHECK(idx >= 0, "sub-query table not in query");
       mask |= uint64_t{1} << idx;
     }
-    auto it = cards_.find(mask);
-    return it != cards_.end() ? it->second : 1.0;
+    return EstimateCard(graph_, mask);
   }
 
  private:
-  const Query& query_;
+  const QueryGraph& graph_;
   const std::unordered_map<uint64_t, double>& cards_;
 };
 
@@ -41,19 +50,32 @@ class MapEstimator : public CardinalityEstimator {
 PErrorCalculator::PErrorCalculator(
     const Optimizer& optimizer, const Query& query,
     std::unordered_map<uint64_t, double> true_cards)
-    : optimizer_(optimizer), query_(query), true_cards_(std::move(true_cards)) {
-  MapEstimator oracle(query_, true_cards_);
-  auto plan = optimizer_.Plan(query_, oracle);
+    : optimizer_(optimizer),
+      owned_graph_(std::make_unique<QueryGraph>(query, optimizer.db())),
+      graph_(*owned_graph_),
+      true_cards_(std::move(true_cards)) {
+  ComputeTruePlanCost();
+}
+
+PErrorCalculator::PErrorCalculator(
+    const Optimizer& optimizer, const QueryGraph& graph,
+    std::unordered_map<uint64_t, double> true_cards)
+    : optimizer_(optimizer), graph_(graph), true_cards_(std::move(true_cards)) {
+  ComputeTruePlanCost();
+}
+
+void PErrorCalculator::ComputeTruePlanCost() {
+  TrueCardMapEstimator oracle(graph_, true_cards_);
+  auto plan = optimizer_.Plan(graph_, oracle);
   CARDBENCH_CHECK(plan.ok(), "true-card planning failed: %s",
                   plan.status().ToString().c_str());
-  true_plan_cost_ =
-      optimizer_.RecostWithCards(*plan->plan, query_, true_cards_);
+  true_plan_cost_ = optimizer_.RecostWithCards(*plan->plan, true_cards_);
 }
 
 Result<double> PErrorCalculator::Evaluate(
     const CardinalityEstimator& estimator) const {
   CARDBENCH_ASSIGN_OR_RETURN(PlanResult plan,
-                             optimizer_.Plan(query_, estimator));
+                             optimizer_.Plan(graph_, estimator));
   return EvaluatePlan(*plan.plan);
 }
 
@@ -61,7 +83,7 @@ double PErrorCalculator::EvaluatePlan(const PlanNode& plan) const {
   // Not clamped at 1: the paper notes PPC(P(C^T), C^T) need not be the true
   // minimum when the cost model is imperfect; relative comparison remains
   // valid either way (§7.2).
-  const double cost = optimizer_.RecostWithCards(plan, query_, true_cards_);
+  const double cost = optimizer_.RecostWithCards(plan, true_cards_);
   return true_plan_cost_ > 0 ? cost / true_plan_cost_ : 1.0;
 }
 

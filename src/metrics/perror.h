@@ -1,12 +1,14 @@
 #ifndef CARDBENCH_METRICS_PERROR_H_
 #define CARDBENCH_METRICS_PERROR_H_
 
+#include <memory>
 #include <unordered_map>
 
 #include "cardest/estimator.h"
 #include "common/status.h"
 #include "optimizer/optimizer.h"
 #include "query/query.h"
+#include "query/query_graph.h"
 
 namespace cardbench {
 
@@ -19,11 +21,21 @@ namespace cardbench {
 /// cost model is the PPC function; true sub-plan cardinalities C^T are
 /// precomputed once per query (the paper stores them and evaluates P-Error
 /// "instantaneously" via pg_hint_plan).
+///
+/// True cardinalities are served directly by sub-plan bitmask against the
+/// query's compiled QueryGraph — a missing mask is a hard error (every
+/// connected sub-plan must have been executed), never a silent fallback.
 class PErrorCalculator {
  public:
   /// `true_cards`: exact cardinality of every connected sub-plan of
-  /// `query`, keyed by table-subset bitmask.
+  /// `query`, keyed by table-subset bitmask. Compiles the query's graph
+  /// internally.
   PErrorCalculator(const Optimizer& optimizer, const Query& query,
+                   std::unordered_map<uint64_t, double> true_cards);
+
+  /// Same, but reuses an already-compiled graph (the harness compiles one
+  /// per workload query; `graph` must outlive the calculator).
+  PErrorCalculator(const Optimizer& optimizer, const QueryGraph& graph,
                    std::unordered_map<uint64_t, double> true_cards);
 
   /// Denominator PPC(P(C^T), C^T), computed once at construction.
@@ -37,8 +49,11 @@ class PErrorCalculator {
   double EvaluatePlan(const PlanNode& plan) const;
 
  private:
+  void ComputeTruePlanCost();
+
   const Optimizer& optimizer_;
-  const Query& query_;
+  std::unique_ptr<QueryGraph> owned_graph_;  // only the Query ctor sets this
+  const QueryGraph& graph_;
   std::unordered_map<uint64_t, double> true_cards_;
   double true_plan_cost_ = 0.0;
 };

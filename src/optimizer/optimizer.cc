@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -17,26 +18,250 @@ double ClampCard(double card) {
   return card;
 }
 
+uint64_t NdvKey(int table_id, int column_id) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(table_id)) << 32) |
+         static_cast<uint32_t>(column_id);
+}
+
 }  // namespace
 
-double Optimizer::NdvOf(const std::string& table,
-                        const std::string& column) const {
-  const std::string key = table + "." + column;
+Optimizer::Optimizer(const Database& db, CostModel cost_model)
+    : db_(db), cost_(cost_model) {
+  for (size_t i = 0; i < db.table_names().size(); ++i) {
+    table_ids_[db.table_names()[i]] = static_cast<int>(i);
+  }
+}
+
+double Optimizer::NdvOf(int table_id, int column_id,
+                        const Table& table) const {
+  const uint64_t key = NdvKey(table_id, column_id);
   {
     std::lock_guard<std::mutex> lock(ndv_mu_);
     auto it = ndv_cache_.find(key);
     if (it != ndv_cache_.end()) return it->second;
   }
-  const Table& t = db_.TableOrDie(table);
   const double ndv = std::max<double>(
-      1.0, static_cast<double>(t.GetIndex(t.ColumnIndexOrDie(column)).num_distinct()));
+      1.0, static_cast<double>(table.GetIndex(column_id).num_distinct()));
   std::lock_guard<std::mutex> lock(ndv_mu_);
   ndv_cache_[key] = ndv;
   return ndv;
 }
 
+double Optimizer::NdvOf(const std::string& table,
+                        const std::string& column) const {
+  const Table& t = db_.TableOrDie(table);
+  auto it = table_ids_.find(table);
+  CARDBENCH_CHECK(it != table_ids_.end(), "unknown table '%s'",
+                  table.c_str());
+  return NdvOf(it->second, static_cast<int>(t.ColumnIndexOrDie(column)), t);
+}
+
+Result<PlanResult> Optimizer::Plan(const QueryGraph& graph,
+                                   const CardinalityEstimator& estimator) const {
+  Stopwatch total_watch;
+  PlanResult result;
+
+  struct Entry {
+    std::unique_ptr<PlanNode> plan;
+    double cost = std::numeric_limits<double>::infinity();
+    double card = 1.0;
+  };
+  std::unordered_map<uint64_t, Entry> dp;
+
+  // --- Estimate every connected sub-plan (the sub-plan query space). ---
+  const std::vector<uint64_t>& subsets = graph.connected_subsets();
+  for (uint64_t mask : subsets) {
+    Stopwatch est_watch;
+    const double est = estimator.EstimateCard(graph, mask);
+    result.estimation_seconds += est_watch.ElapsedSeconds();
+    ++result.num_estimates;
+    result.injected_cards[mask] = ClampCard(est);
+  }
+
+  // --- Base relations: access-path selection. ---
+  for (size_t i = 0; i < graph.num_tables(); ++i) {
+    const uint64_t mask = uint64_t{1} << i;
+    const QueryGraph::TableInfo& info = graph.table(i);
+    const double table_rows = static_cast<double>(info.table->num_rows());
+    const double out_card = result.injected_cards.at(mask);
+    const std::vector<Predicate>& filters = info.preds;
+
+    Entry entry;
+    // Sequential scan is always available.
+    {
+      auto scan = std::make_unique<PlanNode>();
+      scan->type = PlanNode::Type::kScan;
+      scan->table = info.name;
+      scan->scan_method = ScanMethod::kSeqScan;
+      scan->filters = filters;
+      scan->table_mask = mask;
+      scan->estimated_card = out_card;
+      scan->estimated_cost = cost_.SeqScanCost(table_rows, filters.size());
+      entry.cost = scan->estimated_cost;
+      entry.plan = std::move(scan);
+    }
+    // Index scan: leading equality predicate on an indexed (key) column.
+    for (size_t f = 0; f < filters.size(); ++f) {
+      if (filters[f].op != CompareOp::kEq) continue;
+      const int col_id = info.pred_column_ids[f];
+      if (info.table->column(col_id).kind() != ColumnKind::kKey) continue;
+      const double matched =
+          table_rows / NdvOf(info.table_id, col_id, *info.table);
+      const double cost = cost_.IndexScanCost(matched, filters.size() - 1);
+      if (cost < entry.cost) {
+        auto scan = std::make_unique<PlanNode>();
+        scan->type = PlanNode::Type::kScan;
+        scan->table = info.name;
+        scan->scan_method = ScanMethod::kIndexScan;
+        scan->filters = filters;
+        std::swap(scan->filters[0], scan->filters[f]);
+        scan->table_mask = mask;
+        scan->estimated_card = out_card;
+        scan->estimated_cost = cost;
+        entry.cost = cost;
+        entry.plan = std::move(scan);
+      }
+    }
+    entry.card = out_card;
+    dp[mask] = std::move(entry);
+  }
+
+  // --- Join enumeration: DP over connected subsets in popcount order. ---
+  std::vector<const QueryGraph::EdgeInfo*> connecting;
+  for (uint64_t mask : subsets) {
+    if (std::popcount(mask) < 2) continue;
+    Entry best;
+    // Enumerate ordered splits (outer, inner) of `mask`.
+    for (uint64_t outer = (mask - 1) & mask; outer != 0;
+         outer = (outer - 1) & mask) {
+      const uint64_t inner = mask ^ outer;
+      // Adjacency pre-check: a split with no edge between the two sides is
+      // a cross product; skip it without touching the edge list.
+      if ((graph.AdjacencyOf(outer) & inner) == 0) continue;
+      auto outer_it = dp.find(outer);
+      auto inner_it = dp.find(inner);
+      if (outer_it == dp.end() || inner_it == dp.end()) continue;
+
+      // Connecting edges between the two sides, in query edge order (the
+      // first one is the primary hash/merge join condition).
+      connecting.clear();
+      for (const QueryGraph::EdgeInfo& edge : graph.edges()) {
+        const uint64_t lb = uint64_t{1} << edge.left_local;
+        const uint64_t rb = uint64_t{1} << edge.right_local;
+        if (((outer & lb) && (inner & rb)) || ((outer & rb) && (inner & lb))) {
+          connecting.push_back(&edge);
+        }
+      }
+      if (connecting.empty()) continue;  // unreachable given the pre-check
+
+      const Entry& oe = outer_it->second;
+      const Entry& ie = inner_it->second;
+      const double out_card = result.injected_cards.at(mask);
+      const double child_cost = oe.cost + ie.cost;
+      const size_t num_extra = connecting.size() - 1;
+
+      auto consider = [&](JoinMethod method, double join_cost,
+                          const JoinEdge& primary) {
+        const double total = child_cost + join_cost;
+        if (total >= best.cost) return;
+        auto node = std::make_unique<PlanNode>();
+        node->type = PlanNode::Type::kJoin;
+        node->join_method = method;
+        node->edge = primary;
+        for (const QueryGraph::EdgeInfo* e : connecting) {
+          if (*e->edge != primary) node->extra_edges.push_back(*e->edge);
+        }
+        node->left = oe.plan->Clone();
+        node->right = ie.plan->Clone();
+        node->table_mask = mask;
+        node->estimated_card = out_card;
+        node->estimated_cost = total;
+        best.cost = total;
+        best.card = out_card;
+        best.plan = std::move(node);
+      };
+
+      consider(JoinMethod::kHashJoin,
+               cost_.HashJoinCost(oe.card, ie.card, out_card, num_extra),
+               *connecting[0]->edge);
+      consider(JoinMethod::kMergeJoin,
+               cost_.MergeJoinCost(oe.card, ie.card, out_card, num_extra),
+               *connecting[0]->edge);
+
+      // Index nested loop: inner side must be a single base table whose
+      // join-edge endpoint is an indexed key column.
+      if (std::popcount(inner) == 1 && ie.plan->IsScan() &&
+          ie.plan->scan_method == ScanMethod::kSeqScan) {
+        const int inner_local = std::countr_zero(inner);
+        const QueryGraph::TableInfo& it_info = graph.table(inner_local);
+        for (const QueryGraph::EdgeInfo* edge : connecting) {
+          int inner_col;
+          const Column* inner_column;
+          if (edge->left_local == inner_local) {
+            inner_col = edge->left_column_id;
+            inner_column = edge->left_column;
+          } else if (edge->right_local == inner_local) {
+            inner_col = edge->right_column_id;
+            inner_column = edge->right_column;
+          } else {
+            continue;
+          }
+          if (inner_column->kind() != ColumnKind::kKey) continue;
+          const double matched_per_probe =
+              static_cast<double>(it_info.table->num_rows()) /
+              NdvOf(it_info.table_id, inner_col, *it_info.table);
+          // The inner scan's cost is not paid: probes replace the scan.
+          const double join_cost = cost_.IndexNestLoopCost(
+              oe.card, matched_per_probe, out_card, ie.plan->filters.size(),
+              num_extra);
+          const double total = oe.cost + join_cost;
+          if (total >= best.cost) continue;
+          auto node = std::make_unique<PlanNode>();
+          node->type = PlanNode::Type::kJoin;
+          node->join_method = JoinMethod::kIndexNestLoop;
+          node->edge = *edge->edge;
+          for (const QueryGraph::EdgeInfo* e : connecting) {
+            if (*e->edge != *edge->edge) node->extra_edges.push_back(*e->edge);
+          }
+          node->left = oe.plan->Clone();
+          node->right = ie.plan->Clone();
+          node->table_mask = mask;
+          node->estimated_card = out_card;
+          node->estimated_cost = total;
+          best.cost = total;
+          best.card = out_card;
+          best.plan = std::move(node);
+          break;
+        }
+      }
+    }
+    if (best.plan == nullptr) {
+      return Status::Internal("no join plan found for connected subset");
+    }
+    dp[mask] = std::move(best);
+  }
+
+  auto full_it = dp.find(graph.full_mask());
+  if (full_it == dp.end() || full_it->second.plan == nullptr) {
+    return Status::Internal("planning failed for " + graph.query().ToSql());
+  }
+  result.plan = std::move(full_it->second.plan);
+  result.planning_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
 Result<PlanResult> Optimizer::Plan(const Query& query,
                                    const CardinalityEstimator& estimator) const {
+  Stopwatch total_watch;
+  const QueryGraph graph(query, db_);
+  auto result = Plan(graph, estimator);
+  // Count the one-time compile in the plan time the caller observes.
+  if (result.ok()) result->planning_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+Result<PlanResult> Optimizer::PlanLegacy(
+    const Query& query, const CardinalityEstimator& estimator) const {
   Stopwatch total_watch;
   PlanResult result;
 
@@ -150,7 +375,7 @@ Result<PlanResult> Optimizer::Plan(const Query& query,
         node->join_method = method;
         node->edge = primary;
         for (const auto& e : connecting) {
-          if (e.ToString() != primary.ToString()) node->extra_edges.push_back(e);
+          if (e != primary) node->extra_edges.push_back(e);
         }
         node->left = oe.plan->Clone();
         node->right = ie.plan->Clone();
@@ -198,7 +423,7 @@ Result<PlanResult> Optimizer::Plan(const Query& query,
           node->join_method = JoinMethod::kIndexNestLoop;
           node->edge = edge;
           for (const auto& e : connecting) {
-            if (e.ToString() != edge.ToString()) node->extra_edges.push_back(e);
+            if (e != edge) node->extra_edges.push_back(e);
           }
           node->left = oe.plan->Clone();
           node->right = ie.plan->Clone();
@@ -228,7 +453,7 @@ Result<PlanResult> Optimizer::Plan(const Query& query,
 }
 
 double Optimizer::RecostWithCards(
-    const PlanNode& plan, const Query& query,
+    const PlanNode& plan,
     const std::unordered_map<uint64_t, double>& cards) const {
   auto card_of = [&](const PlanNode& node) {
     auto it = cards.find(node.table_mask);
@@ -245,7 +470,7 @@ double Optimizer::RecostWithCards(
     return cost_.SeqScanCost(table_rows, plan.filters.size());
   }
 
-  const double left_cost = RecostWithCards(*plan.left, query, cards);
+  const double left_cost = RecostWithCards(*plan.left, cards);
   const double out_card = card_of(plan);
   const double outer_card = card_of(*plan.left);
   const size_t num_extra = plan.extra_edges.size();
@@ -264,7 +489,7 @@ double Optimizer::RecostWithCards(
                                                num_extra);
   }
 
-  const double right_cost = RecostWithCards(*plan.right, query, cards);
+  const double right_cost = RecostWithCards(*plan.right, cards);
   const double inner_card = card_of(*plan.right);
   if (plan.join_method == JoinMethod::kHashJoin) {
     return left_cost + right_cost +

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "cardest/estimator.h"
@@ -10,6 +11,7 @@
 #include "exec/plan.h"
 #include "optimizer/cost_model.h"
 #include "query/query.h"
+#include "query/query_graph.h"
 #include "storage/catalog.h"
 
 namespace cardbench {
@@ -37,34 +39,57 @@ struct PlanResult {
 /// injected CardinalityEstimator — the paper's evaluation mechanism (§4.2).
 class Optimizer {
  public:
-  explicit Optimizer(const Database& db, CostModel cost_model = CostModel())
-      : db_(db), cost_(cost_model) {}
+  explicit Optimizer(const Database& db, CostModel cost_model = CostModel());
 
-  /// Plans `query` using cardinalities from `estimator`. Thread-safe: may
-  /// be called concurrently from many threads sharing one Optimizer and one
-  /// estimator (see the CardinalityEstimator thread-safety contract).
+  /// Plans the compiled query using cardinalities from `estimator` — the
+  /// primary entry point: sub-plans dispatch as (graph, mask), split
+  /// connectivity comes from adjacency bitmasks, and no Induced(mask)
+  /// sub-query is ever materialized. Thread-safe: may be called
+  /// concurrently from many threads sharing one Optimizer, one graph and
+  /// one estimator (see the CardinalityEstimator thread-safety contract).
+  Result<PlanResult> Plan(const QueryGraph& graph,
+                          const CardinalityEstimator& estimator) const;
+
+  /// Convenience: compiles `query` into a QueryGraph and plans it. The
+  /// compile cost is counted in planning_seconds. Callers planning the same
+  /// query repeatedly (the service, the harness) should compile once and
+  /// use the graph overload.
   Result<PlanResult> Plan(const Query& query,
                           const CardinalityEstimator& estimator) const;
+
+  /// The pre-QueryGraph planning path: string-based sub-queries via
+  /// Induced(mask) and a per-split O(edges) connecting-edge scan. Kept as
+  /// the reference for the planner parity suite and the micro benchmark;
+  /// produces bit-identical plans, costs and injected cardinalities to the
+  /// graph path.
+  Result<PlanResult> PlanLegacy(const Query& query,
+                                const CardinalityEstimator& estimator) const;
 
   /// Re-costs an existing plan shape under a different set of sub-plan
   /// cardinalities (bitmask-keyed). This is the PPC function of the P-Error
   /// metric: PPC(P(C_E), C_T) re-costs the estimate-chosen plan with true
   /// cardinalities. Masks absent from `cards` keep the plan's estimates.
-  double RecostWithCards(const PlanNode& plan, const Query& query,
+  double RecostWithCards(const PlanNode& plan,
                          const std::unordered_map<uint64_t, double>& cards)
       const;
 
   const CostModel& cost_model() const { return cost_; }
+  const Database& db() const { return db_; }
 
  private:
-  /// Distinct-value count of table.column, cached (PostgreSQL keeps the
-  /// same statistic in pg_stats; used for index-nested-loop costing).
+  /// Distinct-value count of a column, cached under its (table_id,
+  /// column_id) pair (PostgreSQL keeps the same statistic in pg_stats; used
+  /// for index-nested-loop costing).
+  double NdvOf(int table_id, int column_id, const Table& table) const;
+  /// Name-based resolution front-end for the legacy path and recosting
+  /// (plan nodes carry names).
   double NdvOf(const std::string& table, const std::string& column) const;
 
   const Database& db_;
   CostModel cost_;
+  std::unordered_map<std::string, int> table_ids_;
   mutable std::mutex ndv_mu_;
-  mutable std::unordered_map<std::string, double> ndv_cache_;
+  mutable std::unordered_map<uint64_t, double> ndv_cache_;
 };
 
 }  // namespace cardbench

@@ -8,9 +8,11 @@ namespace cardbench {
 
 size_t SubplanEstimateCache::KeyHash::operator()(
     const SubplanCacheKey& key) const {
-  // FNV over both strings, mixed with the mask. Stable across runs so
-  // shard assignment (and therefore contention patterns) is reproducible.
-  uint64_t h = Fnv1aHash(key.estimator) * 31 + Fnv1aHash(key.query);
+  // FNV over the estimator name mixed with the query fingerprint and the
+  // mask — no per-lookup string hashing of the query anymore. Stable across
+  // runs so shard assignment (and therefore contention patterns) is
+  // reproducible.
+  uint64_t h = Fnv1aHash(key.estimator) * 31 + key.fingerprint;
   h ^= key.subplan_mask + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
   return static_cast<size_t>(h);
 }

@@ -13,17 +13,18 @@
 namespace cardbench {
 
 /// Identity of one cached sub-plan estimate: which estimator produced it,
-/// which workload query it belongs to (canonical key of the parent query)
-/// and which connected table subset of that query (bitmask, as used by the
-/// optimizer's DP and the Q-Error analysis).
+/// which workload query it belongs to (the QueryGraph's 64-bit fingerprint
+/// — FNV-1a of the query's canonical key, so graph-less requests can form
+/// the same key by hashing) and which connected table subset of that query
+/// (bitmask, as used by the optimizer's DP and the Q-Error analysis).
 struct SubplanCacheKey {
   std::string estimator;
-  std::string query;
+  uint64_t fingerprint = 0;
   uint64_t subplan_mask = 0;
 
   bool operator==(const SubplanCacheKey& other) const {
-    return subplan_mask == other.subplan_mask && query == other.query &&
-           estimator == other.estimator;
+    return subplan_mask == other.subplan_mask &&
+           fingerprint == other.fingerprint && estimator == other.estimator;
   }
 };
 

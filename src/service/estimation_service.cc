@@ -36,8 +36,9 @@ const CardinalityEstimator* EstimationService::GetEstimator(
 
 Status EstimationService::Submit(EstimateRequest request,
                                  EstimateCallback done) {
-  if (request.query == nullptr) {
-    return Status::InvalidArgument("EstimateRequest.query is null");
+  if (request.query == nullptr && request.graph == nullptr) {
+    return Status::InvalidArgument(
+        "EstimateRequest needs a query or a graph");
   }
   if (!queue_.TryPush(WorkItem{std::move(request), std::move(done)})) {
     return Status::ResourceExhausted(
@@ -64,6 +65,40 @@ Result<double> EstimationService::EstimateSync(const std::string& estimator,
     return Status::Internal("estimate missing from response");
   }
   return it->second;
+}
+
+Result<double> EstimationService::EstimateSync(const std::string& estimator,
+                                               const QueryGraph& graph,
+                                               uint64_t subplan_mask) {
+  std::promise<EstimateResponse> promise;
+  std::future<EstimateResponse> future = promise.get_future();
+  CARDBENCH_RETURN_IF_ERROR(Submit(
+      EstimateRequest{estimator, nullptr, subplan_mask, &graph},
+      [&promise](EstimateResponse response) {
+        promise.set_value(std::move(response));
+      }));
+  EstimateResponse response = future.get();
+  CARDBENCH_RETURN_IF_ERROR(response.status);
+  auto it = response.cards.find(subplan_mask);
+  if (it == response.cards.end()) {
+    return Status::Internal("estimate missing from response");
+  }
+  return it->second;
+}
+
+Result<std::unordered_map<uint64_t, double>>
+EstimationService::EstimateQuerySync(const std::string& estimator,
+                                     const QueryGraph& graph) {
+  std::promise<EstimateResponse> promise;
+  std::future<EstimateResponse> future = promise.get_future();
+  CARDBENCH_RETURN_IF_ERROR(Submit(
+      EstimateRequest{estimator, nullptr, kAllSubplans, &graph},
+      [&promise](EstimateResponse response) {
+        promise.set_value(std::move(response));
+      }));
+  EstimateResponse response = future.get();
+  CARDBENCH_RETURN_IF_ERROR(response.status);
+  return std::move(response.cards);
 }
 
 Result<std::unordered_map<uint64_t, double>>
@@ -126,8 +161,35 @@ EstimateResponse EstimationService::Process(const EstimateRequest& request) {
                          "'");
     return response;
   }
+  if (request.graph != nullptr) {
+    // Compiled-IR path: mask-based estimator dispatch, fingerprint-keyed
+    // cache — no sub-query materialization, no string hashing.
+    const QueryGraph& graph = *request.graph;
+    std::vector<uint64_t> masks;
+    if (request.subplan_mask == kAllSubplans) {
+      masks = graph.connected_subsets();
+    } else {
+      masks.push_back(request.subplan_mask);
+    }
+    for (uint64_t mask : masks) {
+      SubplanCacheKey key{request.estimator, graph.fingerprint(), mask};
+      double estimate = 0.0;
+      if (cache_.Lookup(key, &estimate)) {
+        ++response.cache_hits;
+      } else {
+        estimate = estimator->EstimateCard(graph, mask);
+        cache_.Insert(key, estimate);
+        ++response.cache_misses;
+      }
+      response.cards[mask] = estimate;
+    }
+    return response;
+  }
+
   const Query& query = *request.query;
-  const std::string query_key = query.CanonicalKey();
+  // Same fingerprint a compiled graph of this query would carry, so graph
+  // and graph-less requests share cache entries.
+  const uint64_t fingerprint = Fnv1aHash(query.CanonicalKey());
 
   std::vector<uint64_t> masks;
   if (request.subplan_mask == kAllSubplans) {
@@ -137,7 +199,7 @@ EstimateResponse EstimationService::Process(const EstimateRequest& request) {
   }
 
   for (uint64_t mask : masks) {
-    SubplanCacheKey key{request.estimator, query_key, mask};
+    SubplanCacheKey key{request.estimator, fingerprint, mask};
     double estimate = 0.0;
     if (cache_.Lookup(key, &estimate)) {
       ++response.cache_hits;

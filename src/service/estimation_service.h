@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "query/query.h"
+#include "query/query_graph.h"
 #include "service/estimate_cache.h"
 #include "service/request_queue.h"
 
@@ -38,10 +39,16 @@ inline constexpr uint64_t kAllSubplans = 0;
 /// `query` is borrowed — it must outlive the request's completion (workload
 /// queries live in the Workload that outlives the replay; the planner's
 /// sub-plan queries live for the planning call).
+///
+/// When `graph` is set (same lifetime contract), workers dispatch through
+/// the estimators' mask-based overload and key the cache on the graph's
+/// precomputed fingerprint — no sub-query materialization or string hashing
+/// on the serving path. `query` may then be null.
 struct EstimateRequest {
   std::string estimator;
   const Query* query = nullptr;
   uint64_t subplan_mask = kAllSubplans;
+  const QueryGraph* graph = nullptr;
 };
 
 /// The answer. For a single-mask request `cards` has one entry; for
@@ -96,10 +103,14 @@ class EstimationService {
   /// Blocking single sub-plan estimate (convenience over Submit).
   Result<double> EstimateSync(const std::string& estimator, const Query& query,
                               uint64_t subplan_mask);
+  Result<double> EstimateSync(const std::string& estimator,
+                              const QueryGraph& graph, uint64_t subplan_mask);
 
   /// Blocking whole-query estimate: every connected sub-plan, one request.
   Result<std::unordered_map<uint64_t, double>> EstimateQuerySync(
       const std::string& estimator, const Query& query);
+  Result<std::unordered_map<uint64_t, double>> EstimateQuerySync(
+      const std::string& estimator, const QueryGraph& graph);
 
   /// Data-update hook: quiesces all in-flight estimation, invokes Update()
   /// on every estimator that SupportsUpdate, and invalidates the cache.

@@ -14,8 +14,14 @@ LoadDriver::LoadDriver(EstimationService& service,
                        std::vector<const Query*> queries)
     : service_(service), queries_(std::move(queries)) {}
 
+LoadDriver::LoadDriver(EstimationService& service,
+                       std::vector<const QueryGraph*> graphs)
+    : service_(service), graphs_(std::move(graphs)) {}
+
 Result<LoadReport> LoadDriver::Run(const LoadOptions& options) {
-  if (queries_.empty()) {
+  const size_t num_queries =
+      graphs_.empty() ? queries_.size() : graphs_.size();
+  if (num_queries == 0) {
     return Status::InvalidArgument("load driver has no queries");
   }
   if (options.estimator.empty()) {
@@ -27,7 +33,7 @@ Result<LoadReport> LoadDriver::Run(const LoadOptions& options) {
   }
 
   const size_t total_requests =
-      queries_.size() * std::max<size_t>(1, options.replays);
+      num_queries * std::max<size_t>(1, options.replays);
   const size_t concurrency = std::max<size_t>(1, options.concurrency);
   const EstimateCacheStats before = service_.cache_stats();
 
@@ -51,10 +57,15 @@ Result<LoadReport> LoadDriver::Run(const LoadOptions& options) {
       for (;;) {
         const size_t ticket = next_ticket.fetch_add(1);
         if (ticket >= total_requests || failed.load()) return;
-        const Query& query = *queries_[ticket % queries_.size()];
+        const size_t q = ticket % num_queries;
         Stopwatch request_watch;
         for (;;) {
-          auto cards = service_.EstimateQuerySync(options.estimator, query);
+          auto cards =
+              graphs_.empty()
+                  ? service_.EstimateQuerySync(options.estimator,
+                                               *queries_[q])
+                  : service_.EstimateQuerySync(options.estimator,
+                                               *graphs_[q]);
           if (cards.ok()) {
             total_estimates.fetch_add(cards->size());
             break;

@@ -54,6 +54,12 @@ class LoadDriver {
   /// `queries` are borrowed and must outlive Run calls.
   LoadDriver(EstimationService& service, std::vector<const Query*> queries);
 
+  /// Compiled-IR variant: clients submit the pre-built graphs, exercising
+  /// the service's mask-based dispatch and fingerprint-keyed cache.
+  /// `graphs` are borrowed and must outlive Run calls.
+  LoadDriver(EstimationService& service,
+             std::vector<const QueryGraph*> graphs);
+
   /// Runs one load session. Fails fast on the first non-backpressure error
   /// (unknown estimator, null query); backpressure rejections are counted
   /// and retried, never dropped.
@@ -62,6 +68,7 @@ class LoadDriver {
  private:
   EstimationService& service_;
   std::vector<const Query*> queries_;
+  std::vector<const QueryGraph*> graphs_;  // non-empty: graph dispatch
 };
 
 }  // namespace cardbench

@@ -123,7 +123,7 @@ TEST_F(OptimizerTest, RecostWithOwnCardsReproducesPlanCost) {
   auto result = opt.Plan(q, est);
   ASSERT_TRUE(result.ok());
   const double recost =
-      opt.RecostWithCards(*result->plan, q, result->injected_cards);
+      opt.RecostWithCards(*result->plan, result->injected_cards);
   EXPECT_NEAR(recost, result->plan->estimated_cost,
               1e-6 * result->plan->estimated_cost);
 }
@@ -141,13 +141,13 @@ TEST_F(OptimizerTest, TruePlanIsNoWorseUnderTrueCost) {
   auto true_plan = opt.Plan(q, perfect);
   ASSERT_TRUE(true_plan.ok());
   const double best_cost =
-      opt.RecostWithCards(*true_plan->plan, q, *true_cards);
+      opt.RecostWithCards(*true_plan->plan, *true_cards);
 
   for (double v : {1.0, 1e6}) {
     ConstEstimator bad(v);
     auto bad_plan = opt.Plan(q, bad);
     ASSERT_TRUE(bad_plan.ok());
-    const double bad_cost = opt.RecostWithCards(*bad_plan->plan, q, *true_cards);
+    const double bad_cost = opt.RecostWithCards(*bad_plan->plan, *true_cards);
     EXPECT_GE(bad_cost, best_cost * (1 - 1e-9));
   }
 }

@@ -1,0 +1,98 @@
+// Planner parity suite: the compiled QueryGraph path must be bit-identical
+// to the legacy string-based path — same injected cardinalities, same
+// EXPLAIN text, same plan cost, same P-Error — for every workload query
+// under every estimator in the zoo. This is the refactor's contract: the IR
+// changes how sub-plans are dispatched, never what any layer computes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "cardest/registry.h"
+#include "harness/bench_env.h"
+#include "metrics/perror.h"
+
+namespace cardbench {
+namespace {
+
+BenchFlags ParityFlags() {
+  BenchFlags flags;
+  flags.fast = true;
+  flags.scale = 0.05;
+  flags.max_queries = 8;
+  flags.exec_timeout = 10.0;
+  flags.cache_dir = ::testing::TempDir() + "/cardbench_parity_cache";
+  flags.training_queries = 100;
+  return flags;
+}
+
+class PlannerParityTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() {
+    if (env_ != nullptr) return;
+    auto env = BenchEnv::Create(BenchDataset::kStats, ParityFlags());
+    ASSERT_TRUE(env.ok()) << env.status().ToString();
+    env_ = env->release();
+  }
+
+  static BenchEnv* env_;
+};
+
+BenchEnv* PlannerParityTest::env_ = nullptr;
+
+TEST_P(PlannerParityTest, GraphPathIsBitIdenticalToLegacy) {
+  auto est = env_->MakeNamedEstimator(GetParam());
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  const CardinalityEstimator& estimator = **est;
+  const Optimizer& opt = env_->optimizer();
+
+  for (const auto& ctx : env_->query_contexts()) {
+    auto legacy = opt.PlanLegacy(*ctx.query, estimator);
+    auto graph = opt.Plan(*ctx.graph, estimator);
+    ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+    ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+
+    // Same estimates, injected for the same sub-plan masks, bit-for-bit.
+    EXPECT_EQ(graph->num_estimates, legacy->num_estimates);
+    ASSERT_EQ(graph->injected_cards.size(), legacy->injected_cards.size());
+    for (const auto& [mask, card] : legacy->injected_cards) {
+      auto it = graph->injected_cards.find(mask);
+      ASSERT_NE(it, graph->injected_cards.end()) << "mask " << mask;
+      EXPECT_EQ(it->second, card)
+          << ctx.query->name << " mask " << mask << " under " << GetParam();
+    }
+
+    // Same chosen plan (shape, operators, row estimates) at the same cost.
+    EXPECT_EQ(graph->plan->Explain(), legacy->plan->Explain())
+        << ctx.query->name;
+    EXPECT_EQ(graph->plan->estimated_cost, legacy->plan->estimated_cost);
+
+    // Same P-Error, whether the calculator compiles its own graph or
+    // borrows the harness's.
+    PErrorCalculator borrowed(opt, *ctx.graph, ctx.true_cards);
+    PErrorCalculator compiled(opt, *ctx.query, ctx.true_cards);
+    EXPECT_EQ(borrowed.true_plan_cost(), compiled.true_plan_cost());
+    EXPECT_EQ(borrowed.EvaluatePlan(*graph->plan),
+              compiled.EvaluatePlan(*legacy->plan))
+        << ctx.query->name;
+
+    // Recosting either plan under true cardinalities agrees (PPC of the
+    // P-Error numerator).
+    EXPECT_EQ(opt.RecostWithCards(*graph->plan, ctx.true_cards),
+              opt.RecostWithCards(*legacy->plan, ctx.true_cards));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEstimators, PlannerParityTest,
+                         ::testing::ValuesIn(AllEstimatorNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace cardbench

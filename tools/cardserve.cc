@@ -66,16 +66,18 @@ size_t ServeStdin(EstimationService& service, BenchEnv& env,
   return served;
 }
 
-/// Replays the workload once through the service, per estimator.
+/// Replays the workload once through the service, per estimator. Clients
+/// submit the harness's pre-compiled QueryGraphs, so the service runs its
+/// mask-based dispatch and fingerprint-keyed cache path.
 void ReplayWorkload(EstimationService& service, BenchEnv& env,
                     const std::vector<std::string>& estimators,
                     size_t concurrency) {
-  std::vector<const Query*> queries;
-  for (const auto& ctx : env.query_contexts()) queries.push_back(ctx.query);
+  std::vector<const QueryGraph*> graphs;
+  for (const auto& ctx : env.query_contexts()) graphs.push_back(ctx.graph.get());
   std::printf("no stdin input — replaying %zu workload queries\n",
-              queries.size());
+              graphs.size());
   for (const std::string& name : estimators) {
-    LoadDriver driver(service, queries);
+    LoadDriver driver(service, graphs);
     LoadOptions load;
     load.estimator = name;
     load.concurrency = concurrency;
