@@ -4,8 +4,15 @@
 // verify (O8): BayesCard trains fastest with the smallest model;
 // SPN/FSPN models are larger and slower to build on STATS than on IMDB;
 // the autoregressive model is the slowest at inference.
+//
+// Model sizes are the serialized artifact bytes (CardinalityEstimator::
+// ModelBytes), i.e. what a deployment actually ships. With --model-dir the
+// construction column separates training from artifact loading; the JSON
+// emitted at the end records both so warm-vs-cold sweeps can be compared.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/str_util.h"
@@ -14,7 +21,19 @@
 namespace cardbench {
 namespace {
 
-void RunDataset(BenchDataset dataset, const BenchFlags& flags) {
+struct PracticalityRow {
+  std::string dataset;
+  std::string estimator;
+  double avg_inference_seconds = 0.0;
+  size_t model_bytes = 0;
+  double train_seconds = 0.0;   // model's own fit time (0 when loaded)
+  double build_seconds = 0.0;   // wall time of training construction
+  double load_seconds = 0.0;    // wall time of artifact loading
+  bool loaded = false;
+};
+
+void RunDataset(BenchDataset dataset, const BenchFlags& flags,
+                std::vector<PracticalityRow>* rows) {
   auto env_result = BenchEnv::Create(dataset, flags);
   CARDBENCH_CHECK(env_result.ok(), "env creation failed: %s",
                   env_result.status().ToString().c_str());
@@ -27,10 +46,11 @@ void RunDataset(BenchDataset dataset, const BenchFlags& flags) {
   }
 
   std::printf("\n=== %s ===\n", env.dataset_name().c_str());
-  std::printf("%-12s %22s %14s %14s\n", "Method", "Inference (avg/sub-plan)",
-              "Model size", "Training");
+  std::printf("%-12s %22s %14s %14s %14s\n", "Method",
+              "Inference (avg/sub-plan)", "Model size", "Training", "Load");
   for (const auto& name : estimators) {
-    auto est = env.MakeNamedEstimator(name);
+    ModelStoreStats stats;
+    auto est = env.MakeNamedEstimator(name, &stats);
     if (!est.ok()) {
       std::printf("%-12s   skipped (%s)\n", name.c_str(),
                   est.status().ToString().c_str());
@@ -39,15 +59,49 @@ void RunDataset(BenchDataset dataset, const BenchFlags& flags) {
     const auto run = env.RunEstimator(**est);
     size_t total_estimates = 0;
     for (const auto& q : run.queries) total_estimates += q.num_estimates;
-    const double avg_inference =
+
+    PracticalityRow row;
+    row.dataset = env.dataset_name();
+    row.estimator = name;
+    row.avg_inference_seconds =
         total_estimates > 0
             ? run.TotalInferenceSeconds() / static_cast<double>(total_estimates)
             : 0.0;
-    std::printf("%-12s %22s %14s %14s\n", name.c_str(),
-                FormatDuration(avg_inference).c_str(),
-                FormatBytes((*est)->ModelBytes()).c_str(),
-                FormatDuration((*est)->TrainSeconds()).c_str());
+    row.model_bytes = (*est)->ModelBytes();
+    row.train_seconds = (*est)->TrainSeconds();
+    row.build_seconds = stats.build_seconds;
+    row.load_seconds = stats.load_seconds;
+    row.loaded = stats.loaded;
+    std::printf("%-12s %22s %14s %14s %14s\n", name.c_str(),
+                FormatDuration(row.avg_inference_seconds).c_str(),
+                FormatBytes(row.model_bytes).c_str(),
+                FormatDuration(row.train_seconds).c_str(),
+                row.loaded ? FormatDuration(row.load_seconds).c_str() : "-");
+    rows->push_back(std::move(row));
   }
+}
+
+void WriteJson(const std::vector<PracticalityRow>& rows) {
+  std::FILE* json = std::fopen("bench_figure3_practicality.json", "w");
+  if (json == nullptr) return;
+  std::fprintf(json, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PracticalityRow& row = rows[i];
+    std::fprintf(json,
+                 "  {\"dataset\": \"%s\", \"estimator\": \"%s\", "
+                 "\"avg_inference_seconds\": %.9f, \"model_bytes\": %zu, "
+                 "\"train_seconds\": %.6f, \"build_seconds\": %.6f, "
+                 "\"load_seconds\": %.6f, \"loaded\": %s}%s\n",
+                 row.dataset.c_str(), row.estimator.c_str(),
+                 row.avg_inference_seconds, row.model_bytes, row.train_seconds,
+                 row.build_seconds, row.load_seconds,
+                 row.loaded ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "]\n");
+  std::fclose(json);
+  std::printf("\nwrote bench_figure3_practicality.json (%zu rows)\n",
+              rows.size());
 }
 
 }  // namespace
@@ -57,8 +111,10 @@ int main(int argc, char** argv) {
   using namespace cardbench;
   const BenchFlags flags = ParseBenchFlags(argc, argv);
   std::printf("Figure 3: practicality aspects (scale=%.2f)\n", flags.scale);
-  RunDataset(BenchDataset::kImdb, flags);
-  RunDataset(BenchDataset::kStats, flags);
+  std::vector<PracticalityRow> rows;
+  RunDataset(BenchDataset::kImdb, flags, &rows);
+  RunDataset(BenchDataset::kStats, flags, &rows);
+  WriteJson(rows);
   std::printf("\n(paper shape O8: BayesCard smallest/fastest to train; "
               "autoregressive slowest inference)\n");
   return 0;

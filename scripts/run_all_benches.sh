@@ -9,13 +9,24 @@
 #   scripts/run_all_benches.sh [extra bench flags...]
 #
 # e.g. scripts/run_all_benches.sh --fast        # quick smoke sweep
+#
+# Every bench also shares a model store (MODEL_DIR, default bench_models/):
+# the first sweep trains each estimator once and persists its artifact; a
+# second sweep of the same configuration loads the artifacts instead of
+# retraining (warm-store mode — bench_figure3_practicality's JSON then
+# reports load times in place of build times). Set MODEL_DIR="" to disable
+# and retrain everything.
 set -u
 cd "$(dirname "$0")/.."
 
 BENCH=build/bench
 LOGS=bench_logs
+MODEL_DIR=${MODEL_DIR-bench_models}
 mkdir -p "$LOGS"
 FLAGS=("$@")
+if [ -n "$MODEL_DIR" ]; then
+  FLAGS+=("--model-dir=$MODEL_DIR")
+fi
 
 run() {
   local name=$1
@@ -43,6 +54,7 @@ run bench_table6_update --estimators=BayesCard,DeepDB,FLAT
 run bench_table7_qerror_perror
 run bench_figure2_case_study
 run bench_figure3_practicality
+[ -f bench_figure3_practicality.json ] && mv bench_figure3_practicality.json "$LOGS/"
 run bench_ablation_fanout
 run bench_sensitivity_noise
 "$BENCH/bench_micro_inference" --benchmark_min_time=0.2s \

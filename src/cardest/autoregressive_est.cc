@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <istream>
+#include <ostream>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/serde.h"
 #include "common/str_util.h"
 #include "common/stopwatch.h"
 
@@ -593,12 +596,119 @@ double AutoregressiveEstimator::EstimateCard(const Query& subquery) const {
   return std::max(1.0, sampler_->foj_size() * expectation);
 }
 
-size_t AutoregressiveEstimator::ModelBytes() const {
-  size_t bytes = made_->ParamBytes();
+AutoregressiveEstimator::AutoregressiveEstimator(const Database& db,
+                                                 ArTraining mode,
+                                                 ArOptions options,
+                                                 DeferredInit)
+    : db_(db), mode_(mode), training_queries_(nullptr), options_(options) {
+  sampler_ = std::make_unique<FojSampler>(db_);
+  RebuildIdMaps();
+}
+
+Status AutoregressiveEstimator::Serialize(std::ostream& out) const {
+  ModelWriter writer("armade");
+  SectionWriter& meta = writer.AddSection("meta");
+  meta.PutU32(static_cast<uint32_t>(mode_));
+  meta.PutU64(options_.training_samples);
+  meta.PutU64(options_.bins_per_column);
+  meta.PutU64(options_.hidden_units);
+  meta.PutU64(options_.hidden_layers);
+  meta.PutU64(options_.epochs);
+  meta.PutU64(options_.batch_size);
+  meta.PutDouble(options_.learning_rate);
+  meta.PutDouble(options_.mask_prob);
+  meta.PutU64(options_.progressive_samples);
+  meta.PutU64(options_.seed);
+  meta.PutDouble(train_seconds_);
+
+  SectionWriter& cols = writer.AddSection("columns");
+  cols.PutU64(columns_.size());
   for (const auto& mc : columns_) {
-    if (mc.binner != nullptr) bytes += mc.binner->MemoryBytes();
+    cols.PutU32(static_cast<uint32_t>(mc.kind));
+    cols.PutU64(mc.table_idx);
+    cols.PutString(mc.attr);
+    cols.PutI64(mc.attr_column_id);
+    cols.PutI64(mc.edge_idx);
+    cols.PutU64(mc.domain);
+    cols.PutBool(mc.binner != nullptr);
+    if (mc.binner != nullptr) mc.binner->Serialize(cols);
   }
-  return bytes;
+
+  SectionWriter& params = writer.AddSection("params");
+  made_->SerializeParams(params);
+  return writer.WriteTo(out);
+}
+
+Result<std::unique_ptr<AutoregressiveEstimator>>
+AutoregressiveEstimator::Deserialize(const Database& db, std::istream& in) {
+  CARDBENCH_ASSIGN_OR_RETURN(ModelReader reader,
+                             ModelReader::Open(in, "armade"));
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader meta, reader.Section("meta"));
+  uint32_t mode_raw = 0;
+  CARDBENCH_ASSIGN_OR_RETURN(mode_raw, meta.GetU32());
+  if (mode_raw > static_cast<uint32_t>(ArTraining::kHybrid)) {
+    return Status::InvalidArgument("unknown autoregressive training mode");
+  }
+  ArOptions options;
+  CARDBENCH_ASSIGN_OR_RETURN(options.training_samples, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(options.bins_per_column, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(options.hidden_units, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(options.hidden_layers, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(options.epochs, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(options.batch_size, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(options.learning_rate, meta.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(options.mask_prob, meta.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(options.progressive_samples, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(options.seed, meta.GetU64());
+  auto est = std::unique_ptr<AutoregressiveEstimator>(
+      new AutoregressiveEstimator(db, static_cast<ArTraining>(mode_raw),
+                                  options, DeferredInit()));
+  CARDBENCH_ASSIGN_OR_RETURN(est->train_seconds_, meta.GetDouble());
+
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader cols, reader.Section("columns"));
+  uint64_t num_columns = 0;
+  CARDBENCH_ASSIGN_OR_RETURN(num_columns, cols.GetU64());
+  est->columns_.reserve(num_columns);
+  for (uint64_t i = 0; i < num_columns; ++i) {
+    ModelColumn mc;
+    uint32_t kind_raw = 0;
+    CARDBENCH_ASSIGN_OR_RETURN(kind_raw, cols.GetU32());
+    if (kind_raw > static_cast<uint32_t>(ModelColumn::Kind::kEdgeDup)) {
+      return Status::InvalidArgument("unknown autoregressive column kind");
+    }
+    mc.kind = static_cast<ModelColumn::Kind>(kind_raw);
+    CARDBENCH_ASSIGN_OR_RETURN(mc.table_idx, cols.GetU64());
+    if (mc.table_idx >= est->sampler_->bfs_order().size()) {
+      return Status::InvalidArgument(
+          "autoregressive column references unknown table slot");
+    }
+    CARDBENCH_ASSIGN_OR_RETURN(mc.attr, cols.GetString());
+    int64_t attr_column_id = 0;
+    CARDBENCH_ASSIGN_OR_RETURN(attr_column_id, cols.GetI64());
+    mc.attr_column_id = static_cast<int>(attr_column_id);
+    int64_t edge_idx = 0;
+    CARDBENCH_ASSIGN_OR_RETURN(edge_idx, cols.GetI64());
+    mc.edge_idx = static_cast<int>(edge_idx);
+    CARDBENCH_ASSIGN_OR_RETURN(mc.domain, cols.GetU64());
+    bool has_binner = false;
+    CARDBENCH_ASSIGN_OR_RETURN(has_binner, cols.GetBool());
+    if (has_binner) {
+      CARDBENCH_ASSIGN_OR_RETURN(ColumnBinner binner,
+                                 ColumnBinner::Deserialize(cols));
+      mc.binner = std::make_unique<ColumnBinner>(std::move(binner));
+    }
+    est->columns_.push_back(std::move(mc));
+  }
+
+  std::vector<size_t> domains;
+  domains.reserve(est->columns_.size());
+  for (const auto& mc : est->columns_) domains.push_back(mc.domain);
+  Rng rng(options.seed);
+  est->made_ = std::make_unique<MadeModel>(domains, options.hidden_units,
+                                           options.hidden_layers, rng);
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader params, reader.Section("params"));
+  CARDBENCH_RETURN_IF_ERROR(est->made_->LoadParams(params));
+  return est;
 }
 
 }  // namespace cardbench

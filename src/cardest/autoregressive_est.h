@@ -1,6 +1,7 @@
 #ifndef CARDBENCH_CARDEST_AUTOREGRESSIVE_EST_H_
 #define CARDBENCH_CARDEST_AUTOREGRESSIVE_EST_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -78,14 +79,27 @@ class AutoregressiveEstimator : public CardinalityEstimator {
   /// draw identical progressive samples.
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
-  size_t ModelBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
   bool SupportsUpdate() const override { return mode_ == ArTraining::kData; }
   /// Re-samples the FOJ (fanouts changed) and fine-tunes the net — the
   /// slowest update path of all methods, as in the paper's Table 6.
   Status Update() override;
 
+  /// Persists mode + options, the model-column layout (including the
+  /// binners over attributes and fanout columns) and the MADE parameters.
+  /// The FOJ sampler is rebuilt deterministically from the database on
+  /// load, so progressive-sampling streams match the trained instance.
+  Status Serialize(std::ostream& out) const override;
+  static Result<std::unique_ptr<AutoregressiveEstimator>> Deserialize(
+      const Database& db, std::istream& in);
+
  private:
+  struct DeferredInit {};
+  /// Load path: rebuilds sampler + id maps, leaves columns_ and made_ for
+  /// Deserialize to restore from the artifact.
+  AutoregressiveEstimator(const Database& db, ArTraining mode,
+                          ArOptions options, DeferredInit);
+
   struct ModelColumn {
     enum class Kind : uint8_t { kPresence, kAttr, kUpward, kEdgeDup };
     Kind kind = Kind::kPresence;

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <istream>
 #include <ostream>
 
 #include "common/logging.h"
+#include "common/serde.h"
 
 namespace cardbench {
 
@@ -82,6 +82,12 @@ ChowLiuTreeModel::ChowLiuTreeModel(const ExtendedTable& ext) {
       }
     }
   }
+
+  // Canonical child order (ascending column index). Inference multiplies
+  // child messages in this order, and Deserialize rebuilds children_ from
+  // parent_ in column order — keeping both identical makes a reloaded
+  // model's floating-point products bit-identical to the trained one's.
+  for (auto& kids : children_) std::sort(kids.begin(), kids.end());
 
   // --- CPT counts. ---
   for (size_t c = 0; c < num_cols_; ++c) {
@@ -178,83 +184,71 @@ size_t ChowLiuTreeModel::ModelBytes() const {
   return bytes;
 }
 
-void ChowLiuTreeModel::Serialize(std::ostream& out) const {
-  out << "chowliu " << num_cols_ << ' ' << root_ << ' ' << total_rows_
-      << '\n';
+void ChowLiuTreeModel::Serialize(SectionWriter& out) const {
+  out.PutU64(num_cols_);
+  out.PutU64(root_);
+  out.PutDouble(total_rows_);
   for (size_t c = 0; c < num_cols_; ++c) {
-    out << domains_[c] << ' ' << parent_[c] << ' ' << counts_[c].size();
-    for (double v : counts_[c]) out << ' ' << v;
-    out << '\n';
+    out.PutU64(domains_[c]);
+    out.PutI64(parent_[c]);
+    out.PutDoubles(counts_[c]);
   }
 }
 
 Result<std::unique_ptr<ChowLiuTreeModel>> ChowLiuTreeModel::Deserialize(
-    std::istream& in) {
-  std::string tag;
+    SectionReader& in) {
   auto model = std::unique_ptr<ChowLiuTreeModel>(new ChowLiuTreeModel());
-  if (!(in >> tag >> model->num_cols_ >> model->root_ >> model->total_rows_) ||
-      tag != "chowliu") {
-    return Status::InvalidArgument("bad Chow-Liu model header");
+  CARDBENCH_ASSIGN_OR_RETURN(model->num_cols_, in.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(model->root_, in.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(model->total_rows_, in.GetDouble());
+  if (model->num_cols_ > 0 && model->root_ >= model->num_cols_) {
+    return Status::InvalidArgument("Chow-Liu root out of range");
   }
   model->domains_.resize(model->num_cols_);
   model->parent_.resize(model->num_cols_);
   model->children_.assign(model->num_cols_, {});
   model->counts_.resize(model->num_cols_);
   for (size_t c = 0; c < model->num_cols_; ++c) {
-    size_t count_size = 0;
-    if (!(in >> model->domains_[c] >> model->parent_[c] >> count_size)) {
-      return Status::InvalidArgument("bad Chow-Liu column entry");
+    uint64_t domain = 0;
+    CARDBENCH_ASSIGN_OR_RETURN(domain, in.GetU64());
+    model->domains_[c] = domain;
+    int64_t parent = 0;
+    CARDBENCH_ASSIGN_OR_RETURN(parent, in.GetI64());
+    if (parent >= static_cast<int64_t>(model->num_cols_)) {
+      return Status::InvalidArgument("Chow-Liu parent out of range");
     }
-    model->counts_[c].resize(count_size);
-    for (double& v : model->counts_[c]) {
-      if (!(in >> v)) return Status::InvalidArgument("bad Chow-Liu count");
-    }
-    if (model->parent_[c] >= 0) {
-      model->children_[static_cast<size_t>(model->parent_[c])].push_back(c);
+    model->parent_[c] = static_cast<int>(parent);
+    CARDBENCH_ASSIGN_OR_RETURN(model->counts_[c], in.GetDoubles());
+    if (parent >= 0) {
+      model->children_[static_cast<size_t>(parent)].push_back(c);
     }
   }
   return model;
 }
 
-Status BayesCardEstimator::SaveModel(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path);
-  out << "bayescard " << ext_tables().size() << '\n';
-  for (const auto& [name, ext] : ext_tables()) {
-    out << name << '\n';
-    ext->SerializeMeta(out);
-    const auto* bn = dynamic_cast<const ChowLiuTreeModel*>(models().at(name).get());
-    CARDBENCH_CHECK(bn != nullptr, "BayesCard model is not a Chow-Liu tree");
-    bn->Serialize(out);
-  }
-  return out ? Status::OK() : Status::IOError("write failed: " + path);
+Status BayesCardEstimator::Serialize(std::ostream& out) const {
+  return SerializeFanout(out, "bayescard");
 }
 
-Result<std::unique_ptr<BayesCardEstimator>> BayesCardEstimator::LoadModel(
-    const Database& db, const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::string tag;
-  size_t num_tables = 0;
-  if (!(in >> tag >> num_tables) || tag != "bayescard") {
-    return Status::InvalidArgument("bad BayesCard model header in " + path);
-  }
-  std::map<std::string, std::unique_ptr<ExtendedTable>> ext_tables;
-  std::map<std::string, std::unique_ptr<TableDistribution>> models;
-  size_t max_bins = 48;
-  for (size_t t = 0; t < num_tables; ++t) {
-    std::string name;
-    if (!(in >> name)) return Status::InvalidArgument("bad table entry");
-    CARDBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ExtendedTable> ext,
-                               ExtendedTable::DeserializeMeta(db, in));
-    CARDBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ChowLiuTreeModel> bn,
-                               ChowLiuTreeModel::Deserialize(in));
-    ext_tables[name] = std::move(ext);
-    models[name] = std::move(bn);
-  }
+void BayesCardEstimator::SerializeModel(const TableDistribution& model,
+                                        SectionWriter& out) const {
+  const auto* bn = dynamic_cast<const ChowLiuTreeModel*>(&model);
+  CARDBENCH_CHECK(bn != nullptr, "BayesCard model is not a Chow-Liu tree");
+  bn->Serialize(out);
+}
+
+Result<std::unique_ptr<TableDistribution>> BayesCardEstimator::LoadModelPayload(
+    SectionReader& in) const {
+  CARDBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ChowLiuTreeModel> bn,
+                             ChowLiuTreeModel::Deserialize(in));
+  return std::unique_ptr<TableDistribution>(std::move(bn));
+}
+
+Result<std::unique_ptr<BayesCardEstimator>> BayesCardEstimator::Deserialize(
+    const Database& db, std::istream& in) {
   auto est = std::unique_ptr<BayesCardEstimator>(
-      new BayesCardEstimator(db, max_bins, DeferredInit{}));
-  est->InjectState(std::move(ext_tables), std::move(models));
+      new BayesCardEstimator(db, /*max_bins=*/48, DeferredInit{}));
+  CARDBENCH_RETURN_IF_ERROR(est->LoadFanout(in, "bayescard"));
   return est;
 }
 

@@ -29,9 +29,9 @@ class ChowLiuTreeModel : public TableDistribution {
   const std::vector<int>& parents() const { return parent_; }
 
   /// Writes / restores the learned structure and CPT counts.
-  void Serialize(std::ostream& out) const;
+  void Serialize(SectionWriter& out) const;
   static Result<std::unique_ptr<ChowLiuTreeModel>> Deserialize(
-      std::istream& in);
+      SectionReader& in);
 
  private:
   ChowLiuTreeModel() = default;  // for Deserialize
@@ -66,18 +66,22 @@ class BayesCardEstimator : public FanoutModelEstimator {
   /// restores a ready-to-serve estimator without retraining — the paper's
   /// model-transfer deployment path (§4.3). The loaded estimator still
   /// supports incremental Update() (bins are recomputed lazily).
-  Status SaveModel(const std::string& path) const;
-  static Result<std::unique_ptr<BayesCardEstimator>> LoadModel(
-      const Database& db, const std::string& path);
+  Status Serialize(std::ostream& out) const override;
+  static Result<std::unique_ptr<BayesCardEstimator>> Deserialize(
+      const Database& db, std::istream& in);
 
  protected:
   std::unique_ptr<TableDistribution> BuildModel(
       const ExtendedTable& ext) override {
     return std::make_unique<ChowLiuTreeModel>(ext);
   }
+  void SerializeModel(const TableDistribution& model,
+                      SectionWriter& out) const override;
+  Result<std::unique_ptr<TableDistribution>> LoadModelPayload(
+      SectionReader& in) const override;
 
  private:
-  /// Load path: constructs without training; state injected by LoadModel.
+  /// Load path: constructs without training; state restored by Deserialize.
   BayesCardEstimator(const Database& db, size_t max_bins, DeferredInit tag)
       : FanoutModelEstimator(db, max_bins, tag) {}
 };

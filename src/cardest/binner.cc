@@ -1,11 +1,10 @@
 #include "cardest/binner.h"
 
 #include <algorithm>
-#include <istream>
-#include <ostream>
 #include <map>
 
 #include "common/logging.h"
+#include "common/serde.h"
 
 namespace cardbench {
 
@@ -178,27 +177,26 @@ void ColumnBinner::Refresh(const Column& column) {
   }
 }
 
-void ColumnBinner::Serialize(std::ostream& out) const {
-  out << "binner " << bin_values_.size() << ' ' << total_rows_ << ' '
-      << masses_[0] << '\n';
+void ColumnBinner::Serialize(SectionWriter& out) const {
+  out.PutU64(bin_values_.size());
+  out.PutDouble(total_rows_);
+  out.PutDouble(masses_[0]);  // NULL-bin mass
   for (size_t b = 0; b < bin_values_.size(); ++b) {
-    out << starts_[b] << ' ' << ends_[b] << ' ' << bin_values_[b].size();
+    out.PutI64(starts_[b]);
+    out.PutI64(ends_[b]);
+    out.PutU64(bin_values_[b].size());
     for (const auto& bv : bin_values_[b]) {
-      out << ' ' << bv.value << ' ' << bv.count;
+      out.PutI64(bv.value);
+      out.PutU64(bv.count);
     }
-    out << '\n';
   }
 }
 
-Result<ColumnBinner> ColumnBinner::Deserialize(std::istream& in) {
-  std::string tag;
-  size_t num_value_bins = 0;
+Result<ColumnBinner> ColumnBinner::Deserialize(SectionReader& in) {
   ColumnBinner binner;
-  double null_mass = 0.0;
-  if (!(in >> tag >> num_value_bins >> binner.total_rows_ >> null_mass) ||
-      tag != "binner") {
-    return Status::InvalidArgument("bad binner header");
-  }
+  CARDBENCH_ASSIGN_OR_RETURN(uint64_t num_value_bins, in.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(binner.total_rows_, in.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(double null_mass, in.GetDouble());
   binner.starts_.resize(num_value_bins);
   binner.ends_.resize(num_value_bins);
   binner.bin_values_.resize(num_value_bins);
@@ -206,20 +204,21 @@ Result<ColumnBinner> ColumnBinner::Deserialize(std::istream& in) {
   binner.masses_.assign(num_value_bins + 1, 0.0);
   binner.masses_[0] = null_mass;
   for (size_t b = 0; b < num_value_bins; ++b) {
-    size_t num_values = 0;
-    if (!(in >> binner.starts_[b] >> binner.ends_[b] >> num_values)) {
-      return Status::InvalidArgument("bad binner bin");
-    }
+    CARDBENCH_ASSIGN_OR_RETURN(binner.starts_[b], in.GetI64());
+    CARDBENCH_ASSIGN_OR_RETURN(binner.ends_[b], in.GetI64());
+    CARDBENCH_ASSIGN_OR_RETURN(uint64_t num_values, in.GetU64());
     binner.bin_values_[b].resize(num_values);
+    // Masses and means are derived state; recomputing them from the stored
+    // value counts keeps the payload minimal and cannot drift (counts are
+    // integers, and the summation order below matches the builder's).
     double sum = 0.0, mass = 0.0;
     for (size_t v = 0; v < num_values; ++v) {
-      if (!(in >> binner.bin_values_[b][v].value >>
-            binner.bin_values_[b][v].count)) {
-        return Status::InvalidArgument("bad binner value");
-      }
+      CARDBENCH_ASSIGN_OR_RETURN(binner.bin_values_[b][v].value, in.GetI64());
+      CARDBENCH_ASSIGN_OR_RETURN(uint64_t count, in.GetU64());
+      binner.bin_values_[b][v].count = count;
       sum += static_cast<double>(binner.bin_values_[b][v].value) *
-             static_cast<double>(binner.bin_values_[b][v].count);
-      mass += static_cast<double>(binner.bin_values_[b][v].count);
+             static_cast<double>(count);
+      mass += static_cast<double>(count);
     }
     binner.masses_[b + 1] = mass;
     binner.means_[b + 1] = mass > 0 ? sum / mass : 0.0;

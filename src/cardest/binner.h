@@ -2,7 +2,6 @@
 #define CARDBENCH_CARDEST_BINNER_H_
 
 #include <cstdint>
-#include <iosfwd>
 #include <optional>
 #include <vector>
 
@@ -11,6 +10,9 @@
 #include "storage/column.h"
 
 namespace cardbench {
+
+class SectionWriter;
+class SectionReader;
 
 /// Equi-depth discretizer for one column. Bin 0 is reserved for NULL; bins
 /// 1..num_bins-1 partition the sorted distinct values so each holds roughly
@@ -58,12 +60,12 @@ class ColumnBinner {
 
   size_t MemoryBytes() const;
 
-  /// Writes the binner to a text stream (bins, boundaries, per-bin value
-  /// counts) and restores it. Serialization covers everything EstimateCard
+  /// Appends the binner (bins, boundaries, per-bin value counts) to a serde
+  /// section and restores it. Serialization covers everything EstimateCard
   /// needs, enabling model transfer without the source data (§4.3's
   /// "convenient to transfer and deploy").
-  void Serialize(std::ostream& out) const;
-  static Result<ColumnBinner> Deserialize(std::istream& in);
+  void Serialize(SectionWriter& out) const;
+  static Result<ColumnBinner> Deserialize(SectionReader& in);
 
  private:
   ColumnBinner() = default;  // for Deserialize

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "common/logging.h"
+#include "common/serde.h"
 #include "ml/clustering.h"
 
 namespace cardbench {
@@ -390,6 +393,140 @@ size_t SpnModel::ModelBytes() const {
     }
   }
   return bytes;
+}
+
+void SpnModel::Serialize(SectionWriter& out) const {
+  out.PutDouble(options_.independence_threshold);
+  out.PutDouble(options_.high_correlation_threshold);
+  out.PutDouble(options_.min_slice_fraction);
+  out.PutU64(options_.min_slice_rows);
+  out.PutU64(options_.dependence_sample);
+  out.PutBool(options_.enable_multi_leaf);
+  out.PutU64(options_.max_multi_leaf_cols);
+  out.PutU64(options_.seed);
+  out.PutU64(num_cols_);
+  out.PutU64(root_);
+  out.PutU64(nodes_.size());
+  for (const auto& nd : nodes_) {
+    out.PutU32(static_cast<uint32_t>(nd.type));
+    out.PutU64s(std::vector<uint64_t>(nd.children.begin(), nd.children.end()));
+    out.PutDoubles(nd.weights);
+    out.PutU64s(std::vector<uint64_t>(nd.cols.begin(), nd.cols.end()));
+    out.PutDoubles(nd.histogram);
+    out.PutU64(nd.joint.size());
+    for (const auto& [key, count] : nd.joint) {
+      out.PutU16s(key);
+      out.PutDouble(count);
+    }
+    out.PutDouble(nd.total);
+  }
+}
+
+Result<std::unique_ptr<SpnModel>> SpnModel::Deserialize(SectionReader& in) {
+  auto model = std::unique_ptr<SpnModel>(new SpnModel());
+  CARDBENCH_ASSIGN_OR_RETURN(model->options_.independence_threshold,
+                             in.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(model->options_.high_correlation_threshold,
+                             in.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(model->options_.min_slice_fraction,
+                             in.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(model->options_.min_slice_rows, in.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(model->options_.dependence_sample, in.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(model->options_.enable_multi_leaf, in.GetBool());
+  CARDBENCH_ASSIGN_OR_RETURN(model->options_.max_multi_leaf_cols, in.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(model->options_.seed, in.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(model->num_cols_, in.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(model->root_, in.GetU64());
+  uint64_t num_nodes = 0;
+  CARDBENCH_ASSIGN_OR_RETURN(num_nodes, in.GetU64());
+  if (num_nodes == 0 || model->root_ >= num_nodes) {
+    return Status::InvalidArgument("SPN root out of range");
+  }
+  model->nodes_.resize(num_nodes);
+  for (auto& nd : model->nodes_) {
+    uint32_t type_raw = 0;
+    CARDBENCH_ASSIGN_OR_RETURN(type_raw, in.GetU32());
+    if (type_raw > static_cast<uint32_t>(Node::Type::kMultiLeaf)) {
+      return Status::InvalidArgument("unknown SPN node type");
+    }
+    nd.type = static_cast<Node::Type>(type_raw);
+    std::vector<uint64_t> children;
+    CARDBENCH_ASSIGN_OR_RETURN(children, in.GetU64s());
+    nd.children.assign(children.begin(), children.end());
+    for (size_t child : nd.children) {
+      if (child >= num_nodes) {
+        return Status::InvalidArgument("SPN child index out of range");
+      }
+    }
+    CARDBENCH_ASSIGN_OR_RETURN(nd.weights, in.GetDoubles());
+    std::vector<uint64_t> cols;
+    CARDBENCH_ASSIGN_OR_RETURN(cols, in.GetU64s());
+    nd.cols.assign(cols.begin(), cols.end());
+    CARDBENCH_ASSIGN_OR_RETURN(nd.histogram, in.GetDoubles());
+    uint64_t joint_size = 0;
+    CARDBENCH_ASSIGN_OR_RETURN(joint_size, in.GetU64());
+    for (uint64_t j = 0; j < joint_size; ++j) {
+      std::vector<uint16_t> key;
+      CARDBENCH_ASSIGN_OR_RETURN(key, in.GetU16s());
+      double count = 0.0;
+      CARDBENCH_ASSIGN_OR_RETURN(count, in.GetDouble());
+      nd.joint[std::move(key)] = count;
+    }
+    CARDBENCH_ASSIGN_OR_RETURN(nd.total, in.GetDouble());
+  }
+  return model;
+}
+
+Status DeepDbEstimator::Serialize(std::ostream& out) const {
+  return SerializeFanout(out, "deepdb");
+}
+
+void DeepDbEstimator::SerializeModel(const TableDistribution& model,
+                                     SectionWriter& out) const {
+  const auto* spn = dynamic_cast<const SpnModel*>(&model);
+  CARDBENCH_CHECK(spn != nullptr, "DeepDB model is not an SPN");
+  spn->Serialize(out);
+}
+
+Result<std::unique_ptr<TableDistribution>> DeepDbEstimator::LoadModelPayload(
+    SectionReader& in) const {
+  CARDBENCH_ASSIGN_OR_RETURN(std::unique_ptr<SpnModel> spn,
+                             SpnModel::Deserialize(in));
+  return std::unique_ptr<TableDistribution>(std::move(spn));
+}
+
+Result<std::unique_ptr<DeepDbEstimator>> DeepDbEstimator::Deserialize(
+    const Database& db, std::istream& in) {
+  auto est = std::unique_ptr<DeepDbEstimator>(
+      new DeepDbEstimator(db, /*max_bins=*/48, DeferredInit{}));
+  CARDBENCH_RETURN_IF_ERROR(est->LoadFanout(in, "deepdb"));
+  return est;
+}
+
+Status FlatEstimator::Serialize(std::ostream& out) const {
+  return SerializeFanout(out, "flat");
+}
+
+void FlatEstimator::SerializeModel(const TableDistribution& model,
+                                   SectionWriter& out) const {
+  const auto* spn = dynamic_cast<const SpnModel*>(&model);
+  CARDBENCH_CHECK(spn != nullptr, "FLAT model is not an FSPN");
+  spn->Serialize(out);
+}
+
+Result<std::unique_ptr<TableDistribution>> FlatEstimator::LoadModelPayload(
+    SectionReader& in) const {
+  CARDBENCH_ASSIGN_OR_RETURN(std::unique_ptr<SpnModel> spn,
+                             SpnModel::Deserialize(in));
+  return std::unique_ptr<TableDistribution>(std::move(spn));
+}
+
+Result<std::unique_ptr<FlatEstimator>> FlatEstimator::Deserialize(
+    const Database& db, std::istream& in) {
+  auto est = std::unique_ptr<FlatEstimator>(
+      new FlatEstimator(db, /*max_bins=*/48, DeferredInit{}));
+  CARDBENCH_RETURN_IF_ERROR(est->LoadFanout(in, "flat"));
+  return est;
 }
 
 }  // namespace cardbench

@@ -1,6 +1,7 @@
 #ifndef CARDBENCH_CARDEST_DEEPDB_EST_H_
 #define CARDBENCH_CARDEST_DEEPDB_EST_H_
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -46,7 +47,14 @@ class SpnModel : public TableDistribution {
 
   size_t num_nodes() const { return nodes_.size(); }
 
+  /// Writes / restores the learned structure: options, node list (type,
+  /// children, weights, scopes, histograms, multi-leaf joints).
+  void Serialize(SectionWriter& out) const;
+  static Result<std::unique_ptr<SpnModel>> Deserialize(SectionReader& in);
+
  private:
+  SpnModel() = default;  // for Deserialize
+
   struct Node {
     enum class Type : uint8_t { kSum, kProduct, kLeaf, kMultiLeaf };
     Type type = Type::kLeaf;
@@ -90,13 +98,27 @@ class DeepDbEstimator : public FanoutModelEstimator {
 
   std::string name() const override { return "DeepDB"; }
 
+  Status Serialize(std::ostream& out) const override;
+  static Result<std::unique_ptr<DeepDbEstimator>> Deserialize(
+      const Database& db, std::istream& in);
+
  protected:
   std::unique_ptr<TableDistribution> BuildModel(
       const ExtendedTable& ext) override {
     return std::make_unique<SpnModel>(ext, options_);
   }
+  void SerializeModel(const TableDistribution& model,
+                      SectionWriter& out) const override;
+  Result<std::unique_ptr<TableDistribution>> LoadModelPayload(
+      SectionReader& in) const override;
 
  private:
+  /// Load path: constructs without training; state restored by Deserialize.
+  DeepDbEstimator(const Database& db, size_t max_bins, DeferredInit tag)
+      : FanoutModelEstimator(db, max_bins, tag) {
+    options_.enable_multi_leaf = false;
+  }
+
   SpnOptions options_;
 };
 
@@ -113,13 +135,27 @@ class FlatEstimator : public FanoutModelEstimator {
 
   std::string name() const override { return "FLAT"; }
 
+  Status Serialize(std::ostream& out) const override;
+  static Result<std::unique_ptr<FlatEstimator>> Deserialize(
+      const Database& db, std::istream& in);
+
  protected:
   std::unique_ptr<TableDistribution> BuildModel(
       const ExtendedTable& ext) override {
     return std::make_unique<SpnModel>(ext, options_);
   }
+  void SerializeModel(const TableDistribution& model,
+                      SectionWriter& out) const override;
+  Result<std::unique_ptr<TableDistribution>> LoadModelPayload(
+      SectionReader& in) const override;
 
  private:
+  /// Load path: constructs without training; state restored by Deserialize.
+  FlatEstimator(const Database& db, size_t max_bins, DeferredInit tag)
+      : FanoutModelEstimator(db, max_bins, tag) {
+    options_.enable_multi_leaf = true;
+  }
+
   SpnOptions options_;
 };
 

@@ -1,6 +1,8 @@
 #ifndef CARDBENCH_CARDEST_ESTIMATOR_H_
 #define CARDBENCH_CARDEST_ESTIMATOR_H_
 
+#include <ostream>
+#include <streambuf>
 #include <string>
 
 #include "common/status.h"
@@ -58,9 +60,44 @@ class CardinalityEstimator {
   /// Const and thread-safe per the class-level contract.
   virtual double EstimateCard(const Query& subquery) const = 0;
 
-  /// Approximate in-memory model size in bytes (paper Figure 3). Model-free
-  /// methods return 0.
-  virtual size_t ModelBytes() const { return 0; }
+  /// Writes the trained model as a versioned CBMD artifact (common/serde.h)
+  /// to `out`, covering everything EstimateCard needs: a deserialized twin
+  /// (via the registry's DeserializeEstimator) must produce bit-identical
+  /// estimates for every sub-plan. Oracle/model-free methods return
+  /// Unsupported and are rebuilt from the database instead of persisted.
+  virtual Status Serialize(std::ostream& out) const {
+    (void)out;
+    return Status::Unsupported(name() + " does not support serialization");
+  }
+
+  /// Model size in bytes, defined once for the whole zoo as the size of the
+  /// serialized artifact — the thing that actually ships (paper Figure 3).
+  /// Methods whose Serialize is unsupported report 0.
+  size_t ModelBytes() const {
+    // Discards everything written to it and counts the bytes: the exact
+    // artifact size without materializing the payload.
+    class CountingStreambuf : public std::streambuf {
+     public:
+      size_t count() const { return count_; }
+
+     protected:
+      int_type overflow(int_type ch) override {
+        if (ch != traits_type::eof()) ++count_;
+        return ch;
+      }
+      std::streamsize xsputn(const char*, std::streamsize n) override {
+        count_ += static_cast<size_t>(n);
+        return n;
+      }
+
+     private:
+      size_t count_ = 0;
+    };
+    CountingStreambuf counter;
+    std::ostream out(&counter);
+    if (!Serialize(out).ok()) return 0;
+    return counter.count();
+  }
 
   /// Offline training / construction time in seconds (paper Figure 3).
   virtual double TrainSeconds() const { return 0.0; }

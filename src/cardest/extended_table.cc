@@ -1,10 +1,9 @@
 #include "cardest/extended_table.h"
 
 #include <algorithm>
-#include <istream>
-#include <ostream>
 
 #include "common/logging.h"
+#include "common/serde.h"
 
 namespace cardbench {
 
@@ -191,56 +190,49 @@ std::vector<size_t> ExtendedTable::RefreshAfterInsert(const Database& db) {
   return new_rows;
 }
 
-void ExtendedTable::SerializeMeta(std::ostream& out) const {
-  out << "exttable " << table_name_ << ' ' << max_bins_ << ' '
-      << columns_.size() << '\n';
+void ExtendedTable::SerializeMeta(SectionWriter& out) const {
+  out.PutString(table_name_);
+  out.PutU64(max_bins_);
+  out.PutU64(columns_.size());
   for (const auto& ext : columns_) {
+    out.PutBool(ext.is_fanout);
     if (ext.is_fanout) {
-      out << "fanout " << ext.fanout_my_column << ' ' << ext.fanout_other.table
-          << ' ' << ext.fanout_other.column << '\n';
+      out.PutString(ext.fanout_my_column);
+      out.PutString(ext.fanout_other.table);
+      out.PutString(ext.fanout_other.column);
     } else {
-      out << "attr " << ext.name << '\n';
+      out.PutString(ext.name);
     }
     ext.binner->Serialize(out);
   }
 }
 
 Result<std::unique_ptr<ExtendedTable>> ExtendedTable::DeserializeMeta(
-    const Database& db, std::istream& in) {
-  std::string tag;
+    const Database& db, SectionReader& in) {
   auto ext = std::unique_ptr<ExtendedTable>(new ExtendedTable());
-  size_t num_columns = 0;
-  if (!(in >> tag >> ext->table_name_ >> ext->max_bins_ >> num_columns) ||
-      tag != "exttable") {
-    return Status::InvalidArgument("bad extended-table header");
-  }
+  CARDBENCH_ASSIGN_OR_RETURN(ext->table_name_, in.GetString());
+  CARDBENCH_ASSIGN_OR_RETURN(ext->max_bins_, in.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(uint64_t num_columns, in.GetU64());
   if (db.FindTable(ext->table_name_) == nullptr) {
     return Status::NotFound("extended table for unknown table " +
                             ext->table_name_);
   }
   ext->num_rows_ = db.TableOrDie(ext->table_name_).num_rows();
   for (size_t c = 0; c < num_columns; ++c) {
-    std::string kind;
-    if (!(in >> kind)) return Status::InvalidArgument("bad column entry");
     ExtColumn col;
-    if (kind == "fanout") {
-      col.is_fanout = true;
-      if (!(in >> col.fanout_my_column >> col.fanout_other.table >>
-            col.fanout_other.column)) {
-        return Status::InvalidArgument("bad fanout column entry");
-      }
+    CARDBENCH_ASSIGN_OR_RETURN(col.is_fanout, in.GetBool());
+    if (col.is_fanout) {
+      CARDBENCH_ASSIGN_OR_RETURN(col.fanout_my_column, in.GetString());
+      CARDBENCH_ASSIGN_OR_RETURN(col.fanout_other.table, in.GetString());
+      CARDBENCH_ASSIGN_OR_RETURN(col.fanout_other.column, in.GetString());
       col.name = "fanout:" + col.fanout_my_column + "->" +
                  col.fanout_other.table + "." + col.fanout_other.column;
       ext->fanout_index_[{col.fanout_my_column,
                           col.fanout_other.table + "." +
                               col.fanout_other.column}] = c;
-    } else if (kind == "attr") {
-      if (!(in >> col.name)) {
-        return Status::InvalidArgument("bad attr column entry");
-      }
-      ext->attr_index_[col.name] = c;
     } else {
-      return Status::InvalidArgument("unknown column kind " + kind);
+      CARDBENCH_ASSIGN_OR_RETURN(col.name, in.GetString());
+      ext->attr_index_[col.name] = c;
     }
     CARDBENCH_ASSIGN_OR_RETURN(ColumnBinner binner,
                                ColumnBinner::Deserialize(in));

@@ -1,7 +1,6 @@
 #ifndef CARDBENCH_CARDEST_EXTENDED_TABLE_H_
 #define CARDBENCH_CARDEST_EXTENDED_TABLE_H_
 
-#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -87,14 +86,14 @@ class ExtendedTable {
 
   size_t MemoryBytes() const;
 
-  /// Writes the inference-relevant state (column metadata + binners) to a
-  /// text stream. Per-row bin arrays are data-derived and are NOT written:
-  /// a deserialized table answers factor queries immediately and lazily
-  /// recomputes row bins (via RefreshAfterInsert) if a model update needs
-  /// them.
-  void SerializeMeta(std::ostream& out) const;
+  /// Appends the inference-relevant state (column metadata + binners) to a
+  /// serde section. Per-row bin arrays are data-derived and are NOT
+  /// written: a deserialized table answers factor queries immediately and
+  /// lazily recomputes row bins (via RefreshAfterInsert) if a model update
+  /// needs them.
+  void SerializeMeta(SectionWriter& out) const;
   static Result<std::unique_ptr<ExtendedTable>> DeserializeMeta(
-      const Database& db, std::istream& in);
+      const Database& db, SectionReader& in);
 
  private:
   ExtendedTable() = default;  // for DeserializeMeta

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <istream>
+#include <ostream>
 #include <queue>
 #include <set>
 
 #include "common/logging.h"
+#include "common/serde.h"
 #include "common/stopwatch.h"
 
 namespace cardbench {
@@ -58,10 +61,52 @@ void FanoutModelEstimator::TrainAll() {
   train_seconds_ = watch.ElapsedSeconds();
 }
 
-size_t FanoutModelEstimator::ModelBytes() const {
-  size_t total = 0;
-  for (const auto& [name, model] : models_) total += model->ModelBytes();
-  return total;
+Status FanoutModelEstimator::SerializeFanout(std::ostream& out,
+                                             const std::string& tag) const {
+  ModelWriter writer(tag);
+  SectionWriter& meta = writer.AddSection("meta");
+  meta.PutU64(max_bins_);
+  meta.PutDouble(train_seconds_);
+  SectionWriter& tables = writer.AddSection("tables");
+  tables.PutU64(ext_tables_.size());
+  for (const auto& [name, ext] : ext_tables_) {
+    tables.PutString(name);
+    ext->SerializeMeta(tables);
+    SerializeModel(*models_.at(name), tables);
+  }
+  return writer.WriteTo(out);
+}
+
+Status FanoutModelEstimator::LoadFanout(std::istream& in,
+                                        const std::string& tag) {
+  CARDBENCH_ASSIGN_OR_RETURN(ModelReader reader, ModelReader::Open(in, tag));
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader meta, reader.Section("meta"));
+  CARDBENCH_ASSIGN_OR_RETURN(max_bins_, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(train_seconds_, meta.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader tables, reader.Section("tables"));
+  uint64_t num_tables = 0;
+  CARDBENCH_ASSIGN_OR_RETURN(num_tables, tables.GetU64());
+  std::map<std::string, std::unique_ptr<ExtendedTable>> ext_tables;
+  std::map<std::string, std::unique_ptr<TableDistribution>> models;
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    std::string name;
+    CARDBENCH_ASSIGN_OR_RETURN(name, tables.GetString());
+    CARDBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ExtendedTable> ext,
+                               ExtendedTable::DeserializeMeta(db_, tables));
+    CARDBENCH_ASSIGN_OR_RETURN(std::unique_ptr<TableDistribution> model,
+                               LoadModelPayload(tables));
+    ext_tables[name] = std::move(ext);
+    models[name] = std::move(model);
+  }
+  // Every base table needs a model for estimation to work.
+  for (const auto& table : db_.table_names()) {
+    if (models.count(table) == 0) {
+      return Status::InvalidArgument("fanout artifact misses table " + table);
+    }
+  }
+  ext_tables_ = std::move(ext_tables);
+  models_ = std::move(models);
+  return Status::OK();
 }
 
 Status FanoutModelEstimator::Update() {

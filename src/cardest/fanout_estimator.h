@@ -1,6 +1,7 @@
 #ifndef CARDBENCH_CARDEST_FANOUT_ESTIMATOR_H_
 #define CARDBENCH_CARDEST_FANOUT_ESTIMATOR_H_
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -63,7 +64,6 @@ class FanoutModelEstimator : public CardinalityEstimator {
   /// are string-keyed internal state, untouched by the dispatch refactor.
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
-  size_t ModelBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
   bool SupportsUpdate() const override { return true; }
   Status Update() override;
@@ -103,6 +103,22 @@ class FanoutModelEstimator : public CardinalityEstimator {
   /// Subclasses create their model class (BN / SPN / FSPN) per table.
   virtual std::unique_ptr<TableDistribution> BuildModel(
       const ExtendedTable& ext) = 0;
+
+  /// Shared artifact layout for the fanout family: a "meta" section
+  /// (max_bins, train_seconds) plus one "tables" section holding, per base
+  /// table, the extended-table metadata followed by the model payload
+  /// (written by the subclass's SerializeModel). Subclasses expose this via
+  /// their Serialize override with their own format tag.
+  Status SerializeFanout(std::ostream& out, const std::string& tag) const;
+
+  /// Restores state written by SerializeFanout into this (deferred-init)
+  /// instance; model payloads are read back through LoadModelPayload.
+  Status LoadFanout(std::istream& in, const std::string& tag);
+
+  virtual void SerializeModel(const TableDistribution& model,
+                              SectionWriter& out) const = 0;
+  virtual Result<std::unique_ptr<TableDistribution>> LoadModelPayload(
+      SectionReader& in) const = 0;
 
   /// Must be called at the end of the subclass constructor (virtual
   /// dispatch is not available during base construction).

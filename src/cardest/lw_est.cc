@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/serde.h"
 #include "common/stopwatch.h"
 
 namespace cardbench {
@@ -19,7 +22,7 @@ double CardOf(double prediction) {
 LwNnEstimator::LwNnEstimator(const Database& db,
                              const std::vector<TrainingQuery>& training,
                              LwNnOptions options)
-    : featurizer_(db) {
+    : featurizer_(db), options_(options) {
   CARDBENCH_CHECK(!training.empty(), "LW-NN requires training queries");
   Stopwatch watch;
   Rng rng(options.seed);
@@ -100,6 +103,70 @@ double LwXgbEstimator::EstimateCard(const QueryGraph& graph,
 
 double LwXgbEstimator::EstimateCard(const Query& subquery) const {
   return CardOf(gbdt_.Predict(featurizer_.FlatFeatures(subquery)));
+}
+
+LwNnEstimator::LwNnEstimator(const Database& db, LwNnOptions options,
+                             DeferredInit)
+    : featurizer_(db), options_(options) {
+  Rng rng(options_.seed);
+  net_ = std::make_unique<Mlp>(
+      std::vector<size_t>{featurizer_.flat_dim(), options_.hidden_units,
+                          options_.hidden_units / 2, 1},
+      rng);
+}
+
+Status LwNnEstimator::Serialize(std::ostream& out) const {
+  ModelWriter writer("lwnn");
+  SectionWriter& meta = writer.AddSection("meta");
+  meta.PutU64(options_.hidden_units);
+  meta.PutU64(options_.epochs);
+  meta.PutU64(options_.batch_size);
+  meta.PutDouble(options_.learning_rate);
+  meta.PutU64(options_.seed);
+  meta.PutDouble(train_seconds_);
+  SectionWriter& params = writer.AddSection("params");
+  net_->SerializeParams(params);
+  return writer.WriteTo(out);
+}
+
+Result<std::unique_ptr<LwNnEstimator>> LwNnEstimator::Deserialize(
+    const Database& db, std::istream& in) {
+  CARDBENCH_ASSIGN_OR_RETURN(ModelReader reader, ModelReader::Open(in, "lwnn"));
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader meta, reader.Section("meta"));
+  LwNnOptions options;
+  CARDBENCH_ASSIGN_OR_RETURN(options.hidden_units, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(options.epochs, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(options.batch_size, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(options.learning_rate, meta.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(options.seed, meta.GetU64());
+  auto est = std::unique_ptr<LwNnEstimator>(
+      new LwNnEstimator(db, options, DeferredInit()));
+  CARDBENCH_ASSIGN_OR_RETURN(est->train_seconds_, meta.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader params, reader.Section("params"));
+  CARDBENCH_RETURN_IF_ERROR(est->net_->LoadParams(params));
+  return est;
+}
+
+Status LwXgbEstimator::Serialize(std::ostream& out) const {
+  ModelWriter writer("lwxgb");
+  SectionWriter& meta = writer.AddSection("meta");
+  meta.PutDouble(train_seconds_);
+  SectionWriter& params = writer.AddSection("params");
+  gbdt_.SerializeParams(params);
+  return writer.WriteTo(out);
+}
+
+Result<std::unique_ptr<LwXgbEstimator>> LwXgbEstimator::Deserialize(
+    const Database& db, std::istream& in) {
+  CARDBENCH_ASSIGN_OR_RETURN(ModelReader reader,
+                             ModelReader::Open(in, "lwxgb"));
+  auto est =
+      std::unique_ptr<LwXgbEstimator>(new LwXgbEstimator(db, DeferredInit()));
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader meta, reader.Section("meta"));
+  CARDBENCH_ASSIGN_OR_RETURN(est->train_seconds_, meta.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader params, reader.Section("params"));
+  CARDBENCH_RETURN_IF_ERROR(est->gbdt_.LoadParams(params));
+  return est;
 }
 
 }  // namespace cardbench

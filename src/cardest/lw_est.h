@@ -1,6 +1,7 @@
 #ifndef CARDBENCH_CARDEST_LW_EST_H_
 #define CARDBENCH_CARDEST_LW_EST_H_
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -33,11 +34,21 @@ class LwNnEstimator : public CardinalityEstimator {
   std::string name() const override { return "LW-NN"; }
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
-  size_t ModelBytes() const override { return net_->ParamBytes(); }
   double TrainSeconds() const override { return train_seconds_; }
 
+  /// Persists options + network parameters; the featurizer is rebuilt
+  /// deterministically from the database on load.
+  Status Serialize(std::ostream& out) const override;
+  static Result<std::unique_ptr<LwNnEstimator>> Deserialize(
+      const Database& db, std::istream& in);
+
  private:
+  struct DeferredInit {};
+  /// Load path: seeded untrained topology, parameters injected afterwards.
+  LwNnEstimator(const Database& db, LwNnOptions options, DeferredInit);
+
   QueryFeaturizer featurizer_;
+  LwNnOptions options_;
   std::unique_ptr<Mlp> net_;
   double train_seconds_ = 0.0;
 };
@@ -53,10 +64,19 @@ class LwXgbEstimator : public CardinalityEstimator {
   std::string name() const override { return "LW-XGB"; }
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
-  size_t ModelBytes() const override { return gbdt_.ModelBytes(); }
   double TrainSeconds() const override { return train_seconds_; }
 
+  /// Persists the fitted tree ensemble; the featurizer is rebuilt
+  /// deterministically from the database on load.
+  Status Serialize(std::ostream& out) const override;
+  static Result<std::unique_ptr<LwXgbEstimator>> Deserialize(
+      const Database& db, std::istream& in);
+
  private:
+  struct DeferredInit {};
+  /// Load path: empty ensemble, parameters injected afterwards.
+  LwXgbEstimator(const Database& db, DeferredInit) : featurizer_(db) {}
+
   QueryFeaturizer featurizer_;
   GbdtRegressor gbdt_;
   double train_seconds_ = 0.0;

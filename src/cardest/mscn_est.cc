@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/serde.h"
 #include "common/stopwatch.h"
 
 namespace cardbench {
@@ -133,9 +136,54 @@ double MscnEstimator::EstimateCard(const Query& subquery) const {
   return Predict(subquery);
 }
 
-size_t MscnEstimator::ModelBytes() const {
-  return table_module_->ParamBytes() + join_module_->ParamBytes() +
-         pred_module_->ParamBytes() + head_->ParamBytes();
+MscnEstimator::MscnEstimator(const Database& db, MscnOptions options,
+                             DeferredInit)
+    : featurizer_(db), options_(options) {
+  Rng rng(options_.seed);
+  const size_t h = options_.hidden_units;
+  table_module_ = std::make_unique<Mlp>(
+      std::vector<size_t>{featurizer_.table_element_dim(), h, h}, rng);
+  join_module_ = std::make_unique<Mlp>(
+      std::vector<size_t>{featurizer_.join_element_dim(), h, h}, rng);
+  pred_module_ = std::make_unique<Mlp>(
+      std::vector<size_t>{featurizer_.predicate_element_dim(), h, h}, rng);
+  head_ = std::make_unique<Mlp>(std::vector<size_t>{3 * h, 2 * h, 1}, rng);
+}
+
+Status MscnEstimator::Serialize(std::ostream& out) const {
+  ModelWriter writer("mscn");
+  SectionWriter& meta = writer.AddSection("meta");
+  meta.PutU64(options_.hidden_units);
+  meta.PutU64(options_.epochs);
+  meta.PutDouble(options_.learning_rate);
+  meta.PutU64(options_.seed);
+  meta.PutDouble(train_seconds_);
+  SectionWriter& params = writer.AddSection("params");
+  table_module_->SerializeParams(params);
+  join_module_->SerializeParams(params);
+  pred_module_->SerializeParams(params);
+  head_->SerializeParams(params);
+  return writer.WriteTo(out);
+}
+
+Result<std::unique_ptr<MscnEstimator>> MscnEstimator::Deserialize(
+    const Database& db, std::istream& in) {
+  CARDBENCH_ASSIGN_OR_RETURN(ModelReader reader, ModelReader::Open(in, "mscn"));
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader meta, reader.Section("meta"));
+  MscnOptions options;
+  CARDBENCH_ASSIGN_OR_RETURN(options.hidden_units, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(options.epochs, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(options.learning_rate, meta.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(options.seed, meta.GetU64());
+  auto est = std::unique_ptr<MscnEstimator>(
+      new MscnEstimator(db, options, DeferredInit()));
+  CARDBENCH_ASSIGN_OR_RETURN(est->train_seconds_, meta.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader params, reader.Section("params"));
+  CARDBENCH_RETURN_IF_ERROR(est->table_module_->LoadParams(params));
+  CARDBENCH_RETURN_IF_ERROR(est->join_module_->LoadParams(params));
+  CARDBENCH_RETURN_IF_ERROR(est->pred_module_->LoadParams(params));
+  CARDBENCH_RETURN_IF_ERROR(est->head_->LoadParams(params));
+  return est;
 }
 
 }  // namespace cardbench

@@ -1,6 +1,7 @@
 #ifndef CARDBENCH_CARDEST_MSCN_EST_H_
 #define CARDBENCH_CARDEST_MSCN_EST_H_
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -34,11 +35,22 @@ class MscnEstimator : public CardinalityEstimator {
   /// overload (dense id-resolved vocabularies), then the same forward pass.
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
-  size_t ModelBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
   // Query-driven: no cheap update path (O9) — SupportsUpdate stays false.
 
+  /// Persists options + the four modules' parameters. The featurizer is
+  /// rebuilt deterministically from the database on load, so vocabularies
+  /// (and therefore feature vectors) match the training-time ones exactly.
+  Status Serialize(std::ostream& out) const override;
+  static Result<std::unique_ptr<MscnEstimator>> Deserialize(
+      const Database& db, std::istream& in);
+
  private:
+  struct DeferredInit {};
+  /// Load path: builds the featurizer and untrained module topology (same
+  /// seeded init as training), then Deserialize overwrites the parameters.
+  MscnEstimator(const Database& db, MscnOptions options, DeferredInit);
+
   /// Forward through one module + mean pooling; returns (1 × hidden).
   Matrix ModuleForward(Mlp& module,
                        const std::vector<std::vector<double>>& elements,

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <istream>
+#include <ostream>
 
+#include "common/serde.h"
 #include "common/stopwatch.h"
 #include "ml/clustering.h"
 
@@ -191,17 +194,84 @@ double MultiHistEstimator::EstimateCard(const Query& subquery) const {
   return std::max(card, 1e-6);
 }
 
-size_t MultiHistEstimator::ModelBytes() const {
-  size_t bytes = sizeof(*this);
+Status MultiHistEstimator::Serialize(std::ostream& out) const {
+  ModelWriter writer("multihist");
+  SectionWriter& meta = writer.AddSection("meta");
+  meta.PutU64(dims_per_group_);
+  meta.PutU64(bins_per_dim_);
+  meta.PutDouble(correlation_threshold_);
+  meta.PutDouble(train_seconds_);
+  SectionWriter& hist = writer.AddSection("groups");
+  hist.PutU64(groups_.size());
   for (const auto& [table, groups] : groups_) {
+    hist.PutString(table);
+    hist.PutU64(groups.size());
     for (const auto& group : groups) {
-      for (const auto& binner : group.binners) bytes += binner->MemoryBytes();
-      for (const auto& [key, count] : group.joint) {
-        bytes += key.size() * sizeof(uint16_t) + sizeof(double) + 32;
+      hist.PutU64(group.columns.size());
+      for (size_t k = 0; k < group.columns.size(); ++k) {
+        hist.PutString(group.columns[k]);
+        hist.PutI64(group.column_ids[k]);
+        group.binners[k]->Serialize(hist);
       }
+      hist.PutU64(group.joint.size());
+      for (const auto& [key, count] : group.joint) {
+        hist.PutU16s(key);
+        hist.PutDouble(count);
+      }
+      hist.PutDouble(group.total);
     }
   }
-  return bytes;
+  return writer.WriteTo(out);
+}
+
+Result<std::unique_ptr<MultiHistEstimator>> MultiHistEstimator::Deserialize(
+    const Database& db, std::istream& in) {
+  CARDBENCH_ASSIGN_OR_RETURN(ModelReader reader,
+                             ModelReader::Open(in, "multihist"));
+  auto est = std::unique_ptr<MultiHistEstimator>(
+      new MultiHistEstimator(db, DeferredInit()));
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader meta, reader.Section("meta"));
+  CARDBENCH_ASSIGN_OR_RETURN(est->dims_per_group_, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(est->bins_per_dim_, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(est->correlation_threshold_, meta.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(est->train_seconds_, meta.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader hist, reader.Section("groups"));
+  CARDBENCH_ASSIGN_OR_RETURN(uint64_t num_tables, hist.GetU64());
+  for (size_t t = 0; t < num_tables; ++t) {
+    CARDBENCH_ASSIGN_OR_RETURN(std::string table, hist.GetString());
+    if (db.FindTable(table) == nullptr) {
+      return Status::NotFound("multihist groups for unknown table " + table);
+    }
+    CARDBENCH_ASSIGN_OR_RETURN(uint64_t num_groups, hist.GetU64());
+    std::vector<Group>& groups = est->groups_[table];
+    for (size_t g = 0; g < num_groups; ++g) {
+      Group group;
+      CARDBENCH_ASSIGN_OR_RETURN(uint64_t num_cols, hist.GetU64());
+      for (size_t k = 0; k < num_cols; ++k) {
+        CARDBENCH_ASSIGN_OR_RETURN(std::string column, hist.GetString());
+        group.columns.push_back(std::move(column));
+        CARDBENCH_ASSIGN_OR_RETURN(int64_t column_id, hist.GetI64());
+        group.column_ids.push_back(static_cast<int>(column_id));
+        CARDBENCH_ASSIGN_OR_RETURN(ColumnBinner binner,
+                                   ColumnBinner::Deserialize(hist));
+        group.binners.push_back(
+            std::make_unique<ColumnBinner>(std::move(binner)));
+      }
+      CARDBENCH_ASSIGN_OR_RETURN(uint64_t num_buckets, hist.GetU64());
+      for (size_t b = 0; b < num_buckets; ++b) {
+        CARDBENCH_ASSIGN_OR_RETURN(std::vector<uint16_t> key, hist.GetU16s());
+        CARDBENCH_ASSIGN_OR_RETURN(double count, hist.GetDouble());
+        group.joint[std::move(key)] = count;
+      }
+      CARDBENCH_ASSIGN_OR_RETURN(group.total, hist.GetDouble());
+      groups.push_back(std::move(group));
+    }
+  }
+  est->groups_by_id_.clear();
+  for (const auto& table_name : db.table_names()) {
+    est->groups_by_id_.push_back(&est->groups_[table_name]);
+  }
+  return est;
 }
 
 }  // namespace cardbench

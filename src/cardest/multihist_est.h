@@ -1,6 +1,7 @@
 #ifndef CARDBENCH_CARDEST_MULTIHIST_EST_H_
 #define CARDBENCH_CARDEST_MULTIHIST_EST_H_
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -31,10 +32,19 @@ class MultiHistEstimator : public CardinalityEstimator {
   /// to group dimensions by resolved column id.
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
-  size_t ModelBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
 
+  Status Serialize(std::ostream& out) const override;
+  static Result<std::unique_ptr<MultiHistEstimator>> Deserialize(
+      const Database& db, std::istream& in);
+
  private:
+  struct DeferredInit {};
+  /// Load path: constructs without building; state injected by Deserialize.
+  MultiHistEstimator(const Database& db, DeferredInit)
+      : db_(db), dims_per_group_(0), bins_per_dim_(0),
+        correlation_threshold_(0.0) {}
+
   struct Group {
     std::vector<std::string> columns;
     std::vector<int> column_ids;  // resolved at Build, parallel to columns

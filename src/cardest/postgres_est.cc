@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <bit>
-
-#include <fstream>
+#include <istream>
+#include <ostream>
 
 #include "common/logging.h"
+#include "common/serde.h"
 #include "common/stopwatch.h"
 #include "storage/stats.h"
 
@@ -135,49 +136,48 @@ double PostgresEstimator::EstimateCard(const Query& subquery) const {
   return std::max(card, 1e-6);
 }
 
-Status PostgresEstimator::SaveModel(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path);
-  out << "pgstats " << stats_.size() << '\n';
+Status PostgresEstimator::Serialize(std::ostream& out) const {
+  ModelWriter writer("pgstats");
+  SectionWriter& meta = writer.AddSection("meta");
+  meta.PutU64(stats_target_);
+  meta.PutDouble(train_seconds_);
+  SectionWriter& stats = writer.AddSection("stats");
+  stats.PutU64(stats_.size());
   for (const auto& [key, entry] : stats_) {
-    out << key.first << ' ' << key.second << ' ' << entry.ndv << ' '
-        << entry.null_frac << '\n';
-    entry.binner->Serialize(out);
+    stats.PutString(key.first);
+    stats.PutString(key.second);
+    stats.PutDouble(entry.ndv);
+    stats.PutDouble(entry.null_frac);
+    entry.binner->Serialize(stats);
   }
-  return out ? Status::OK() : Status::IOError("write failed: " + path);
+  return writer.WriteTo(out);
 }
 
-Result<std::unique_ptr<PostgresEstimator>> PostgresEstimator::LoadModel(
-    const Database& db, const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::string tag;
-  size_t count = 0;
-  if (!(in >> tag >> count) || tag != "pgstats") {
-    return Status::InvalidArgument("bad model header in " + path);
-  }
-  // Private-ish construction: build an empty estimator then replace stats.
-  auto est = std::unique_ptr<PostgresEstimator>(new PostgresEstimator(db, 2));
-  est->stats_.clear();
+Result<std::unique_ptr<PostgresEstimator>> PostgresEstimator::Deserialize(
+    const Database& db, std::istream& in) {
+  CARDBENCH_ASSIGN_OR_RETURN(ModelReader reader,
+                             ModelReader::Open(in, "pgstats"));
+  auto est = std::unique_ptr<PostgresEstimator>(
+      new PostgresEstimator(db, DeferredInit()));
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader meta, reader.Section("meta"));
+  CARDBENCH_ASSIGN_OR_RETURN(uint64_t stats_target, meta.GetU64());
+  est->stats_target_ = stats_target;
+  CARDBENCH_ASSIGN_OR_RETURN(est->train_seconds_, meta.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader stats, reader.Section("stats"));
+  CARDBENCH_ASSIGN_OR_RETURN(uint64_t count, stats.GetU64());
   for (size_t i = 0; i < count; ++i) {
-    std::string table, column;
+    CARDBENCH_ASSIGN_OR_RETURN(std::string table, stats.GetString());
+    CARDBENCH_ASSIGN_OR_RETURN(std::string column, stats.GetString());
     ColumnStatsEntry entry;
-    if (!(in >> table >> column >> entry.ndv >> entry.null_frac)) {
-      return Status::InvalidArgument("bad model entry in " + path);
-    }
+    CARDBENCH_ASSIGN_OR_RETURN(entry.ndv, stats.GetDouble());
+    CARDBENCH_ASSIGN_OR_RETURN(entry.null_frac, stats.GetDouble());
     CARDBENCH_ASSIGN_OR_RETURN(ColumnBinner binner,
-                               ColumnBinner::Deserialize(in));
+                               ColumnBinner::Deserialize(stats));
     entry.binner = std::make_unique<ColumnBinner>(std::move(binner));
     est->stats_[{table, column}] = std::move(entry);
   }
   est->RebuildIdIndex();
   return est;
-}
-
-size_t PostgresEstimator::ModelBytes() const {
-  size_t bytes = sizeof(*this);
-  for (const auto& [key, entry] : stats_) bytes += entry.binner->MemoryBytes();
-  return bytes;
 }
 
 }  // namespace cardbench

@@ -1,6 +1,7 @@
 #ifndef CARDBENCH_CARDEST_POSTGRES_EST_H_
 #define CARDBENCH_CARDEST_POSTGRES_EST_H_
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -30,7 +31,6 @@ class PostgresEstimator : public CardinalityEstimator {
   /// dense (table_id, column_id) statistics index — no name lookups.
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
-  size_t ModelBytes() const override;
   double TrainSeconds() const override { return train_seconds_; }
   bool SupportsUpdate() const override { return true; }
   /// Re-ANALYZE: rebuilds all per-column statistics.
@@ -42,14 +42,20 @@ class PostgresEstimator : public CardinalityEstimator {
   double TableSelectivity(const Query& subquery,
                           const std::string& table) const;
 
-  /// Persists the collected statistics (the "model") to a file and restores
-  /// an estimator from one — deployment without re-ANALYZE (§4.3's model
-  /// transfer aspect). The database is still needed for table row counts.
-  Status SaveModel(const std::string& path) const;
-  static Result<std::unique_ptr<PostgresEstimator>> LoadModel(
-      const Database& db, const std::string& path);
+  /// Persists the collected statistics (the "model") as a CBMD artifact and
+  /// restores an estimator from one — deployment without re-ANALYZE (§4.3's
+  /// model transfer aspect). The database is still needed for table row
+  /// counts.
+  Status Serialize(std::ostream& out) const override;
+  static Result<std::unique_ptr<PostgresEstimator>> Deserialize(
+      const Database& db, std::istream& in);
 
  private:
+  struct DeferredInit {};
+  /// Load path: constructs without ANALYZE; state injected by Deserialize.
+  PostgresEstimator(const Database& db, DeferredInit)
+      : db_(db), stats_target_(0) {}
+
   void Analyze();
 
   struct ColumnStatsEntry {

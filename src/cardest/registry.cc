@@ -1,9 +1,12 @@
 #include "cardest/registry.h"
 
+#include <istream>
+
 #include "cardest/autoregressive_est.h"
 #include "cardest/bayescard_est.h"
 #include "cardest/deepdb_est.h"
 #include "cardest/lw_est.h"
+#include "cardest/model_store.h"
 #include "cardest/mscn_est.h"
 #include "cardest/multihist_est.h"
 #include "cardest/postgres_est.h"
@@ -11,6 +14,18 @@
 #include "cardest/truecard_est.h"
 
 namespace cardbench {
+
+namespace {
+
+/// Upcasts a typed Deserialize result to the base-class Result.
+template <typename T>
+Result<std::unique_ptr<CardinalityEstimator>> AsBase(
+    Result<std::unique_ptr<T>> result) {
+  CARDBENCH_RETURN_IF_ERROR(result.status());
+  return std::unique_ptr<CardinalityEstimator>(std::move(result).value());
+}
+
+}  // namespace
 
 const std::vector<std::string>& AllEstimatorNames() {
   static const std::vector<std::string>* names = new std::vector<std::string>{
@@ -21,7 +36,14 @@ const std::vector<std::string>& AllEstimatorNames() {
   return *names;
 }
 
-Result<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
+bool EstimatorNeedsTraining(const std::string& name) {
+  return name == "MSCN" || name == "LW-NN" || name == "LW-XGB" ||
+         name == "UAE-Q" || name == "UAE";
+}
+
+/// The training/construction paths, shared by the direct and store-backed
+/// entry points.
+static Result<std::unique_ptr<CardinalityEstimator>> BuildEstimator(
     const std::string& name, const Database& db, TrueCardService& truecard,
     const std::vector<TrainingQuery>* training,
     const EstimatorConfig& config) {
@@ -101,6 +123,67 @@ Result<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
         new AutoregressiveEstimator(db, mode, training, options));
   }
   return Status::NotFound("unknown estimator: " + name);
+}
+
+Result<std::unique_ptr<CardinalityEstimator>> DeserializeEstimator(
+    const std::string& name, const Database& db, std::istream& in) {
+  Result<std::unique_ptr<CardinalityEstimator>> result =
+      Status::Unsupported(name + " does not support serialization");
+  if (name == "PostgreSQL") {
+    result = AsBase(PostgresEstimator::Deserialize(db, in));
+  } else if (name == "MultiHist") {
+    result = AsBase(MultiHistEstimator::Deserialize(db, in));
+  } else if (name == "UniSample") {
+    result = AsBase(UniSampleEstimator::Deserialize(db, in));
+  } else if (name == "WJSample") {
+    result = AsBase(WjSampleEstimator::Deserialize(db, in));
+  } else if (name == "PessEst") {
+    result = AsBase(PessEstEstimator::Deserialize(db, in));
+  } else if (name == "MSCN") {
+    result = AsBase(MscnEstimator::Deserialize(db, in));
+  } else if (name == "LW-NN") {
+    result = AsBase(LwNnEstimator::Deserialize(db, in));
+  } else if (name == "LW-XGB") {
+    result = AsBase(LwXgbEstimator::Deserialize(db, in));
+  } else if (name == "BayesCard") {
+    result = AsBase(BayesCardEstimator::Deserialize(db, in));
+  } else if (name == "DeepDB") {
+    result = AsBase(DeepDbEstimator::Deserialize(db, in));
+  } else if (name == "FLAT") {
+    result = AsBase(FlatEstimator::Deserialize(db, in));
+  } else if (name == "NeuroCardE" || name == "UAE-Q" || name == "UAE") {
+    result = AsBase(AutoregressiveEstimator::Deserialize(db, in));
+  } else if (name != "TrueCard") {
+    return Status::NotFound("unknown estimator: " + name);
+  }
+  CARDBENCH_RETURN_IF_ERROR(result.status());
+  // The AR family shares one tag; a UAE artifact must not serve NeuroCardE.
+  if ((*result)->name() != name) {
+    return Status::InvalidArgument("artifact holds " + (*result)->name() +
+                                   ", expected " + name);
+  }
+  return result;
+}
+
+Result<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
+    const std::string& name, const Database& db, TrueCardService& truecard,
+    const std::vector<TrainingQuery>* training, const EstimatorConfig& config,
+    ModelStore* store, ModelStoreStats* stats) {
+  if (store == nullptr || name == "TrueCard") {
+    return BuildEstimator(name, db, truecard, training, config);
+  }
+  const uint64_t dataset_fp = ModelStore::DatasetFingerprint(db);
+  const uint64_t workload_fp =
+      EstimatorNeedsTraining(name) && training != nullptr
+          ? ModelStore::WorkloadFingerprint(*training)
+          : 0;
+  const std::string key =
+      ModelStore::MakeKey(name, dataset_fp, config, workload_fp);
+  return store->BuildOrLoad(
+      key,
+      [&] { return BuildEstimator(name, db, truecard, training, config); },
+      [&](std::istream& in) { return DeserializeEstimator(name, db, in); },
+      stats);
 }
 
 }  // namespace cardbench

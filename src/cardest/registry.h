@@ -1,6 +1,7 @@
 #ifndef CARDBENCH_CARDEST_REGISTRY_H_
 #define CARDBENCH_CARDEST_REGISTRY_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +13,9 @@
 
 namespace cardbench {
 
+class ModelStore;
+struct ModelStoreStats;
+
 /// Construction-time knobs shared across the zoo.
 struct EstimatorConfig {
   /// Shrinks learned models (fewer epochs/samples) for tests and smoke
@@ -22,13 +26,30 @@ struct EstimatorConfig {
 /// All method names in the paper's Table 3 order.
 const std::vector<std::string>& AllEstimatorNames();
 
+/// True for methods trained on executed (query, cardinality) pairs — their
+/// model artifacts are additionally keyed by the training workload.
+bool EstimatorNeedsTraining(const std::string& name);
+
 /// Instantiates (and trains, where applicable) the named estimator.
 /// `truecard` backs the TrueCard oracle; `training` supplies the executed
 /// query workload for the query-driven methods (may be null for the rest).
+///
+/// With a non-null `store`, construction goes through
+/// ModelStore::BuildOrLoad: an intact artifact for this (name, dataset,
+/// config, workload) is deserialized instead of trained, and freshly
+/// trained models are persisted for the next run. `stats`, when non-null,
+/// reports which path was taken and how long it took.
 Result<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
     const std::string& name, const Database& db, TrueCardService& truecard,
     const std::vector<TrainingQuery>* training,
-    const EstimatorConfig& config = EstimatorConfig());
+    const EstimatorConfig& config = EstimatorConfig(),
+    ModelStore* store = nullptr, ModelStoreStats* stats = nullptr);
+
+/// Restores the named estimator from a CBMD artifact stream (the inverse of
+/// CardinalityEstimator::Serialize). Fails with Unsupported for the oracle,
+/// and with InvalidArgument/IOError on mismatched or mutilated artifacts.
+Result<std::unique_ptr<CardinalityEstimator>> DeserializeEstimator(
+    const std::string& name, const Database& db, std::istream& in);
 
 }  // namespace cardbench
 

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <bit>
+#include <istream>
 #include <limits>
+#include <ostream>
 #include <queue>
 #include <set>
 
+#include "cardest/extended_table.h"
 #include "common/logging.h"
+#include "common/serde.h"
 #include "common/str_util.h"
 #include "storage/filter.h"
 
@@ -135,7 +139,7 @@ GraphQueryTree BuildGraphQueryTree(const QueryGraph& graph, uint64_t mask,
 
 UniSampleEstimator::UniSampleEstimator(const Database& db, size_t sample_size,
                                        uint64_t seed)
-    : db_(db), sample_size_(sample_size), rng_(seed) {
+    : db_(db), sample_size_(sample_size), seed_(seed), rng_(seed) {
   Resample();
 }
 
@@ -209,12 +213,58 @@ double UniSampleEstimator::EstimateCard(const Query& subquery) const {
   return std::max(card, 1e-6);
 }
 
-size_t UniSampleEstimator::ModelBytes() const {
-  size_t bytes = sizeof(*this);
+Status UniSampleEstimator::Serialize(std::ostream& out) const {
+  ModelWriter writer("unisample");
+  SectionWriter& meta = writer.AddSection("meta");
+  meta.PutU64(sample_size_);
+  meta.PutU64(seed_);
+  SectionWriter& samples = writer.AddSection("samples");
+  samples.PutU64(samples_.size());
   for (const auto& [name, sample] : samples_) {
-    bytes += sample.size() * sizeof(uint32_t);
+    samples.PutString(name);
+    samples.PutU32s(sample);
   }
-  return bytes;
+  return writer.WriteTo(out);
+}
+
+Result<std::unique_ptr<UniSampleEstimator>> UniSampleEstimator::Deserialize(
+    const Database& db, std::istream& in) {
+  CARDBENCH_ASSIGN_OR_RETURN(ModelReader reader,
+                             ModelReader::Open(in, "unisample"));
+  auto est = std::unique_ptr<UniSampleEstimator>(
+      new UniSampleEstimator(db, DeferredInit()));
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader meta, reader.Section("meta"));
+  CARDBENCH_ASSIGN_OR_RETURN(est->sample_size_, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(est->seed_, meta.GetU64());
+  est->rng_ = Rng(est->seed_);
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader samples, reader.Section("samples"));
+  CARDBENCH_ASSIGN_OR_RETURN(uint64_t num_tables, samples.GetU64());
+  for (size_t t = 0; t < num_tables; ++t) {
+    CARDBENCH_ASSIGN_OR_RETURN(std::string name, samples.GetString());
+    const Table* table = db.FindTable(name);
+    if (table == nullptr) {
+      return Status::NotFound("sample for unknown table " + name);
+    }
+    CARDBENCH_ASSIGN_OR_RETURN(std::vector<uint32_t> sample,
+                               samples.GetU32s());
+    for (uint32_t row : sample) {
+      if (row >= table->num_rows()) {
+        return Status::InvalidArgument("sample row id out of range for " +
+                                       name);
+      }
+    }
+    est->samples_[name] = std::move(sample);
+  }
+  est->samples_by_id_.clear();
+  est->samples_by_id_.reserve(db.num_tables());
+  for (const auto& name : db.table_names()) {
+    if (est->samples_.find(name) == est->samples_.end()) {
+      return Status::InvalidArgument("artifact is missing a sample for " +
+                                     name);
+    }
+    est->samples_by_id_.push_back(&est->samples_.at(name));
+  }
+  return est;
 }
 
 // ------------------------------------------------------------ WJSample
@@ -222,6 +272,24 @@ size_t UniSampleEstimator::ModelBytes() const {
 WjSampleEstimator::WjSampleEstimator(const Database& db, size_t num_walks,
                                      uint64_t seed)
     : db_(db), num_walks_(num_walks), seed_(seed) {}
+
+Status WjSampleEstimator::Serialize(std::ostream& out) const {
+  ModelWriter writer("wjsample");
+  SectionWriter& meta = writer.AddSection("meta");
+  meta.PutU64(num_walks_);
+  meta.PutU64(seed_);
+  return writer.WriteTo(out);
+}
+
+Result<std::unique_ptr<WjSampleEstimator>> WjSampleEstimator::Deserialize(
+    const Database& db, std::istream& in) {
+  CARDBENCH_ASSIGN_OR_RETURN(ModelReader reader,
+                             ModelReader::Open(in, "wjsample"));
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader meta, reader.Section("meta"));
+  CARDBENCH_ASSIGN_OR_RETURN(uint64_t num_walks, meta.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(uint64_t seed, meta.GetU64());
+  return std::make_unique<WjSampleEstimator>(db, num_walks, seed);
+}
 
 double WjSampleEstimator::EstimateCard(const QueryGraph& graph,
                                        uint64_t mask) const {
@@ -394,6 +462,13 @@ PessEstEstimator::PessEstEstimator(const Database& db) : db_(db) {
   BuildDegreeSketches();
 }
 
+PessEstEstimator::PessEstEstimator(const Database& db, DeferredInit)
+    : db_(db) {
+  for (size_t i = 0; i < db.table_names().size(); ++i) {
+    table_ids_[db.table_names()[i]] = static_cast<int>(i);
+  }
+}
+
 double PessEstEstimator::MaxDegreeOf(int table_id, int column_id,
                                      const Table& table) const {
   const uint64_t key =
@@ -468,6 +543,75 @@ double PessEstEstimator::EstimateCard(const QueryGraph& graph,
     best = std::min(best, bound);
   }
   return std::max(best, 1e-6);
+}
+
+Status PessEstEstimator::Serialize(std::ostream& out) const {
+  ModelWriter writer("pessest");
+  SectionWriter& sketches = writer.AddSection("sketches");
+  // One sketch per join-key column of the schema (the columns bounds can
+  // traverse): max degree plus the degree histogram over distinct key
+  // values. The histogram is what makes the sketch a real, scale-dependent
+  // model artifact rather than a constant-size memo.
+  std::vector<JoinEndpoint> endpoints;
+  for (const auto& group : JoinColumnGroups(db_)) {
+    for (const auto& endpoint : group) endpoints.push_back(endpoint);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  sketches.PutU64(endpoints.size());
+  for (const auto& endpoint : endpoints) {
+    const Table& table = db_.TableOrDie(endpoint.table);
+    const int column_id =
+        static_cast<int>(table.ColumnIndexOrDie(endpoint.column));
+    std::map<uint64_t, uint64_t> degree_histogram;
+    for (const auto& [value, rows] : table.GetIndex(column_id).entries()) {
+      ++degree_histogram[rows.size()];
+    }
+    sketches.PutString(endpoint.table);
+    sketches.PutString(endpoint.column);
+    sketches.PutU64(degree_histogram.size());
+    for (const auto& [degree, count] : degree_histogram) {
+      sketches.PutU64(degree);
+      sketches.PutU64(count);
+    }
+  }
+  return writer.WriteTo(out);
+}
+
+Result<std::unique_ptr<PessEstEstimator>> PessEstEstimator::Deserialize(
+    const Database& db, std::istream& in) {
+  CARDBENCH_ASSIGN_OR_RETURN(ModelReader reader,
+                             ModelReader::Open(in, "pessest"));
+  auto est = std::unique_ptr<PessEstEstimator>(
+      new PessEstEstimator(db, DeferredInit()));
+  CARDBENCH_ASSIGN_OR_RETURN(SectionReader sketches,
+                             reader.Section("sketches"));
+  CARDBENCH_ASSIGN_OR_RETURN(uint64_t num_sketches, sketches.GetU64());
+  for (size_t s = 0; s < num_sketches; ++s) {
+    CARDBENCH_ASSIGN_OR_RETURN(std::string table_name, sketches.GetString());
+    CARDBENCH_ASSIGN_OR_RETURN(std::string column_name, sketches.GetString());
+    // Degrees are written in ascending order, so the bound the estimator
+    // memoizes (the max degree) is the last histogram entry.
+    CARDBENCH_ASSIGN_OR_RETURN(uint64_t histogram_size, sketches.GetU64());
+    double max_deg = 0.0;
+    for (size_t h = 0; h < histogram_size; ++h) {
+      CARDBENCH_ASSIGN_OR_RETURN(uint64_t degree, sketches.GetU64());
+      CARDBENCH_ASSIGN_OR_RETURN(uint64_t count, sketches.GetU64());
+      (void)count;
+      max_deg = static_cast<double>(degree);
+    }
+    const Table* table = db.FindTable(table_name);
+    if (table == nullptr) {
+      return Status::NotFound("degree sketch for unknown table " + table_name);
+    }
+    auto tid = est->table_ids_.find(table_name);
+    CARDBENCH_CHECK(tid != est->table_ids_.end(), "unknown table '%s'",
+                    table_name.c_str());
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(tid->second)) << 32) |
+        static_cast<uint32_t>(table->ColumnIndexOrDie(column_name));
+    est->max_degree_[key] = max_deg;
+  }
+  return est;
 }
 
 double PessEstEstimator::EstimateCard(const Query& subquery) const {

@@ -1,7 +1,9 @@
 #ifndef CARDBENCH_CARDEST_SAMPLING_EST_H_
 #define CARDBENCH_CARDEST_SAMPLING_EST_H_
 
+#include <iosfwd>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -28,17 +30,28 @@ class UniSampleEstimator : public CardinalityEstimator {
   /// through the graph's pre-bound compiled predicates.
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
-  size_t ModelBytes() const override;
   bool SupportsUpdate() const override { return true; }
   /// Resamples (cheap: sampling is the whole model). Exclusive-access:
   /// concurrent EstimateCard calls must be quiesced first.
   Status Update() override;
 
+  /// The "model" is the drawn row-id sample; persisting it keeps the
+  /// deployed estimator's draws (and estimates) identical to training.
+  Status Serialize(std::ostream& out) const override;
+  static Result<std::unique_ptr<UniSampleEstimator>> Deserialize(
+      const Database& db, std::istream& in);
+
  private:
+  struct DeferredInit {};
+  /// Load path: constructs without sampling; state injected by Deserialize.
+  UniSampleEstimator(const Database& db, DeferredInit)
+      : db_(db), sample_size_(0), seed_(0), rng_(0) {}
+
   void Resample();
 
   const Database& db_;
   size_t sample_size_;
+  uint64_t seed_;
   Rng rng_;
   std::map<std::string, std::vector<uint32_t>> samples_;
   /// samples_ entries indexed by global table id (database table order);
@@ -66,6 +79,13 @@ class WjSampleEstimator : public CardinalityEstimator {
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
 
+  /// Wander join has no trained state beyond its configuration: walks are
+  /// re-drawn per sub-plan from (seed, canonical key), so persisting the
+  /// two knobs reproduces every estimate exactly.
+  Status Serialize(std::ostream& out) const override;
+  static Result<std::unique_ptr<WjSampleEstimator>> Deserialize(
+      const Database& db, std::istream& in);
+
  private:
   const Database& db_;
   size_t num_walks_;
@@ -84,12 +104,25 @@ class PessEstEstimator : public CardinalityEstimator {
   std::string name() const override { return "PessEst"; }
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
-  size_t ModelBytes() const override { return sizeof(*this); }
   bool SupportsUpdate() const override { return true; }
   /// Refreshes the degree sketches.
   Status Update() override;
 
+  /// Persists per-join-column degree sketches (max degree + the full degree
+  /// histogram over distinct key values), computed eagerly over the schema's
+  /// join columns. ModelBytes therefore reports real sketch storage that
+  /// grows with data scale, and a deserialized estimator answers bounds
+  /// without re-scanning any index.
+  Status Serialize(std::ostream& out) const override;
+  static Result<std::unique_ptr<PessEstEstimator>> Deserialize(
+      const Database& db, std::istream& in);
+
  private:
+  struct DeferredInit {};
+  /// Load path: table ids are schema-derived; the degree memo is injected
+  /// by Deserialize instead of being scanned lazily.
+  PessEstEstimator(const Database& db, DeferredInit);
+
   void BuildDegreeSketches();
   double FilteredCard(const Query& subquery, const std::string& table) const;
   double MaxDegreeOf(int table_id, int column_id, const Table& table) const;

@@ -34,6 +34,8 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       flags.exec_timeout = std::stod(value_of("--exec-timeout="));
     } else if (StartsWith(arg, "--cache-dir=")) {
       flags.cache_dir = value_of("--cache-dir=");
+    } else if (StartsWith(arg, "--model-dir=")) {
+      flags.model_dir = value_of("--model-dir=");
     } else if (StartsWith(arg, "--estimators=")) {
       flags.estimators = Split(value_of("--estimators="), ',');
     } else if (StartsWith(arg, "--training-queries=")) {
@@ -100,9 +102,9 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown flag %s\nflags: --fast --scale=F --max-queries=N "
                    "--exec-timeout=S --exec-repeats=N --cache-dir=D "
-                   "--estimators=a,b --training-queries=N --threads=N "
-                   "--queue-depth=N --exec-threads=N --batch-size=N "
-                   "--seed=N --verbose=L\n",
+                   "--model-dir=D --estimators=a,b --training-queries=N "
+                   "--threads=N --queue-depth=N --exec-threads=N "
+                   "--batch-size=N --seed=N --verbose=L\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -142,6 +144,9 @@ Status BenchEnv::Prepare(BenchDataset dataset, const BenchFlags& flags) {
     config.scale = flags.scale;
     config.seed = flags.seed + 1;
     db_ = GenerateImdbDatabase(config);
+  }
+  if (!flags.model_dir.empty()) {
+    model_store_ = std::make_unique<ModelStore>(flags.model_dir);
   }
   truecard_ = std::make_unique<TrueCardService>(
       *db_, TrueCardService::DefaultLimits(), flags.exec_options());
@@ -239,15 +244,13 @@ const std::vector<TrainingQuery>& BenchEnv::training() {
 }
 
 Result<std::unique_ptr<CardinalityEstimator>> BenchEnv::MakeNamedEstimator(
-    const std::string& name) {
+    const std::string& name, ModelStoreStats* stats) {
   EstimatorConfig config;
   config.fast = flags_.fast;
-  const bool needs_training =
-      name == "MSCN" || name == "LW-NN" || name == "LW-XGB" ||
-      name == "UAE-Q" || name == "UAE";
   const std::vector<TrainingQuery>* training_ptr =
-      needs_training ? &training() : nullptr;
-  return MakeEstimator(name, *db_, *truecard_, training_ptr, config);
+      EstimatorNeedsTraining(name) ? &training() : nullptr;
+  return MakeEstimator(name, *db_, *truecard_, training_ptr, config,
+                       model_store_.get(), stats);
 }
 
 double BenchEnv::RunResult::TotalExecSeconds() const {

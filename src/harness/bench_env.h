@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cardest/model_store.h"
 #include "cardest/registry.h"
 #include "common/status.h"
 #include "exec/executor.h"
@@ -30,6 +31,9 @@ struct BenchFlags {
   double exec_timeout = 30.0;
   /// Directory for persisted true-cardinality caches.
   std::string cache_dir = "bench_cache";
+  /// Directory for serialized estimator artifacts (empty = train every
+  /// time). A warm directory turns model construction into a load.
+  std::string model_dir;
   /// Estimators to run (empty = bench-specific default list).
   std::vector<std::string> estimators;
   /// Number of training queries for query-driven methods.
@@ -59,9 +63,9 @@ struct BenchFlags {
 };
 
 /// Parses --scale=, --fast, --max-queries=, --exec-timeout=, --cache-dir=,
-/// --estimators=a,b,c, --training-queries=, --threads=, --queue-depth=,
-/// --exec-threads=, --batch-size=, --seed=, --verbose=. Unknown flags and
-/// invalid values abort with a usage message.
+/// --model-dir=, --estimators=a,b,c, --training-queries=, --threads=,
+/// --queue-depth=, --exec-threads=, --batch-size=, --seed=, --verbose=.
+/// Unknown flags and invalid values abort with a usage message.
 BenchFlags ParseBenchFlags(int argc, char** argv);
 
 enum class BenchDataset { kStats, kImdb };
@@ -102,9 +106,15 @@ class BenchEnv {
   };
   const std::vector<QueryContext>& query_contexts() const { return contexts_; }
 
-  /// Builds (and trains) an estimator by registry name.
+  /// Builds (and trains) an estimator by registry name. When the env has a
+  /// model store (--model-dir), construction goes through it: artifacts are
+  /// loaded when present and persisted after training. `stats` (optional)
+  /// reports whether the model was trained or loaded, and how long it took.
   Result<std::unique_ptr<CardinalityEstimator>> MakeNamedEstimator(
-      const std::string& name);
+      const std::string& name, ModelStoreStats* stats = nullptr);
+
+  /// Non-null iff flags.model_dir was set.
+  ModelStore* model_store() { return model_store_.get(); }
 
   /// Outcome of one query under one estimator.
   struct QueryRun {
@@ -156,6 +166,7 @@ class BenchEnv {
   BenchFlags flags_;
   std::string dataset_name_;
   std::unique_ptr<Database> db_;
+  std::unique_ptr<ModelStore> model_store_;
   std::unique_ptr<TrueCardService> truecard_;
   std::unique_ptr<Optimizer> optimizer_;
   Workload workload_;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/serde.h"
 
 namespace cardbench {
 
@@ -148,6 +149,54 @@ size_t GbdtRegressor::ModelBytes() const {
   size_t nodes = 0;
   for (const auto& tree : trees_) nodes += tree.size();
   return nodes * sizeof(Node) + sizeof(*this);
+}
+
+void GbdtRegressor::SerializeParams(SectionWriter& out) const {
+  out.PutDouble(base_prediction_);
+  out.PutDouble(options_.learning_rate);
+  out.PutU64(trees_.size());
+  for (const Tree& tree : trees_) {
+    out.PutU64(tree.size());
+    for (const Node& node : tree) {
+      out.PutI64(node.feature);
+      out.PutDouble(node.threshold);
+      out.PutDouble(node.value);
+      out.PutI64(node.left);
+      out.PutI64(node.right);
+    }
+  }
+}
+
+Status GbdtRegressor::LoadParams(SectionReader& in) {
+  CARDBENCH_ASSIGN_OR_RETURN(base_prediction_, in.GetDouble());
+  // Predict scales each tree by the learning rate, so the rate is part of
+  // the fitted model, not just a training knob.
+  CARDBENCH_ASSIGN_OR_RETURN(options_.learning_rate, in.GetDouble());
+  CARDBENCH_ASSIGN_OR_RETURN(uint64_t num_trees, in.GetU64());
+  trees_.clear();
+  trees_.reserve(num_trees);
+  for (uint64_t t = 0; t < num_trees; ++t) {
+    CARDBENCH_ASSIGN_OR_RETURN(uint64_t num_nodes, in.GetU64());
+    Tree tree(num_nodes);
+    for (Node& node : tree) {
+      CARDBENCH_ASSIGN_OR_RETURN(int64_t feature, in.GetI64());
+      node.feature = static_cast<int>(feature);
+      CARDBENCH_ASSIGN_OR_RETURN(node.threshold, in.GetDouble());
+      CARDBENCH_ASSIGN_OR_RETURN(node.value, in.GetDouble());
+      CARDBENCH_ASSIGN_OR_RETURN(int64_t left, in.GetI64());
+      CARDBENCH_ASSIGN_OR_RETURN(int64_t right, in.GetI64());
+      node.left = static_cast<int>(left);
+      node.right = static_cast<int>(right);
+      if (node.feature >= 0 &&
+          (node.left < 0 || node.right < 0 ||
+           static_cast<size_t>(node.left) >= num_nodes ||
+           static_cast<size_t>(node.right) >= num_nodes)) {
+        return Status::InvalidArgument("gbdt tree child index out of range");
+      }
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
 }
 
 }  // namespace cardbench

@@ -4,7 +4,12 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/status.h"
+
 namespace cardbench {
+
+class SectionWriter;
+class SectionReader;
 
 /// Training options for gradient-boosted regression trees (the model behind
 /// the LW-XGB estimator, Dutt et al. 2019).
@@ -34,6 +39,11 @@ class GbdtRegressor {
 
   size_t num_trees() const { return trees_.size(); }
   size_t ModelBytes() const;
+
+  /// Appends the fitted ensemble (base prediction + every tree's nodes) to
+  /// a serde section; LoadParams replaces any fitted state.
+  void SerializeParams(SectionWriter& out) const;
+  Status LoadParams(SectionReader& in);
 
  private:
   struct Node {

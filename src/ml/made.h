@@ -51,6 +51,14 @@ class MadeModel {
 
   size_t ParamBytes() const { return net_.ParamBytes(); }
 
+  /// Parameter dump/restore of the masked net. Masks are structural (fully
+  /// determined by `domains` and the layer sizes), so only weights travel;
+  /// construct an identically-shaped model first, then LoadParams.
+  void SerializeParams(SectionWriter& out) const {
+    net_.SerializeParams(out);
+  }
+  Status LoadParams(SectionReader& in) { return net_.LoadParams(in); }
+
  private:
   double BatchStep(const std::vector<std::vector<uint16_t>>& rows,
                    const std::vector<size_t>& index, size_t begin, size_t end,

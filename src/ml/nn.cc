@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/serde.h"
 
 namespace cardbench {
 
@@ -152,6 +153,51 @@ size_t Mlp::ParamBytes() const {
   size_t total = 0;
   for (const auto& layer : layers_) total += layer.ParamBytes();
   return total;
+}
+
+void LinearLayer::SerializeParams(SectionWriter& out) const {
+  out.PutU64(weight_.rows());
+  out.PutU64(weight_.cols());
+  out.PutDoubles(weight_.data());
+  out.PutDoubles(bias_);
+}
+
+Status LinearLayer::LoadParams(SectionReader& in) {
+  CARDBENCH_ASSIGN_OR_RETURN(uint64_t rows, in.GetU64());
+  CARDBENCH_ASSIGN_OR_RETURN(uint64_t cols, in.GetU64());
+  if (rows != weight_.rows() || cols != weight_.cols()) {
+    return Status::InvalidArgument(
+        "layer shape mismatch: artifact " + std::to_string(rows) + "x" +
+        std::to_string(cols) + ", model " + std::to_string(weight_.rows()) +
+        "x" + std::to_string(weight_.cols()));
+  }
+  CARDBENCH_ASSIGN_OR_RETURN(std::vector<double> w, in.GetDoubles());
+  CARDBENCH_ASSIGN_OR_RETURN(std::vector<double> b, in.GetDoubles());
+  if (w.size() != weight_.data().size() || b.size() != bias_.size()) {
+    return Status::InvalidArgument("layer parameter count mismatch");
+  }
+  weight_.data() = std::move(w);
+  bias_ = std::move(b);
+  ApplyMask();
+  return Status::OK();
+}
+
+void Mlp::SerializeParams(SectionWriter& out) const {
+  out.PutU64(layers_.size());
+  for (const auto& layer : layers_) layer.SerializeParams(out);
+}
+
+Status Mlp::LoadParams(SectionReader& in) {
+  CARDBENCH_ASSIGN_OR_RETURN(uint64_t n, in.GetU64());
+  if (n != layers_.size()) {
+    return Status::InvalidArgument(
+        "layer count mismatch: artifact " + std::to_string(n) + ", model " +
+        std::to_string(layers_.size()));
+  }
+  for (auto& layer : layers_) {
+    CARDBENCH_RETURN_IF_ERROR(layer.LoadParams(in));
+  }
+  return Status::OK();
 }
 
 void SoftmaxRows(Matrix& m, size_t begin, size_t end) {

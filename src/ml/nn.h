@@ -5,9 +5,13 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "ml/matrix.h"
 
 namespace cardbench {
+
+class SectionWriter;
+class SectionReader;
 
 /// One fully connected layer (weights stored out×in) with optional binary
 /// connectivity mask (used by MADE to enforce autoregressive structure) and
@@ -32,6 +36,12 @@ class LinearLayer {
   size_t in_dim() const { return weight_.cols(); }
   size_t out_dim() const { return weight_.rows(); }
   size_t ParamBytes() const;
+
+  /// Appends the trained parameters (weights + bias) to a serde section.
+  /// Optimizer state and masks are structural/transient and are not
+  /// written; LoadParams re-applies the current mask after overwriting.
+  void SerializeParams(SectionWriter& out) const;
+  Status LoadParams(SectionReader& in);
 
  private:
   void ApplyMask();
@@ -73,6 +83,11 @@ class Mlp {
   void Step(double lr);
 
   size_t ParamBytes() const;
+
+  /// Parameter dump/restore across all layers, in layer order. Loading
+  /// validates that layer count and dims match the constructed topology.
+  void SerializeParams(SectionWriter& out) const;
+  Status LoadParams(SectionReader& in);
 
  private:
   std::vector<LinearLayer> layers_;

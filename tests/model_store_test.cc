@@ -1,0 +1,232 @@
+// Model store behavior: content-addressed keys that track their inputs,
+// cold build-then-persist vs warm load, corruption fallback to retraining,
+// and the ModelBytes contract (serialized artifact size, growing with the
+// data the model actually summarizes).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "cardest/model_store.h"
+#include "cardest/registry.h"
+#include "common/logging.h"
+#include "cardest/sampling_est.h"
+#include "datagen/stats_gen.h"
+#include "exec/true_card.h"
+#include "query/parser.h"
+
+namespace cardbench {
+namespace {
+
+std::unique_ptr<Database> MakeDb(double scale) {
+  StatsGenConfig config;
+  config.scale = scale;
+  return GenerateStatsDatabase(config);
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(ModelStoreKeyTest, DatasetFingerprintTracksData) {
+  auto db_a = MakeDb(0.02);
+  auto db_b = MakeDb(0.02);
+  auto db_c = MakeDb(0.05);
+  // Deterministic generation: identical inputs, identical fingerprint.
+  EXPECT_EQ(ModelStore::DatasetFingerprint(*db_a),
+            ModelStore::DatasetFingerprint(*db_b));
+  // A different scale is a different dataset.
+  EXPECT_NE(ModelStore::DatasetFingerprint(*db_a),
+            ModelStore::DatasetFingerprint(*db_c));
+
+  // Mutating data changes the fingerprint — stale artifacts cannot be
+  // served for an updated database.
+  const uint64_t before = ModelStore::DatasetFingerprint(*db_a);
+  Table& tags = db_a->TableOrDie("tags");
+  ASSERT_TRUE(
+      tags.AppendRow({static_cast<Value>(tags.num_rows() + 1), 3, std::nullopt})
+          .ok());
+  EXPECT_NE(ModelStore::DatasetFingerprint(*db_a), before);
+}
+
+TEST(ModelStoreKeyTest, WorkloadFingerprintTracksLabels) {
+  auto q = ParseSql("SELECT COUNT(*) FROM users WHERE users.Reputation >= 5;");
+  ASSERT_TRUE(q.ok());
+  std::vector<TrainingQuery> a = {{*q, 100.0}};
+  std::vector<TrainingQuery> b = {{*q, 101.0}};
+  EXPECT_EQ(ModelStore::WorkloadFingerprint(a),
+            ModelStore::WorkloadFingerprint(a));
+  EXPECT_NE(ModelStore::WorkloadFingerprint(a),
+            ModelStore::WorkloadFingerprint(b));
+  EXPECT_NE(ModelStore::WorkloadFingerprint(a),
+            ModelStore::WorkloadFingerprint({}));
+}
+
+TEST(ModelStoreKeyTest, KeySeparatesNameConfigAndWorkload) {
+  EstimatorConfig slow;
+  EstimatorConfig fast;
+  fast.fast = true;
+  const std::string base = ModelStore::MakeKey("LW-NN", 7, slow, 0);
+  // The estimator name survives sanitization into something path-safe.
+  EXPECT_EQ(base.find("LW_NN-"), 0u) << base;
+  EXPECT_NE(base, ModelStore::MakeKey("MSCN", 7, slow, 0));
+  EXPECT_NE(base, ModelStore::MakeKey("LW-NN", 8, slow, 0));
+  EXPECT_NE(base, ModelStore::MakeKey("LW-NN", 7, fast, 0));
+  EXPECT_NE(base, ModelStore::MakeKey("LW-NN", 7, slow, 9));
+}
+
+double Probe(const Database& db, const CardinalityEstimator& est) {
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM users, badges WHERE users.Id = badges.UserId "
+      "AND users.Reputation >= 50;");
+  CARDBENCH_CHECK(q.ok(), "parse failed");
+  (void)db;
+  return est.EstimateCard(*q);
+}
+
+TEST(ModelStoreTest, ColdBuildsAndPersistsWarmLoads) {
+  auto db = MakeDb(0.02);
+  TrueCardService svc(*db);
+  ModelStore store(FreshDir("cardbench_model_store_cold_warm"));
+  EstimatorConfig config;
+  config.fast = true;
+
+  ModelStoreStats cold;
+  auto built = MakeEstimator("MultiHist", *db, svc, nullptr, config, &store,
+                             &cold);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_FALSE(cold.loaded);
+  EXPECT_FALSE(cold.rebuilt_after_corruption);
+  ASSERT_TRUE(std::filesystem::exists(cold.path)) << cold.path;
+
+  ModelStoreStats warm;
+  auto loaded = MakeEstimator("MultiHist", *db, svc, nullptr, config, &store,
+                              &warm);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(warm.loaded);
+  EXPECT_EQ(warm.path, cold.path);
+  EXPECT_DOUBLE_EQ(Probe(*db, **loaded), Probe(*db, **built));
+}
+
+// Every way an artifact can rot on disk must be caught by the CBMD
+// validation and answered by retraining + rewriting — never a mis-parse.
+enum class Mutilation { kTruncate, kBadMagic, kVersionSkew, kFlipPayloadBit };
+
+void Corrupt(const std::string& path, Mutilation how) {
+  const auto size = std::filesystem::file_size(path);
+  switch (how) {
+    case Mutilation::kTruncate:
+      std::filesystem::resize_file(path, size / 2);
+      return;
+    case Mutilation::kBadMagic: {
+      std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+      f.seekp(0);
+      f.put('X');  // magic becomes "XBMD"
+      return;
+    }
+    case Mutilation::kVersionSkew: {
+      std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+      f.seekp(4);  // u32 format version follows the magic
+      f.put('\x7f');
+      return;
+    }
+    case Mutilation::kFlipPayloadBit: {
+      std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+      f.seekg(static_cast<std::streamoff>(size) - 1);
+      const char last = static_cast<char>(f.get());
+      f.seekp(static_cast<std::streamoff>(size) - 1);
+      f.put(static_cast<char>(last ^ 0x01));  // checksum mismatch
+      return;
+    }
+  }
+}
+
+class ModelStoreCorruptionTest : public ::testing::TestWithParam<Mutilation> {};
+
+TEST_P(ModelStoreCorruptionTest, FallsBackToRetrainAndRewrites) {
+  auto db = MakeDb(0.02);
+  TrueCardService svc(*db);
+  ModelStore store(FreshDir(
+      "cardbench_model_store_corrupt_" +
+      std::to_string(static_cast<int>(GetParam()))));
+  EstimatorConfig config;
+  config.fast = true;
+
+  ModelStoreStats cold;
+  auto built =
+      MakeEstimator("MultiHist", *db, svc, nullptr, config, &store, &cold);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const double want = Probe(*db, **built);
+
+  Corrupt(cold.path, GetParam());
+
+  ModelStoreStats rebuilt;
+  auto recovered =
+      MakeEstimator("MultiHist", *db, svc, nullptr, config, &store, &rebuilt);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(rebuilt.loaded);
+  EXPECT_TRUE(rebuilt.rebuilt_after_corruption);
+  EXPECT_DOUBLE_EQ(Probe(*db, **recovered), want);
+
+  // The rewritten artifact is intact again: the next construction loads.
+  ModelStoreStats warm;
+  auto loaded =
+      MakeEstimator("MultiHist", *db, svc, nullptr, config, &store, &warm);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(warm.loaded);
+  EXPECT_FALSE(warm.rebuilt_after_corruption);
+  EXPECT_DOUBLE_EQ(Probe(*db, **loaded), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMutilations, ModelStoreCorruptionTest,
+                         ::testing::Values(Mutilation::kTruncate,
+                                           Mutilation::kBadMagic,
+                                           Mutilation::kVersionSkew,
+                                           Mutilation::kFlipPayloadBit),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Mutilation::kTruncate: return "Truncate";
+                             case Mutilation::kBadMagic: return "BadMagic";
+                             case Mutilation::kVersionSkew: return "VersionSkew";
+                             case Mutilation::kFlipPayloadBit:
+                               return "FlipPayloadBit";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(ModelStoreTest, UnsupportedModelIsServedButNeverPersisted) {
+  auto db = MakeDb(0.02);
+  TrueCardService svc(*db);
+  ModelStore store(FreshDir("cardbench_model_store_unsupported"));
+
+  // TrueCard never enters the store through MakeEstimator; the bypass means
+  // no artifact appears and no load is attempted.
+  ModelStoreStats stats;
+  auto oracle = MakeEstimator("TrueCard", *db, svc, nullptr, EstimatorConfig(),
+                              &store, &stats);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  EXPECT_FALSE(stats.loaded);
+  EXPECT_TRUE(stats.path.empty());
+  EXPECT_FALSE(std::filesystem::exists(store.dir()) &&
+               !std::filesystem::is_empty(store.dir()));
+}
+
+// Satellite check for the ModelBytes contract: PessEst used to report
+// sizeof(*this); the serialized size must instead track the top-value
+// sketches, which grow with the data.
+TEST(ModelBytesTest, PessEstSketchSizeGrowsWithScale) {
+  auto small_db = MakeDb(0.02);
+  auto large_db = MakeDb(0.1);
+  PessEstEstimator small_est(*small_db);
+  PessEstEstimator large_est(*large_db);
+  EXPECT_GT(small_est.ModelBytes(), sizeof(PessEstEstimator));
+  EXPECT_GT(large_est.ModelBytes(), small_est.ModelBytes());
+}
+
+}  // namespace
+}  // namespace cardbench
