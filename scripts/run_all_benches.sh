@@ -57,8 +57,12 @@ run bench_figure3_practicality
 [ -f bench_figure3_practicality.json ] && mv bench_figure3_practicality.json "$LOGS/"
 run bench_ablation_fanout
 run bench_sensitivity_noise
+# Also runs the EstimateCards batch-size sweep first and emits
+# bench_micro_inference_batch.json (per-sub-plan latency and throughput at
+# batch 1/8/32/128/all-subsets).
 "$BENCH/bench_micro_inference" --benchmark_min_time=0.2s \
   > "$LOGS/bench_micro_inference.log" 2>&1
+[ -f bench_micro_inference_batch.json ] && mv bench_micro_inference_batch.json "$LOGS/"
 # Executor thread/batch sweep; emits bench_micro_executor.json alongside its
 # table (the JSON artifact records the speedup-vs-serial curve).
 run bench_micro_executor

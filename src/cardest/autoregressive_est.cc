@@ -449,6 +449,16 @@ double AutoregressiveEstimator::EstimateCard(const QueryGraph& graph,
     return std::max(card, 1.0);
   }
 
+  const std::vector<std::pair<size_t, std::vector<double>>> factors =
+      BuildGraphFactors(graph, in_s, local_of_sampler);
+  const double expectation = ProgressiveEstimate(factors, rng);
+  return std::max(1.0, sampler_->foj_size() * expectation);
+}
+
+std::vector<std::pair<size_t, std::vector<double>>>
+AutoregressiveEstimator::BuildGraphFactors(
+    const QueryGraph& graph, const std::vector<bool>& in_s,
+    const std::vector<int>& local_of_sampler) const {
   // Top of S: the BFS-shallowest table (parents precede children).
   size_t top = 0;
   for (size_t t = 0; t < in_s.size(); ++t) {
@@ -503,8 +513,120 @@ double AutoregressiveEstimator::EstimateCard(const QueryGraph& graph,
       }
     }
   }
-  const double expectation = ProgressiveEstimate(factors, rng);
-  return std::max(1.0, sampler_->foj_size() * expectation);
+  return factors;
+}
+
+std::vector<double> AutoregressiveEstimator::EstimateCards(
+    const QueryGraph& graph, std::span<const uint64_t> masks) const {
+  std::vector<double> out(masks.size(), 0.0);
+
+  // Per-mask progressive-sampling state. Off-tree masks take the scalar
+  // path immediately (the independence fallback draws no samples).
+  struct Item {
+    size_t out_idx = 0;
+    Rng rng{0};
+    std::vector<std::pair<size_t, std::vector<double>>> factors;
+    size_t cursor = 0;  // next factor to process
+    Matrix encoded;
+    std::vector<double> weights;
+  };
+  std::vector<Item> items;
+  const size_t batch = options_.progressive_samples;
+  for (size_t i = 0; i < masks.size(); ++i) {
+    Rng rng(options_.seed ^ 0xABCDEF ^ Fnv1aHash(graph.CanonicalKey(masks[i])));
+    std::vector<bool> in_s;
+    std::vector<int> local_of_sampler;
+    if (!GraphMapToTree(graph, masks[i], &in_s, &local_of_sampler)) {
+      out[i] = EstimateCard(graph, masks[i]);
+      continue;
+    }
+    Item item;
+    item.out_idx = i;
+    item.rng = rng;
+    item.factors = BuildGraphFactors(graph, in_s, local_of_sampler);
+    item.encoded = Matrix(batch, made_->input_dim());
+    item.weights.assign(batch, 1.0);
+    items.push_back(std::move(item));
+  }
+  if (items.empty()) return out;
+
+  // Constrained columns across the batch, ascending — each mask's factors
+  // are already in ascending column order (ProgressiveEstimate's sort is a
+  // stable no-op on them), so processing its subset of the union in that
+  // order reproduces the scalar column order exactly.
+  std::vector<size_t> union_cols;
+  for (const Item& item : items) {
+    for (const auto& [col, per_bin] : item.factors) union_cols.push_back(col);
+  }
+  std::sort(union_cols.begin(), union_cols.end());
+  union_cols.erase(std::unique(union_cols.begin(), union_cols.end()),
+                   union_cols.end());
+
+  std::vector<Item*> active;
+  for (size_t col : union_cols) {
+    active.clear();
+    for (Item& item : items) {
+      if (item.cursor < item.factors.size() &&
+          item.factors[item.cursor].first == col) {
+        active.push_back(&item);
+      }
+    }
+    if (active.empty()) continue;
+
+    // One fused MADE forward over all active masks' sample rows; the
+    // network is row-independent, so each mask's probability block equals
+    // its scalar ConditionalProbs result.
+    Matrix gathered(active.size() * batch, made_->input_dim());
+    for (size_t k = 0; k < active.size(); ++k) {
+      std::copy(active[k]->encoded.data().begin(),
+                active[k]->encoded.data().end(),
+                gathered.data().begin() +
+                    static_cast<std::ptrdiff_t>(k * batch *
+                                                made_->input_dim()));
+    }
+    const Matrix probs = made_->ConditionalProbs(gathered, col);
+    const size_t offset = made_->ColumnOffset(col);
+    const size_t domain = columns_[col].domain;
+    for (size_t k = 0; k < active.size(); ++k) {
+      Item& item = *active[k];
+      const std::vector<double>& per_bin =
+          item.factors[item.cursor].second;
+      const size_t row0 = k * batch;
+      for (size_t s = 0; s < batch; ++s) {
+        if (item.weights[s] <= 0.0) continue;
+        double mass = 0.0;
+        for (size_t b = 0; b < domain; ++b) {
+          mass += probs.At(row0 + s, b) * per_bin[b];
+        }
+        item.weights[s] *= mass;
+        if (mass <= 1e-300) {
+          item.weights[s] = 0.0;
+          continue;
+        }
+        // Sample the conditioning bin proportionally to prob * factor.
+        double pick = item.rng.NextDouble() * mass;
+        size_t chosen = domain - 1;
+        for (size_t b = 0; b < domain; ++b) {
+          pick -= probs.At(row0 + s, b) * per_bin[b];
+          if (pick <= 0) {
+            chosen = b;
+            break;
+          }
+        }
+        item.encoded.At(s, offset + chosen) = 1.0;
+      }
+      ++item.cursor;
+    }
+  }
+
+  for (const Item& item : items) {
+    double mean = 0.0;
+    for (double w : item.weights) mean += w;
+    const double expectation = mean / static_cast<double>(batch);
+    out[item.out_idx] =
+        std::max(1.0, sampler_->foj_size() * expectation);
+  }
+  return out;
 }
 
 double AutoregressiveEstimator::EstimateCard(const Query& subquery) const {

@@ -79,6 +79,16 @@ class AutoregressiveEstimator : public CardinalityEstimator {
   /// draw identical progressive samples.
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
+  /// Batched: every on-tree mask keeps its own progressive-sampling state
+  /// (encoded matrix, weights, canonical-key-seeded RNG) but the MADE
+  /// forward passes are fused — one ConditionalProbs call per constrained
+  /// column over the concatenation of all active masks' sample rows. Each
+  /// mask's arithmetic and RNG stream are untouched (the network is
+  /// row-independent), so results are bit-identical to per-mask
+  /// EstimateCard; off-tree masks take the scalar independence fallback.
+  std::vector<double> EstimateCards(
+      const QueryGraph& graph,
+      std::span<const uint64_t> masks) const override;
   double TrainSeconds() const override { return train_seconds_; }
   bool SupportsUpdate() const override { return mode_ == ArTraining::kData; }
   /// Re-samples the FOJ (fanouts changed) and fine-tunes the net — the
@@ -123,6 +133,12 @@ class AutoregressiveEstimator : public CardinalityEstimator {
   double ProgressiveEstimate(
       const std::vector<std::pair<size_t, std::vector<double>>>& factors,
       Rng& rng) const;
+
+  /// The per-column factors of an on-tree sub-plan (graph path), in model
+  /// column order — the input of ProgressiveEstimate.
+  std::vector<std::pair<size_t, std::vector<double>>> BuildGraphFactors(
+      const QueryGraph& graph, const std::vector<bool>& table_in_s,
+      const std::vector<int>& local_of_sampler) const;
 
   /// Maps query join edges onto tree edges; false if any edge leaves the
   /// tree.

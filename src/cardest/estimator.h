@@ -2,8 +2,10 @@
 #define CARDBENCH_CARDEST_ESTIMATOR_H_
 
 #include <ostream>
+#include <span>
 #include <streambuf>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "query/query.h"
@@ -59,6 +61,27 @@ class CardinalityEstimator {
   /// should return a non-negative finite value; the optimizer clamps to >= 1.
   /// Const and thread-safe per the class-level contract.
   virtual double EstimateCard(const Query& subquery) const = 0;
+
+  /// Batch estimation: the cardinalities of every sub-plan in `masks`, in
+  /// order. This is the serving entry point — the optimizer issues one call
+  /// per query over graph.connected_subsets() and the service layer forwards
+  /// cache misses as one (smaller) batch — so learned estimators can
+  /// featurize all masks into a single matrix and run one batched GEMM, and
+  /// sampling estimators can materialize per-table probes once per query.
+  ///
+  /// Parity contract: overrides must be *bit-identical* to calling
+  /// EstimateCard(graph, mask) per element — same doubles, byte for byte.
+  /// Batching may only amortize work whose per-mask arithmetic order is
+  /// unchanged (row-independent GEMMs, shared read-only factor caches,
+  /// per-mask hash-seeded RNG streams). batch_parity_test enforces this for
+  /// the whole zoo. Const and thread-safe per the class-level contract.
+  virtual std::vector<double> EstimateCards(
+      const QueryGraph& graph, std::span<const uint64_t> masks) const {
+    std::vector<double> out;
+    out.reserve(masks.size());
+    for (uint64_t mask : masks) out.push_back(EstimateCard(graph, mask));
+    return out;
+  }
 
   /// Writes the trained model as a versioned CBMD artifact (common/serde.h)
   /// to `out`, covering everything EstimateCard needs: a deserialized twin

@@ -180,11 +180,32 @@ double FanoutModelEstimator::SubtreeRho(
   return (numer_e / denom_e) * child_scalars;
 }
 
+const std::vector<ColumnFactor>& FanoutModelEstimator::PredFactorsFor(
+    const QueryGraph& graph, int local, PredFactorCache* cache) const {
+  std::unique_ptr<std::vector<ColumnFactor>>& slot =
+      cache->by_local[static_cast<size_t>(local)];
+  if (!slot) {
+    const QueryGraph::TableInfo& info = graph.table(local);
+    const ExtendedTable& ext = *ext_tables_.at(info.name);
+    auto factors = std::make_unique<std::vector<ColumnFactor>>();
+    for (const auto& group : info.pred_groups) {
+      const int idx = ext.AttrIndex(group.column);
+      if (idx < 0) continue;  // predicate on unmodeled column: ignore
+      factors->push_back(
+          {static_cast<size_t>(idx),
+           ext.PredicateFactor(static_cast<size_t>(idx), group.preds)});
+    }
+    slot = std::move(factors);
+  }
+  return *slot;
+}
+
 double FanoutModelEstimator::GraphSubtreeRho(
     const QueryGraph& graph, int local, int parent_local,
     const QueryGraph::EdgeInfo& parent_edge,
     const std::map<int, std::vector<std::pair<const QueryGraph::EdgeInfo*,
-                                              int>>>& tree_children) const {
+                                              int>>>& tree_children,
+    PredFactorCache* cache) const {
   const QueryGraph::TableInfo& info = graph.table(local);
   const ExtendedTable& ext = *ext_tables_.at(info.name);
 
@@ -204,12 +225,8 @@ double FanoutModelEstimator::GraphSubtreeRho(
   numer.push_back(
       {static_cast<size_t>(up_idx),
        ext.FanoutMeanFactor(static_cast<size_t>(up_idx))});
-  for (const auto& group : info.pred_groups) {
-    const int idx = ext.AttrIndex(group.column);
-    if (idx < 0) continue;  // predicate on unmodeled column: ignore
-    numer.push_back(
-        {static_cast<size_t>(idx),
-         ext.PredicateFactor(static_cast<size_t>(idx), group.preds)});
+  for (const ColumnFactor& factor : PredFactorsFor(graph, local, cache)) {
+    numer.push_back(factor);
   }
 
   double child_scalars = 1.0;
@@ -228,7 +245,7 @@ double FanoutModelEstimator::GraphSubtreeRho(
       numer.push_back({static_cast<size_t>(idx),
                        ext.FanoutMeanFactor(static_cast<size_t>(idx))});
       child_scalars *=
-          GraphSubtreeRho(graph, child, local, *edge, tree_children);
+          GraphSubtreeRho(graph, child, local, *edge, tree_children, cache);
     }
   }
 
@@ -244,20 +261,31 @@ double FanoutModelEstimator::GraphSubtreeRho(
 
 double FanoutModelEstimator::EstimateCard(const QueryGraph& graph,
                                           uint64_t mask) const {
+  PredFactorCache cache(graph.num_tables());
+  return EstimateCardImpl(graph, mask, &cache);
+}
+
+std::vector<double> FanoutModelEstimator::EstimateCards(
+    const QueryGraph& graph, std::span<const uint64_t> masks) const {
+  PredFactorCache cache(graph.num_tables());
+  std::vector<double> out;
+  out.reserve(masks.size());
+  for (uint64_t mask : masks) {
+    out.push_back(EstimateCardImpl(graph, mask, &cache));
+  }
+  return out;
+}
+
+double FanoutModelEstimator::EstimateCardImpl(const QueryGraph& graph,
+                                              uint64_t mask,
+                                              PredFactorCache* cache) const {
   CARDBENCH_CHECK(mask != 0, "empty query");
 
   // Single table: |T| * E[predicate factors].
   if (std::popcount(mask) == 1) {
     const QueryGraph::TableInfo& info = graph.table(std::countr_zero(mask));
-    const ExtendedTable& ext = *ext_tables_.at(info.name);
-    std::vector<ColumnFactor> factors;
-    for (const auto& group : info.pred_groups) {
-      const int idx = ext.AttrIndex(group.column);
-      if (idx < 0) continue;
-      factors.push_back(
-          {static_cast<size_t>(idx),
-           ext.PredicateFactor(static_cast<size_t>(idx), group.preds)});
-    }
+    std::vector<ColumnFactor> factors =
+        PredFactorsFor(graph, std::countr_zero(mask), cache);
     const double rows = static_cast<double>(info.table->num_rows());
     return std::max(1.0,
                     rows * ExpectWithFactors(info.name, std::move(factors)));
@@ -269,7 +297,7 @@ double FanoutModelEstimator::EstimateCard(const QueryGraph& graph,
   if (!use_fanout_join_) {
     double card = 1.0;
     for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
-      card *= EstimateCard(graph, rest & ~(rest - 1));
+      card *= EstimateCardImpl(graph, rest & ~(rest - 1), cache);
     }
     for (const auto& edge : graph.edges()) {
       if ((edge.mask & mask) != edge.mask) continue;
@@ -335,14 +363,7 @@ double FanoutModelEstimator::EstimateCard(const QueryGraph& graph,
 
   const QueryGraph::TableInfo& root_info = graph.table(root);
   const ExtendedTable& root_ext = *ext_tables_.at(root_info.name);
-  std::vector<ColumnFactor> factors;
-  for (const auto& group : root_info.pred_groups) {
-    const int idx = root_ext.AttrIndex(group.column);
-    if (idx < 0) continue;
-    factors.push_back(
-        {static_cast<size_t>(idx),
-         root_ext.PredicateFactor(static_cast<size_t>(idx), group.preds)});
-  }
+  std::vector<ColumnFactor> factors = PredFactorsFor(graph, root, cache);
   double scalars = 1.0;
   auto it = tree_children.find(root);
   if (it != tree_children.end()) {
@@ -358,7 +379,8 @@ double FanoutModelEstimator::EstimateCard(const QueryGraph& graph,
       CARDBENCH_CHECK(idx >= 0, "no fanout column for root edge");
       factors.push_back({static_cast<size_t>(idx),
                          root_ext.FanoutMeanFactor(static_cast<size_t>(idx))});
-      scalars *= GraphSubtreeRho(graph, child, root, *edge, tree_children);
+      scalars *=
+          GraphSubtreeRho(graph, child, root, *edge, tree_children, cache);
     }
   }
 

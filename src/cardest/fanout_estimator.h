@@ -64,6 +64,14 @@ class FanoutModelEstimator : public CardinalityEstimator {
   /// are string-keyed internal state, untouched by the dispatch refactor.
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
+  /// Batched: the per-table predicate ColumnFactors (the expensive
+  /// PredicateFactor bin scans, mask-independent) are computed once per
+  /// query and shared across all masks; each mask then runs the unchanged
+  /// fanout recursion, pushing factors in the same order — bit-identical
+  /// to per-mask EstimateCard.
+  std::vector<double> EstimateCards(
+      const QueryGraph& graph,
+      std::span<const uint64_t> masks) const override;
   double TrainSeconds() const override { return train_seconds_; }
   bool SupportsUpdate() const override { return true; }
   Status Update() override;
@@ -130,6 +138,24 @@ class FanoutModelEstimator : public CardinalityEstimator {
   double ExpectWithFactors(const std::string& table,
                            std::vector<ColumnFactor> factors) const;
 
+  /// Per-query memo of each local table's predicate ColumnFactors (built
+  /// from the graph's pred_groups) — mask-independent, so a batch computes
+  /// them once and every mask copies from the memo in the original push
+  /// order.
+  struct PredFactorCache {
+    explicit PredFactorCache(size_t num_tables) : by_local(num_tables) {}
+    std::vector<std::unique_ptr<std::vector<ColumnFactor>>> by_local;
+  };
+
+  const std::vector<ColumnFactor>& PredFactorsFor(const QueryGraph& graph,
+                                                  int local,
+                                                  PredFactorCache* cache) const;
+
+  /// EstimateCard(graph, mask) with the predicate-factor memo threaded
+  /// through (the scalar overload passes a fresh one).
+  double EstimateCardImpl(const QueryGraph& graph, uint64_t mask,
+                          PredFactorCache* cache) const;
+
   /// Recursive ρ computation for a child subtree.
   double SubtreeRho(const Query& query, const std::string& table,
                     const std::string& parent_table,
@@ -142,7 +168,8 @@ class FanoutModelEstimator : public CardinalityEstimator {
       const QueryGraph& graph, int local, int parent_local,
       const QueryGraph::EdgeInfo& parent_edge,
       const std::map<int, std::vector<std::pair<const QueryGraph::EdgeInfo*,
-                                                int>>>& tree_children) const;
+                                                int>>>& tree_children,
+      PredFactorCache* cache) const;
 
   size_t max_bins_;
   bool use_fanout_join_ = true;

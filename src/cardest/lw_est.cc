@@ -78,6 +78,24 @@ double LwNnEstimator::EstimateCard(const Query& subquery) const {
   return CardOf(net_->Infer(x).At(0, 0));
 }
 
+std::vector<double> LwNnEstimator::EstimateCards(
+    const QueryGraph& graph, std::span<const uint64_t> masks) const {
+  std::vector<double> out;
+  if (masks.empty()) return out;
+  // Vocabulary slots and predicate range folds resolved once for the whole
+  // batch (FillRow emits the same doubles as FlatFeatures per mask), then
+  // one multi-row GEMM through the net.
+  const FlatFeaturePlan plan(featurizer_, graph);
+  Matrix x(masks.size(), plan.dim());
+  for (size_t r = 0; r < masks.size(); ++r) {
+    plan.FillRow(graph, masks[r], x.Row(r));
+  }
+  const Matrix y = net_->Infer(x);
+  out.reserve(masks.size());
+  for (size_t r = 0; r < masks.size(); ++r) out.push_back(CardOf(y.At(r, 0)));
+  return out;
+}
+
 LwXgbEstimator::LwXgbEstimator(const Database& db,
                                const std::vector<TrainingQuery>& training,
                                GbdtOptions options, uint64_t seed)
@@ -103,6 +121,19 @@ double LwXgbEstimator::EstimateCard(const QueryGraph& graph,
 
 double LwXgbEstimator::EstimateCard(const Query& subquery) const {
   return CardOf(gbdt_.Predict(featurizer_.FlatFeatures(subquery)));
+}
+
+std::vector<double> LwXgbEstimator::EstimateCards(
+    const QueryGraph& graph, std::span<const uint64_t> masks) const {
+  const FlatFeaturePlan plan(featurizer_, graph);
+  std::vector<std::vector<double>> rows(
+      masks.size(), std::vector<double>(plan.dim(), 0.0));
+  for (size_t r = 0; r < masks.size(); ++r) {
+    plan.FillRow(graph, masks[r], rows[r].data());
+  }
+  std::vector<double> out = gbdt_.PredictBatch(rows);
+  for (double& v : out) v = CardOf(v);
+  return out;
 }
 
 LwNnEstimator::LwNnEstimator(const Database& db, LwNnOptions options,

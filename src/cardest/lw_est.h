@@ -34,6 +34,11 @@ class LwNnEstimator : public CardinalityEstimator {
   std::string name() const override { return "LW-NN"; }
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
+  /// Batched: all masks featurized into one (N x flat_dim) matrix, one
+  /// forward pass. Bit-identical per row (row-independent GEMM).
+  std::vector<double> EstimateCards(
+      const QueryGraph& graph,
+      std::span<const uint64_t> masks) const override;
   double TrainSeconds() const override { return train_seconds_; }
 
   /// Persists options + network parameters; the featurizer is rebuilt
@@ -64,6 +69,10 @@ class LwXgbEstimator : public CardinalityEstimator {
   std::string name() const override { return "LW-XGB"; }
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
+  /// Batched: one tree-major GBDT pass over all featurized masks.
+  std::vector<double> EstimateCards(
+      const QueryGraph& graph,
+      std::span<const uint64_t> masks) const override;
   double TrainSeconds() const override { return train_seconds_; }
 
   /// Persists the fitted tree ensemble; the featurizer is rebuilt

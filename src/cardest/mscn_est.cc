@@ -136,6 +136,121 @@ double MscnEstimator::EstimateCard(const Query& subquery) const {
   return Predict(subquery);
 }
 
+std::vector<double> MscnEstimator::EstimateCards(
+    const QueryGraph& graph, std::span<const uint64_t> masks) const {
+  std::vector<double> out;
+  if (masks.empty()) return out;
+  const size_t h = options_.hidden_units;
+
+  // MSCN's set elements are mask-independent (a table's one-hot + bitmap,
+  // an edge's one-hot, a predicate's encoding), so the batch featurizes
+  // each distinct element of the masks' union once and runs each module
+  // once over those rows. A mask's pooled vector is then a segment mean of
+  // its elements' hidden rows — summed in the same order MeanPool sums them
+  // and scaled by the same 1/count, and hidden rows don't depend on which
+  // batch computed them (row-independent GEMM) — so every mask's forward is
+  // bit-identical to its scalar EstimateCard.
+  uint64_t union_mask = 0;
+  for (uint64_t mask : masks) union_mask |= mask;
+
+  auto infer_elements =
+      [](Mlp& module, const std::vector<std::vector<double>>& elements,
+         size_t element_dim) {
+        Matrix x(elements.size(), element_dim);
+        for (size_t r = 0; r < elements.size(); ++r) {
+          for (size_t c = 0; c < elements[r].size(); ++c) {
+            x.At(r, c) = elements[r][c];
+          }
+        }
+        return module.Infer(x);
+      };
+
+  std::vector<int> table_row(graph.num_tables(), -1);
+  std::vector<std::vector<double>> table_elements;
+  for (uint64_t rest = union_mask; rest != 0; rest &= rest - 1) {
+    const int local = std::countr_zero(rest);
+    table_row[local] = static_cast<int>(table_elements.size());
+    table_elements.push_back(featurizer_.MscnTableElement(graph.table(local)));
+  }
+  const Matrix ht = infer_elements(*table_module_, table_elements,
+                                   featurizer_.table_element_dim());
+
+  // The trailing all-zero element backs masks with no edge (no predicate):
+  // the scalar path pools exactly one zero element there.
+  std::vector<int> edge_row(graph.edges().size(), -1);
+  std::vector<std::vector<double>> join_elements;
+  for (size_t e = 0; e < graph.edges().size(); ++e) {
+    const auto& edge = graph.edges()[e];
+    if ((edge.mask & union_mask) != edge.mask) continue;
+    edge_row[e] = static_cast<int>(join_elements.size());
+    join_elements.push_back(featurizer_.MscnJoinElement(edge));
+  }
+  const size_t zero_join = join_elements.size();
+  join_elements.push_back(
+      std::vector<double>(featurizer_.join_element_dim(), 0.0));
+  const Matrix hj = infer_elements(*join_module_, join_elements,
+                                   featurizer_.join_element_dim());
+
+  std::vector<int> pred_row(graph.predicates().size(), -1);
+  std::vector<std::vector<double>> pred_elements;
+  for (size_t p = 0; p < graph.predicates().size(); ++p) {
+    const auto& pred = graph.predicates()[p];
+    if (((union_mask >> pred.local_table) & 1) == 0) continue;
+    pred_row[p] = static_cast<int>(pred_elements.size());
+    pred_elements.push_back(featurizer_.MscnPredElement(pred));
+  }
+  const size_t zero_pred = pred_elements.size();
+  pred_elements.push_back(
+      std::vector<double>(featurizer_.predicate_element_dim(), 0.0));
+  const Matrix hp = infer_elements(*pred_module_, pred_elements,
+                                   featurizer_.predicate_element_dim());
+
+  Matrix concat(masks.size(), 3 * h);
+  auto pool_rows = [&](size_t i, size_t offset, const Matrix& hidden,
+                       const std::vector<int>& rows_used) {
+    size_t count = rows_used.size();
+    for (const int r : rows_used) {
+      const double* hrow = hidden.Row(static_cast<size_t>(r));
+      for (size_t c = 0; c < h; ++c) concat.At(i, offset + c) += hrow[c];
+    }
+    const double inv = count > 0 ? 1.0 / static_cast<double>(count) : 0.0;
+    for (size_t c = 0; c < h; ++c) concat.At(i, offset + c) *= inv;
+  };
+  std::vector<int> rows_used;
+  for (size_t i = 0; i < masks.size(); ++i) {
+    const uint64_t mask = masks[i];
+    rows_used.clear();
+    for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+      rows_used.push_back(table_row[std::countr_zero(rest)]);
+    }
+    pool_rows(i, 0, ht, rows_used);
+
+    rows_used.clear();
+    for (size_t e = 0; e < graph.edges().size(); ++e) {
+      const auto& edge = graph.edges()[e];
+      if ((edge.mask & mask) == edge.mask) rows_used.push_back(edge_row[e]);
+    }
+    if (rows_used.empty()) rows_used.push_back(static_cast<int>(zero_join));
+    pool_rows(i, h, hj, rows_used);
+
+    rows_used.clear();
+    for (size_t p = 0; p < graph.predicates().size(); ++p) {
+      if (((mask >> graph.predicates()[p].local_table) & 1) != 0) {
+        rows_used.push_back(pred_row[p]);
+      }
+    }
+    if (rows_used.empty()) rows_used.push_back(static_cast<int>(zero_pred));
+    pool_rows(i, 2 * h, hp, rows_used);
+  }
+
+  const Matrix y = head_->Infer(concat);
+  out.reserve(masks.size());
+  for (size_t r = 0; r < masks.size(); ++r) {
+    out.push_back(std::max(1.0, std::exp2(y.At(r, 0)) - 1.0));
+  }
+  return out;
+}
+
 MscnEstimator::MscnEstimator(const Database& db, MscnOptions options,
                              DeferredInit)
     : featurizer_(db), options_(options) {

@@ -35,6 +35,14 @@ class MscnEstimator : public CardinalityEstimator {
   /// overload (dense id-resolved vocabularies), then the same forward pass.
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
+  /// Batched: every mask's set elements are concatenated into one matrix
+  /// per module (tables/joins/predicates), each module runs a single
+  /// forward pass, per-mask segments are mean-pooled (same summation order
+  /// as the scalar path) and the pooled rows feed one head forward pass.
+  /// Bit-identical to per-mask EstimateCard: the GEMM is row-independent.
+  std::vector<double> EstimateCards(
+      const QueryGraph& graph,
+      std::span<const uint64_t> masks) const override;
   double TrainSeconds() const override { return train_seconds_; }
   // Query-driven: no cheap update path (O9) — SupportsUpdate stays false.
 

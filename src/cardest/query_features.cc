@@ -172,57 +172,141 @@ std::vector<double> QueryFeaturizer::FlatFeatures(const QueryGraph& graph,
   return features;
 }
 
+std::vector<double> QueryFeaturizer::MscnTableElement(
+    const QueryGraph::TableInfo& info) const {
+  // One-hot table plus predicate-satisfaction bitmap over the table's
+  // materialized sample, evaluated through the graph's pre-bound compiled
+  // predicates.
+  std::vector<double> element(table_element_dim(), 0.0);
+  element[table_slot_[info.table_id]] = 1.0;
+  const auto& rows = *bitmap_by_id_[info.table_id];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const bool pass = info.table->num_rows() > 0 &&
+                      RowPassesCompiled(info.compiled, rows[i]);
+    element[table_index_.size() + i] = pass ? 1.0 : 0.0;
+  }
+  return element;
+}
+
+std::vector<double> QueryFeaturizer::MscnJoinElement(
+    const QueryGraph::EdgeInfo& edge) const {
+  std::vector<double> element(join_element_dim(), 0.0);
+  auto it = join_index_.find(edge.canonical);
+  if (it != join_index_.end()) element[it->second] = 1.0;
+  return element;
+}
+
+std::vector<double> QueryFeaturizer::MscnPredElement(
+    const QueryGraph::PredInfo& pred) const {
+  std::vector<double> element(predicate_element_dim(), 0.0);
+  const int slot = column_slot_[pred.table_id][pred.column_id];
+  if (slot >= 0) element[static_cast<size_t>(slot)] = 1.0;
+  element[column_index_.size() + static_cast<size_t>(pred.pred.op)] = 1.0;
+  const ColumnInfo* info = column_info_by_id_[pred.table_id][pred.column_id];
+  if (info != nullptr) {
+    element[column_index_.size() + 6] =
+        std::clamp((static_cast<double>(pred.pred.value) - info->min) /
+                       (info->max - info->min),
+                   0.0, 1.0);
+  }
+  return element;
+}
+
 QueryFeaturizer::SetFeatures QueryFeaturizer::MscnFeatures(
     const QueryGraph& graph, uint64_t mask) const {
   SetFeatures out;
-
-  // Table elements: one-hot table plus predicate-satisfaction bitmap over
-  // the table's materialized sample, evaluated through the graph's
-  // pre-bound compiled predicates.
   for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
-    const QueryGraph::TableInfo& info = graph.table(std::countr_zero(rest));
-    std::vector<double> element(table_element_dim(), 0.0);
-    element[table_slot_[info.table_id]] = 1.0;
-    const auto& rows = *bitmap_by_id_[info.table_id];
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const bool pass = info.table->num_rows() > 0 &&
-                        RowPassesCompiled(info.compiled, rows[i]);
-      element[table_index_.size() + i] = pass ? 1.0 : 0.0;
-    }
-    out.tables.push_back(std::move(element));
+    out.tables.push_back(
+        MscnTableElement(graph.table(std::countr_zero(rest))));
   }
-
   for (const auto& edge : graph.edges()) {
     if ((edge.mask & mask) != edge.mask) continue;
-    std::vector<double> element(join_element_dim(), 0.0);
-    auto it = join_index_.find(edge.canonical);
-    if (it != join_index_.end()) element[it->second] = 1.0;
-    out.joins.push_back(std::move(element));
+    out.joins.push_back(MscnJoinElement(edge));
   }
   if (out.joins.empty()) {
     out.joins.push_back(std::vector<double>(join_element_dim(), 0.0));
   }
-
   for (const auto& pred : graph.predicates()) {
     if (((mask >> pred.local_table) & 1) == 0) continue;
-    std::vector<double> element(predicate_element_dim(), 0.0);
-    const int slot = column_slot_[pred.table_id][pred.column_id];
-    if (slot >= 0) element[static_cast<size_t>(slot)] = 1.0;
-    element[column_index_.size() + static_cast<size_t>(pred.pred.op)] = 1.0;
-    const ColumnInfo* info = column_info_by_id_[pred.table_id][pred.column_id];
-    if (info != nullptr) {
-      element[column_index_.size() + 6] =
-          std::clamp((static_cast<double>(pred.pred.value) - info->min) /
-                         (info->max - info->min),
-                     0.0, 1.0);
-    }
-    out.predicates.push_back(std::move(element));
+    out.predicates.push_back(MscnPredElement(pred));
   }
   if (out.predicates.empty()) {
     out.predicates.push_back(
         std::vector<double>(predicate_element_dim(), 0.0));
   }
   return out;
+}
+
+FlatFeaturePlan::FlatFeaturePlan(const QueryFeaturizer& featurizer,
+                                 const QueryGraph& graph) {
+  // The default row: no tables, no joins, every column unconstrained
+  // (has_pred=0, lo=0, hi=1) — exactly what FlatFeatures writes before the
+  // range overrides.
+  base_.assign(featurizer.flat_dim(), 0.0);
+  const size_t join_base = featurizer.table_index_.size();
+  const size_t col_base = join_base + featurizer.join_index_.size();
+  for (const auto& [key, idx] : featurizer.column_index_) {
+    base_[col_base + 3 * idx + 1] = 0.0;
+    base_[col_base + 3 * idx + 2] = 1.0;
+  }
+
+  // Per local table: the one-hot slot plus the folded ranges of its
+  // predicated columns. A column's range only folds predicates of its own
+  // table, in query order — the same fold FlatFeatures runs per mask.
+  table_patches_.resize(graph.num_tables());
+  for (size_t local = 0; local < graph.num_tables(); ++local) {
+    auto& patches = table_patches_[local];
+    patches.emplace_back(
+        featurizer.table_slot_[graph.table(local).table_id], 1.0);
+    std::map<std::pair<int, int>, ValueRange> ranges;
+    for (const auto& pred : graph.predicates()) {
+      if (pred.local_table != static_cast<int>(local)) continue;
+      if (pred.pred.op == CompareOp::kNeq) {
+        ranges.try_emplace({pred.table_id, pred.column_id});
+        continue;
+      }
+      ranges[{pred.table_id, pred.column_id}].Apply(pred.pred.op,
+                                                    pred.pred.value);
+    }
+    for (const auto& [key, range] : ranges) {
+      const int slot = featurizer.column_slot_[key.first][key.second];
+      if (slot < 0) continue;
+      const QueryFeaturizer::ColumnInfo& info =
+          *featurizer.column_info_by_id_[key.first][key.second];
+      auto norm = [&](double v) {
+        return std::clamp((v - info.min) / (info.max - info.min), 0.0, 1.0);
+      };
+      patches.emplace_back(col_base + 3 * slot, 1.0);
+      patches.emplace_back(col_base + 3 * slot + 1,
+                           norm(static_cast<double>(range.lo)));
+      patches.emplace_back(col_base + 3 * slot + 2,
+                           norm(static_cast<double>(range.hi)));
+    }
+  }
+
+  edge_slots_.reserve(graph.edges().size());
+  for (const auto& edge : graph.edges()) {
+    auto it = featurizer.join_index_.find(edge.canonical);
+    edge_slots_.push_back(
+        it == featurizer.join_index_.end()
+            ? -1
+            : static_cast<int>(join_base + it->second));
+  }
+}
+
+void FlatFeaturePlan::FillRow(const QueryGraph& graph, uint64_t mask,
+                              double* row) const {
+  std::copy(base_.begin(), base_.end(), row);
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    for (const auto& [idx, value] : table_patches_[std::countr_zero(rest)]) {
+      row[idx] = value;
+    }
+  }
+  const auto& edges = graph.edges();
+  for (size_t e = 0; e < edges.size(); ++e) {
+    if ((edges[e].mask & mask) != edges[e].mask) continue;
+    if (edge_slots_[e] >= 0) row[edge_slots_[e]] = 1.0;
+  }
 }
 
 QueryFeaturizer::SetFeatures QueryFeaturizer::MscnFeatures(

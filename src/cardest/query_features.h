@@ -49,11 +49,23 @@ class QueryFeaturizer {
   };
   SetFeatures MscnFeatures(const Query& query) const;
   SetFeatures MscnFeatures(const QueryGraph& graph, uint64_t mask) const;
+
+  /// Per-element builders of the graph path. A sub-plan's MSCN element
+  /// vectors are mask-independent — a table's one-hot + bitmap, an edge's
+  /// one-hot, a predicate's encoding never change across the sub-plans of
+  /// one query — so batch callers featurize each distinct element once and
+  /// gather. MscnFeatures(graph, mask) is defined in terms of these, which
+  /// is what keeps the batched path bit-identical.
+  std::vector<double> MscnTableElement(const QueryGraph::TableInfo& info) const;
+  std::vector<double> MscnJoinElement(const QueryGraph::EdgeInfo& edge) const;
+  std::vector<double> MscnPredElement(const QueryGraph::PredInfo& pred) const;
   size_t table_element_dim() const { return table_index_.size() + bitmap_size_; }
   size_t join_element_dim() const { return join_index_.size(); }
   size_t predicate_element_dim() const { return column_index_.size() + 6 + 1; }
 
  private:
+  friend class FlatFeaturePlan;
+
   /// Canonical key of a join edge (endpoint-sorted).
   static std::string EdgeKey(const JoinEdge& edge);
 
@@ -76,6 +88,29 @@ class QueryFeaturizer {
   std::vector<const std::vector<uint32_t>*> bitmap_by_id_;
   std::vector<std::vector<int>> column_slot_;  // -1: not in the vocabulary
   std::vector<std::vector<const ColumnInfo*>> column_info_by_id_;
+};
+
+/// Resolve-once flat featurization for one query: vocabulary lookups and
+/// the per-table predicate range folds happen once at construction, and
+/// each mask's feature row is then the default row plus the sparse patches
+/// of the mask's tables and edges. FillRow produces the same doubles as
+/// QueryFeaturizer::FlatFeatures(graph, mask) — the batched LW estimators
+/// depend on that for batch-vs-scalar parity.
+class FlatFeaturePlan {
+ public:
+  FlatFeaturePlan(const QueryFeaturizer& featurizer, const QueryGraph& graph);
+
+  size_t dim() const { return base_.size(); }
+
+  /// Writes the mask's flat feature vector over row[0..dim()).
+  void FillRow(const QueryGraph& graph, uint64_t mask, double* row) const;
+
+ private:
+  std::vector<double> base_;  ///< all-unconstrained defaults
+  /// Per local table: (flat index, value) writes covering its one-hot slot
+  /// and the folded ranges of its predicated columns.
+  std::vector<std::vector<std::pair<size_t, double>>> table_patches_;
+  std::vector<int> edge_slots_;  ///< per edge: flat index, -1 if unknown
 };
 
 }  // namespace cardbench

@@ -187,6 +187,49 @@ double UniSampleEstimator::EstimateCard(const QueryGraph& graph,
   return std::max(card, 1e-6);
 }
 
+std::vector<double> UniSampleEstimator::EstimateCards(
+    const QueryGraph& graph, std::span<const uint64_t> masks) const {
+  std::vector<double> out;
+  out.reserve(masks.size());
+  uint64_t union_mask = 0;
+  for (uint64_t mask : masks) union_mask |= mask;
+
+  // One sample probe per table of the batch: rows x sampled selectivity,
+  // exactly the factor the scalar path multiplies in per table.
+  std::vector<double> contribution(graph.num_tables(), 1.0);
+  for (uint64_t rest = union_mask; rest != 0; rest &= rest - 1) {
+    const int local = std::countr_zero(rest);
+    const QueryGraph::TableInfo& info = graph.table(local);
+    const std::vector<uint32_t>& sample = *samples_by_id_[info.table_id];
+    std::vector<uint32_t> passing = sample;
+    const size_t pass = FilterRowsConjunction(info.compiled, &passing);
+    const double sel = sample.empty()
+                           ? 1.0
+                           : static_cast<double>(pass) /
+                                 static_cast<double>(sample.size());
+    contribution[local] = static_cast<double>(info.table->num_rows()) * sel;
+  }
+  // One uniformity selectivity per edge of the query.
+  std::vector<double> edge_sel;
+  edge_sel.reserve(graph.edges().size());
+  for (const auto& edge : graph.edges()) {
+    edge_sel.push_back(GraphJoinUniformitySelectivity(edge));
+  }
+
+  for (uint64_t mask : masks) {
+    double card = 1.0;
+    for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+      card *= contribution[std::countr_zero(rest)];
+    }
+    for (size_t e = 0; e < graph.edges().size(); ++e) {
+      if ((graph.edges()[e].mask & mask) != graph.edges()[e].mask) continue;
+      card *= edge_sel[e];
+    }
+    out.push_back(std::max(card, 1e-6));
+  }
+  return out;
+}
+
 Status UniSampleEstimator::Update() {
   Resample();
   return Status::OK();
@@ -520,6 +563,32 @@ double PessEstEstimator::EstimateCard(const QueryGraph& graph,
     base[local] = static_cast<double>(
         CountRangeConjunction(info.compiled, 0, info.table->num_rows()));
   }
+  return BoundWithBase(graph, mask, base);
+}
+
+std::vector<double> PessEstEstimator::EstimateCards(
+    const QueryGraph& graph, std::span<const uint64_t> masks) const {
+  // The filtered base cardinalities are mask-independent — count each table
+  // of the batch once instead of once per sub-plan containing it.
+  uint64_t union_mask = 0;
+  for (uint64_t mask : masks) union_mask |= mask;
+  std::vector<double> base(graph.num_tables(), 0.0);
+  for (uint64_t rest = union_mask; rest != 0; rest &= rest - 1) {
+    const int local = std::countr_zero(rest);
+    const QueryGraph::TableInfo& info = graph.table(local);
+    base[local] = static_cast<double>(
+        CountRangeConjunction(info.compiled, 0, info.table->num_rows()));
+  }
+  std::vector<double> out;
+  out.reserve(masks.size());
+  for (uint64_t mask : masks) {
+    out.push_back(BoundWithBase(graph, mask, base));
+  }
+  return out;
+}
+
+double PessEstEstimator::BoundWithBase(const QueryGraph& graph, uint64_t mask,
+                                       const std::vector<double>& base) const {
   if (std::popcount(mask) == 1) {
     return std::max(base[std::countr_zero(mask)], 1e-6);
   }

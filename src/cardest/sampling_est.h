@@ -30,6 +30,13 @@ class UniSampleEstimator : public CardinalityEstimator {
   /// through the graph's pre-bound compiled predicates.
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
+  /// Batched: each table's sample probe (rows x selectivity) and each
+  /// edge's uniformity selectivity are materialized once per query and
+  /// reused across all masks, multiplied per mask in the scalar path's
+  /// order — bit-identical to per-mask EstimateCard.
+  std::vector<double> EstimateCards(
+      const QueryGraph& graph,
+      std::span<const uint64_t> masks) const override;
   bool SupportsUpdate() const override { return true; }
   /// Resamples (cheap: sampling is the whole model). Exclusive-access:
   /// concurrent EstimateCard calls must be quiesced first.
@@ -104,6 +111,13 @@ class PessEstEstimator : public CardinalityEstimator {
   std::string name() const override { return "PessEst"; }
   double EstimateCard(const QueryGraph& graph, uint64_t mask) const override;
   double EstimateCard(const Query& subquery) const override;
+  /// Batched: the exact filtered base cardinality of every table in the
+  /// batch (the expensive full-table predicate count, mask-independent) is
+  /// computed once per query; each mask then runs the unchanged bound
+  /// search over it — bit-identical to per-mask EstimateCard.
+  std::vector<double> EstimateCards(
+      const QueryGraph& graph,
+      std::span<const uint64_t> masks) const override;
   bool SupportsUpdate() const override { return true; }
   /// Refreshes the degree sketches.
   Status Update() override;
@@ -126,6 +140,10 @@ class PessEstEstimator : public CardinalityEstimator {
   void BuildDegreeSketches();
   double FilteredCard(const Query& subquery, const std::string& table) const;
   double MaxDegreeOf(int table_id, int column_id, const Table& table) const;
+  /// The bound search of EstimateCard(graph, mask) over precomputed
+  /// filtered base cardinalities (indexed by local table id).
+  double BoundWithBase(const QueryGraph& graph, uint64_t mask,
+                       const std::vector<double>& base) const;
 
   const Database& db_;
   std::unordered_map<std::string, int> table_ids_;

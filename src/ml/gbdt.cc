@@ -145,6 +145,25 @@ double GbdtRegressor::Predict(const std::vector<double>& features) const {
   return out;
 }
 
+std::vector<double> GbdtRegressor::PredictBatch(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<double> out(rows.size(), base_prediction_);
+  for (const auto& tree : trees_) {
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const std::vector<double>& features = rows[r];
+      int node = 0;
+      while (tree[static_cast<size_t>(node)].feature >= 0) {
+        const Node& nd = tree[static_cast<size_t>(node)];
+        node = features[static_cast<size_t>(nd.feature)] <= nd.threshold
+                   ? nd.left
+                   : nd.right;
+      }
+      out[r] += options_.learning_rate * tree[static_cast<size_t>(node)].value;
+    }
+  }
+  return out;
+}
+
 size_t GbdtRegressor::ModelBytes() const {
   size_t nodes = 0;
   for (const auto& tree : trees_) nodes += tree.size();

@@ -37,6 +37,13 @@ class GbdtRegressor {
   /// Predicts one example.
   double Predict(const std::vector<double>& features) const;
 
+  /// Predicts a batch of examples, walking each tree over all rows before
+  /// moving to the next (the tree stays hot in cache). Accumulation order
+  /// per row is identical to Predict — base prediction, then trees in
+  /// order — so results are bit-identical to a scalar loop.
+  std::vector<double> PredictBatch(
+      const std::vector<std::vector<double>>& rows) const;
+
   size_t num_trees() const { return trees_.size(); }
   size_t ModelBytes() const;
 

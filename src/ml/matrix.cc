@@ -23,7 +23,70 @@ Matrix Matrix::MatMul(const Matrix& other) const {
 Matrix Matrix::MatMulTransposed(const Matrix& other) const {
   CARDBENCH_CHECK(cols_ == other.cols(), "matmulT shape mismatch");
   Matrix out(rows_, other.rows());
-  for (size_t i = 0; i < rows_; ++i) {
+  // Blocked over activation rows (8, then 4): each output element is still
+  // one serial dot product in ascending-k order (results are bit-identical
+  // to the row-at-a-time loop, which batch-vs-scalar parity depends on),
+  // but the accumulator chains are independent, so multi-row batches get
+  // instruction-level parallelism a single-row inference cannot — plus one
+  // weight-row read shared across the block.
+  size_t i = 0;
+  for (; i + 8 <= rows_; i += 8) {
+    const double* a[8];
+    for (size_t r = 0; r < 8; ++r) a[r] = Row(i + r);
+    size_t j = 0;
+    for (; j + 2 <= other.rows(); j += 2) {
+      // Two weight rows per pass: each activation load feeds two FMA
+      // chains, easing the load-port pressure of the 8-row block.
+      const double* b0 = other.Row(j);
+      const double* b1 = other.Row(j + 1);
+      double acc0[8] = {0.0};
+      double acc1[8] = {0.0};
+      for (size_t k = 0; k < cols_; ++k) {
+        const double bv0 = b0[k];
+        const double bv1 = b1[k];
+        for (size_t r = 0; r < 8; ++r) {
+          const double av = a[r][k];
+          acc0[r] += av * bv0;
+          acc1[r] += av * bv1;
+        }
+      }
+      for (size_t r = 0; r < 8; ++r) {
+        out.Row(i + r)[j] = acc0[r];
+        out.Row(i + r)[j + 1] = acc1[r];
+      }
+    }
+    for (; j < other.rows(); ++j) {
+      const double* b = other.Row(j);
+      double acc[8] = {0.0};
+      for (size_t k = 0; k < cols_; ++k) {
+        const double bv = b[k];
+        for (size_t r = 0; r < 8; ++r) acc[r] += a[r][k] * bv;
+      }
+      for (size_t r = 0; r < 8; ++r) out.Row(i + r)[j] = acc[r];
+    }
+  }
+  for (; i + 4 <= rows_; i += 4) {
+    const double* a0 = Row(i);
+    const double* a1 = Row(i + 1);
+    const double* a2 = Row(i + 2);
+    const double* a3 = Row(i + 3);
+    for (size_t j = 0; j < other.rows(); ++j) {
+      const double* b = other.Row(j);
+      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+      for (size_t k = 0; k < cols_; ++k) {
+        const double bv = b[k];
+        acc0 += a0[k] * bv;
+        acc1 += a1[k] * bv;
+        acc2 += a2[k] * bv;
+        acc3 += a3[k] * bv;
+      }
+      out.Row(i)[j] = acc0;
+      out.Row(i + 1)[j] = acc1;
+      out.Row(i + 2)[j] = acc2;
+      out.Row(i + 3)[j] = acc3;
+    }
+  }
+  for (; i < rows_; ++i) {
     const double* a = Row(i);
     double* o = out.Row(i);
     for (size_t j = 0; j < other.rows(); ++j) {

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "common/logging.h"
@@ -21,6 +22,26 @@ double ClampCard(double card) {
 uint64_t NdvKey(int table_id, int column_id) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(table_id)) << 32) |
          static_cast<uint32_t>(column_id);
+}
+
+/// The subset-estimation preamble shared by Plan and PlanLegacy: estimate
+/// every connected sub-plan in one pass of `estimate_all` (the batched
+/// EstimateCards call on the graph path; a scalar loop on the legacy path)
+/// and inject the clamped cardinalities, charging the whole pass to
+/// estimation_seconds.
+template <typename EstimateAll>
+void InjectSubplanCards(const std::vector<uint64_t>& subsets,
+                        EstimateAll&& estimate_all, PlanResult* result) {
+  Stopwatch est_watch;
+  const std::vector<double> cards = estimate_all(subsets);
+  result->estimation_seconds += est_watch.ElapsedSeconds();
+  result->num_estimates += subsets.size();
+  CARDBENCH_CHECK(cards.size() == subsets.size(),
+                  "estimator returned %zu cards for %zu sub-plans",
+                  cards.size(), subsets.size());
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    result->injected_cards[subsets[i]] = ClampCard(cards[i]);
+  }
 }
 
 }  // namespace
@@ -68,15 +89,16 @@ Result<PlanResult> Optimizer::Plan(const QueryGraph& graph,
   };
   std::unordered_map<uint64_t, Entry> dp;
 
-  // --- Estimate every connected sub-plan (the sub-plan query space). ---
+  // --- Estimate every connected sub-plan (the sub-plan query space) in one
+  // batched call, so learned estimators run one GEMM per query instead of
+  // one per sub-plan.
   const std::vector<uint64_t>& subsets = graph.connected_subsets();
-  for (uint64_t mask : subsets) {
-    Stopwatch est_watch;
-    const double est = estimator.EstimateCard(graph, mask);
-    result.estimation_seconds += est_watch.ElapsedSeconds();
-    ++result.num_estimates;
-    result.injected_cards[mask] = ClampCard(est);
-  }
+  InjectSubplanCards(
+      subsets,
+      [&](std::span<const uint64_t> masks) {
+        return estimator.EstimateCards(graph, masks);
+      },
+      &result);
 
   // --- Base relations: access-path selection. ---
   for (size_t i = 0; i < graph.num_tables(); ++i) {
@@ -127,9 +149,18 @@ Result<PlanResult> Optimizer::Plan(const QueryGraph& graph,
   }
 
   // --- Join enumeration: DP over connected subsets in popcount order. ---
+  std::vector<const QueryGraph::EdgeInfo*> in_mask_edges;
   std::vector<const QueryGraph::EdgeInfo*> connecting;
   for (uint64_t mask : subsets) {
     if (std::popcount(mask) < 2) continue;
+    // Edges with both endpoints inside `mask`, collected once per subset in
+    // query edge order; only these can connect a split, so the per-split
+    // work drops to two bit tests per candidate edge.
+    in_mask_edges.clear();
+    for (const QueryGraph::EdgeInfo& edge : graph.edges()) {
+      if ((edge.mask & mask) == edge.mask) in_mask_edges.push_back(&edge);
+    }
+    const double out_card = result.injected_cards.at(mask);
     Entry best;
     // Enumerate ordered splits (outer, inner) of `mask`.
     for (uint64_t outer = (mask - 1) & mask; outer != 0;
@@ -143,20 +174,19 @@ Result<PlanResult> Optimizer::Plan(const QueryGraph& graph,
       if (outer_it == dp.end() || inner_it == dp.end()) continue;
 
       // Connecting edges between the two sides, in query edge order (the
-      // first one is the primary hash/merge join condition).
+      // first one is the primary hash/merge join condition). An in-mask
+      // edge crosses the split iff exactly one endpoint is in `outer`.
       connecting.clear();
-      for (const QueryGraph::EdgeInfo& edge : graph.edges()) {
-        const uint64_t lb = uint64_t{1} << edge.left_local;
-        const uint64_t rb = uint64_t{1} << edge.right_local;
-        if (((outer & lb) && (inner & rb)) || ((outer & rb) && (inner & lb))) {
-          connecting.push_back(&edge);
+      for (const QueryGraph::EdgeInfo* edge : in_mask_edges) {
+        if (((outer & edge->left_bit) != 0) !=
+            ((outer & edge->right_bit) != 0)) {
+          connecting.push_back(edge);
         }
       }
       if (connecting.empty()) continue;  // unreachable given the pre-check
 
       const Entry& oe = outer_it->second;
       const Entry& ie = inner_it->second;
-      const double out_card = result.injected_cards.at(mask);
       const double child_cost = oe.cost + ie.cost;
       const size_t num_extra = connecting.size() - 1;
 
@@ -274,13 +304,17 @@ Result<PlanResult> Optimizer::PlanLegacy(
 
   // --- Estimate every connected sub-plan (the sub-plan query space). ---
   const std::vector<uint64_t> subsets = EnumerateConnectedSubsets(query);
-  for (uint64_t mask : subsets) {
-    Stopwatch est_watch;
-    const double est = estimator.EstimateCard(query.Induced(mask));
-    result.estimation_seconds += est_watch.ElapsedSeconds();
-    ++result.num_estimates;
-    result.injected_cards[mask] = ClampCard(est);
-  }
+  InjectSubplanCards(
+      subsets,
+      [&](std::span<const uint64_t> masks) {
+        std::vector<double> cards;
+        cards.reserve(masks.size());
+        for (uint64_t mask : masks) {
+          cards.push_back(estimator.EstimateCard(query.Induced(mask)));
+        }
+        return cards;
+      },
+      &result);
 
   // --- Base relations: access-path selection. ---
   for (size_t i = 0; i < query.tables.size(); ++i) {

@@ -89,8 +89,9 @@ QueryGraph::QueryGraph(const Query& query, const Database& db)
         info.right_table->ColumnIndexOrDie(edge.right_column));
     info.left_column = &info.left_table->column(info.left_column_id);
     info.right_column = &info.right_table->column(info.right_column_id);
-    info.mask = (uint64_t{1} << info.left_local) |
-                (uint64_t{1} << info.right_local);
+    info.left_bit = uint64_t{1} << info.left_local;
+    info.right_bit = uint64_t{1} << info.right_local;
+    info.mask = info.left_bit | info.right_bit;
     const std::string a = edge.left_table + "." + edge.left_column;
     const std::string b = edge.right_table + "." + edge.right_column;
     info.canonical = a < b ? a + "=" + b : b + "=" + a;

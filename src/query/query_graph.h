@@ -77,6 +77,8 @@ class QueryGraph {
     const Column* left_column = nullptr;
     const Column* right_column = nullptr;
     uint64_t mask = 0;            ///< (1 << left_local) | (1 << right_local)
+    uint64_t left_bit = 0;        ///< 1 << left_local
+    uint64_t right_bit = 0;       ///< 1 << right_local
     std::string canonical;        ///< endpoint-sorted "a.b=c.d"
     const JoinEdge* edge = nullptr;  ///< the original edge, inside query()
   };

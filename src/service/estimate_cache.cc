@@ -75,6 +75,85 @@ void SubplanEstimateCache::Insert(const SubplanCacheKey& key, double estimate) {
   }
 }
 
+size_t SubplanEstimateCache::LookupBatch(
+    const std::vector<SubplanCacheKey>& keys, std::vector<double>* estimates,
+    std::vector<bool>* hit) {
+  const uint64_t current = version();
+  estimates->assign(keys.size(), 0.0);
+  hit->assign(keys.size(), false);
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    by_shard[KeyHash{}(keys[i]) % shards_.size()].push_back(i);
+  }
+  size_t num_hits = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidated = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i : by_shard[s]) {
+      auto it = shard.map.find(keys[i]);
+      if (it == shard.map.end()) {
+        ++misses;
+        continue;
+      }
+      if (it->second->version != current) {
+        shard.lru.erase(it->second);
+        shard.map.erase(it);
+        ++invalidated;
+        ++misses;
+        continue;
+      }
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      (*estimates)[i] = it->second->estimate;
+      (*hit)[i] = true;
+      ++hits;
+      ++num_hits;
+    }
+  }
+  if (hits) hits_.fetch_add(hits, std::memory_order_relaxed);
+  if (misses) misses_.fetch_add(misses, std::memory_order_relaxed);
+  if (invalidated) {
+    invalidated_hits_.fetch_add(invalidated, std::memory_order_relaxed);
+  }
+  return num_hits;
+}
+
+void SubplanEstimateCache::InsertBatch(
+    const std::vector<SubplanCacheKey>& keys,
+    const std::vector<double>& estimates) {
+  const uint64_t current = version();
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    by_shard[KeyHash{}(keys[i]) % shards_.size()].push_back(i);
+  }
+  uint64_t evictions = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i : by_shard[s]) {
+      auto it = shard.map.find(keys[i]);
+      if (it != shard.map.end()) {
+        it->second->estimate = estimates[i];
+        it->second->version = current;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        continue;
+      }
+      shard.lru.push_front(Entry{keys[i], estimates[i], current});
+      shard.map[keys[i]] = shard.lru.begin();
+      if (shard.lru.size() > per_shard_capacity_) {
+        shard.map.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        ++evictions;
+      }
+    }
+  }
+  if (evictions) evictions_.fetch_add(evictions, std::memory_order_relaxed);
+}
+
 EstimateCacheStats SubplanEstimateCache::stats() const {
   EstimateCacheStats out;
   out.hits = hits_.load(std::memory_order_relaxed);

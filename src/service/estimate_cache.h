@@ -66,6 +66,18 @@ class SubplanEstimateCache {
   /// Inserts (or refreshes) the estimate under the current version.
   void Insert(const SubplanCacheKey& key, double estimate);
 
+  /// Batch probe: fills hit[i]/estimates[i] for every key, grouping keys by
+  /// shard so each shard's mutex is taken at most once per call (instead of
+  /// once per key). Per-key semantics (LRU touch, lazy stale reclaim,
+  /// stats) are identical to Lookup. Returns the number of hits.
+  size_t LookupBatch(const std::vector<SubplanCacheKey>& keys,
+                     std::vector<double>* estimates, std::vector<bool>* hit);
+
+  /// Batch fill: Insert for every (key, estimate) pair, one shard lock
+  /// acquisition per touched shard.
+  void InsertBatch(const std::vector<SubplanCacheKey>& keys,
+                   const std::vector<double>& estimates);
+
   /// Invalidates every entry inserted before this call.
   void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
 

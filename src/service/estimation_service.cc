@@ -162,8 +162,10 @@ EstimateResponse EstimationService::Process(const EstimateRequest& request) {
     return response;
   }
   if (request.graph != nullptr) {
-    // Compiled-IR path: mask-based estimator dispatch, fingerprint-keyed
-    // cache — no sub-query materialization, no string hashing.
+    // Compiled-IR batch path: every mask of the request is probed against
+    // the sharded LRU in one batch (one lock acquisition per shard), only
+    // the misses go to the estimator — as one EstimateCards batch — and
+    // the fresh estimates are filled back in one batch.
     const QueryGraph& graph = *request.graph;
     std::vector<uint64_t> masks;
     if (request.subplan_mask == kAllSubplans) {
@@ -171,17 +173,40 @@ EstimateResponse EstimationService::Process(const EstimateRequest& request) {
     } else {
       masks.push_back(request.subplan_mask);
     }
+    std::vector<SubplanCacheKey> keys;
+    keys.reserve(masks.size());
     for (uint64_t mask : masks) {
-      SubplanCacheKey key{request.estimator, graph.fingerprint(), mask};
-      double estimate = 0.0;
-      if (cache_.Lookup(key, &estimate)) {
-        ++response.cache_hits;
-      } else {
-        estimate = estimator->EstimateCard(graph, mask);
-        cache_.Insert(key, estimate);
-        ++response.cache_misses;
+      keys.push_back(SubplanCacheKey{request.estimator, graph.fingerprint(),
+                                     mask});
+    }
+    std::vector<double> estimates;
+    std::vector<bool> hit;
+    const size_t hits = cache_.LookupBatch(keys, &estimates, &hit);
+    response.cache_hits += hits;
+    response.cache_misses += masks.size() - hits;
+    if (hits < masks.size()) {
+      std::vector<uint64_t> miss_masks;
+      std::vector<size_t> miss_idx;
+      miss_masks.reserve(masks.size() - hits);
+      miss_idx.reserve(masks.size() - hits);
+      for (size_t i = 0; i < masks.size(); ++i) {
+        if (!hit[i]) {
+          miss_masks.push_back(masks[i]);
+          miss_idx.push_back(i);
+        }
       }
-      response.cards[mask] = estimate;
+      const std::vector<double> fresh =
+          estimator->EstimateCards(graph, miss_masks);
+      std::vector<SubplanCacheKey> miss_keys;
+      miss_keys.reserve(miss_idx.size());
+      for (size_t m = 0; m < miss_idx.size(); ++m) {
+        estimates[miss_idx[m]] = fresh[m];
+        miss_keys.push_back(keys[miss_idx[m]]);
+      }
+      cache_.InsertBatch(miss_keys, fresh);
+    }
+    for (size_t i = 0; i < masks.size(); ++i) {
+      response.cards[masks[i]] = estimates[i];
     }
     return response;
   }
