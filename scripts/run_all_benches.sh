@@ -71,6 +71,11 @@ run bench_micro_executor
 # bench_micro_planner.json with the plans/sec and dispatch-overhead numbers.
 run bench_micro_planner
 [ -f bench_micro_planner.json ] && mv bench_micro_planner.json "$LOGS/"
+# Network serving sweep: the workload over loopback TCP through cardserved
+# (closed-loop concurrency levels + open-loop overload shedding); emits
+# bench_server_throughput.json with the per-estimator latency curves.
+run bench_server_throughput
+[ -f bench_server_throughput.json ] && mv bench_server_throughput.json "$LOGS/"
 
 # Collect in paper order.
 : > bench_output.txt
@@ -80,7 +85,8 @@ for name in bench_table1_datasets bench_table2_workloads \
             bench_table7_qerror_perror bench_figure2_case_study \
             bench_figure3_practicality bench_ablation_fanout \
             bench_sensitivity_noise bench_micro_inference \
-            bench_micro_executor bench_micro_planner; do
+            bench_micro_executor bench_micro_planner \
+            bench_server_throughput; do
   {
     echo "================================================================"
     echo "==== $name"

@@ -23,7 +23,32 @@ enum class StatusCode {
   /// caller should shed load or retry later. Used by the serving layer's
   /// backpressure path.
   kResourceExhausted,
+  /// A per-request wall-clock deadline expired before the work finished.
+  /// The serving layer aborts the remaining estimation and returns this
+  /// instead of partial results.
+  kDeadlineExceeded,
+  /// The service is shutting down (or otherwise not accepting work); unlike
+  /// kResourceExhausted, retrying against the same endpoint will not help.
+  kUnavailable,
 };
+
+/// Stable code spelling used in logs and on the wire (src/server/protocol).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kUnavailable: return "Unavailable";
+  }
+  return "Unknown";
+}
 
 /// Lightweight status object carrying a code and a human-readable message.
 /// Cheap to copy in the OK case (empty message).
@@ -59,6 +84,12 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -67,25 +98,10 @@ class Status {
   /// Renders "OK" or "<code>: <message>" for logs and test failures.
   std::string ToString() const {
     if (ok()) return "OK";
-    return CodeName(code_) + ": " + message_;
+    return std::string(StatusCodeName(code_)) + ": " + message_;
   }
 
  private:
-  static std::string CodeName(StatusCode code) {
-    switch (code) {
-      case StatusCode::kOk: return "OK";
-      case StatusCode::kInvalidArgument: return "InvalidArgument";
-      case StatusCode::kNotFound: return "NotFound";
-      case StatusCode::kAlreadyExists: return "AlreadyExists";
-      case StatusCode::kOutOfRange: return "OutOfRange";
-      case StatusCode::kUnsupported: return "Unsupported";
-      case StatusCode::kInternal: return "Internal";
-      case StatusCode::kIOError: return "IOError";
-      case StatusCode::kResourceExhausted: return "ResourceExhausted";
-    }
-    return "Unknown";
-  }
-
   StatusCode code_;
   std::string message_;
 };

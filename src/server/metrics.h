@@ -1,0 +1,126 @@
+#ifndef CARDBENCH_SERVER_METRICS_H_
+#define CARDBENCH_SERVER_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "service/estimate_cache.h"
+
+namespace cardbench {
+
+/// Lock-free latency histogram: atomic counters over log-spaced buckets,
+/// 12 buckets per decade from 1us to ~100s (96 buckets total). Record is a
+/// single relaxed fetch_add on the hot path — cheap enough to sit on every
+/// served request — and quantiles are reconstructed from the buckets at
+/// render time (upper-bound convention, so reported tails never understate).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 96;
+  static constexpr double kBucketsPerDecade = 12.0;
+  static constexpr double kMinSeconds = 1e-6;
+
+  /// Records one latency observation (relaxed atomics; thread-safe).
+  void Record(double seconds);
+
+  /// Upper bound of bucket `index` in seconds.
+  static double BucketUpperBound(size_t index);
+
+  /// Consistent-enough copy for rendering (buckets are read individually;
+  /// concurrent Records may straddle the copy, which only ever misattributes
+  /// a handful of in-flight observations, never loses recorded ones).
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum_seconds = 0.0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+
+    /// Latency quantile q in [0,1] by cumulative bucket walk; returns the
+    /// bucket upper bound containing the q-th observation (0 when empty).
+    double Quantile(double q) const;
+    double MeanSeconds() const {
+      return count == 0 ? 0.0 : sum_seconds / static_cast<double>(count);
+    }
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  /// Sum in nanoseconds so it can live in a lock-free integer atomic.
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+/// Monotonic counters of the serving loop. All relaxed atomics: the metrics
+/// plane never takes a lock on the request path.
+struct ServerCounters {
+  std::atomic<uint64_t> connections_opened{0};
+  std::atomic<uint64_t> connections_closed{0};
+  std::atomic<uint64_t> requests_received{0};
+  std::atomic<uint64_t> responses_sent{0};
+  std::atomic<uint64_t> completed{0};         ///< status OK
+  std::atomic<uint64_t> rejected{0};          ///< ResourceExhausted (admission)
+  std::atomic<uint64_t> deadline_exceeded{0};
+  std::atomic<uint64_t> failed{0};            ///< every other non-OK status
+  std::atomic<uint64_t> malformed_frames{0};
+  std::atomic<uint64_t> http_requests{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+};
+
+/// Point-in-time gauges sampled at render time (the server owns the
+/// authoritative sources: service queue, estimate cache, in-flight set).
+struct ServerGauges {
+  uint64_t queue_depth = 0;
+  uint64_t queue_capacity = 0;
+  uint64_t in_flight = 0;
+  uint64_t open_connections = 0;
+  EstimateCacheStats cache;
+};
+
+/// The observability plane of cardserved: counters + per-estimator latency
+/// histograms, rendered either as a Prometheus-style text page
+/// (`GET /metrics`) or as a JSON snapshot (periodically written to disk for
+/// run_all_benches.sh to collect).
+class ServerMetrics {
+ public:
+  /// Records one finished request for `estimator` (latency = admission to
+  /// response marshalling). Creates the histogram on first sight of the
+  /// name; the read path afterwards is a shared-lock map probe plus atomic
+  /// bucket increments.
+  void RecordLatency(const std::string& estimator, double seconds);
+
+  ServerCounters& counters() { return counters_; }
+  const ServerCounters& counters() const { return counters_; }
+
+  /// Latency snapshot per estimator, name-sorted for stable output.
+  std::vector<std::pair<std::string, LatencyHistogram::Snapshot>>
+  LatencySnapshots() const;
+
+  /// Prometheus-style exposition text (counters, gauges, quantiles
+  /// 0.5/0.99/0.999 per estimator).
+  std::string RenderText(const ServerGauges& gauges) const;
+
+  /// The same data as one JSON object.
+  std::string RenderJson(const ServerGauges& gauges) const;
+
+  /// Atomically replaces `path` with the current JSON snapshot
+  /// (write-temp-then-rename, so collectors never read a torn file).
+  Status WriteJsonSnapshot(const std::string& path,
+                           const ServerGauges& gauges) const;
+
+ private:
+  ServerCounters counters_;
+  mutable std::shared_mutex mu_;  ///< guards the map shape, not the buckets
+  std::unordered_map<std::string, std::unique_ptr<LatencyHistogram>>
+      latency_;
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_SERVER_METRICS_H_

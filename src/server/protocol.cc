@@ -1,0 +1,469 @@
+#include "server/protocol.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "common/str_util.h"
+
+namespace cardbench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON writing. The protocol only ever emits flat objects plus one nested
+// map of numeric strings to doubles, so a couple of append helpers beat a
+// general document model.
+// ---------------------------------------------------------------------------
+
+void AppendJsonString(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonDouble(double value, std::string* out) {
+  // %.17g round-trips every finite double; the parity discipline of the
+  // repo (bit-identical estimates across paths) extends to the wire.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf);
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing: a minimal strict recursive-descent parser covering exactly
+// what the protocol emits (objects, strings, numbers, booleans, null,
+// arrays). Depth-capped; trailing garbage is an error.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    CARDBENCH_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing bytes after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 16;
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Status::InvalidArgument("JSON nesting too deep");
+    }
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON");
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(c == 't', out);
+    if (c == 'n') return ParseNull(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      CARDBENCH_RETURN_IF_ERROR(ParseString(&key));
+      SkipSpace();
+      if (Peek() != ':') return Status::InvalidArgument("expected ':'");
+      ++pos_;
+      JsonValue value;
+      CARDBENCH_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Status::InvalidArgument("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      JsonValue value;
+      CARDBENCH_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Status::InvalidArgument("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (Peek() != '"') return Status::InvalidArgument("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::InvalidArgument("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Status::InvalidArgument("bad \\u escape");
+          }
+          // The protocol only escapes control characters; decode the BMP
+          // code point as UTF-8.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Status::InvalidArgument("unknown escape in string");
+      }
+    }
+    return Status::InvalidArgument("unterminated string");
+  }
+
+  Status ParseKeyword(bool value, JsonValue* out) {
+    const char* word = value ? "true" : "false";
+    const size_t len = value ? 4 : 5;
+    if (text_.compare(pos_, len, word) != 0) {
+      return Status::InvalidArgument("bad JSON keyword");
+    }
+    pos_ += len;
+    out->kind = JsonValue::Kind::kBool;
+    out->boolean = value;
+    return Status::OK();
+  }
+
+  Status ParseNull(JsonValue* out) {
+    if (text_.compare(pos_, 4, "null") != 0) {
+      return Status::InvalidArgument("bad JSON keyword");
+    }
+    pos_ += 4;
+    out->kind = JsonValue::Kind::kNull;
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) return Status::InvalidArgument("expected JSON number");
+    pos_ += static_cast<size_t>(end - begin);
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return Status::OK();
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+double NumberOr(const JsonValue* value, double fallback) {
+  return value != nullptr && value->kind == JsonValue::Kind::kNumber
+             ? value->number
+             : fallback;
+}
+
+std::string StringOr(const JsonValue* value, std::string fallback) {
+  return value != nullptr && value->kind == JsonValue::Kind::kString
+             ? value->string
+             : fallback;
+}
+
+}  // namespace
+
+StatusCode StatusCodeFromName(const std::string& name) {
+  static const std::unordered_map<std::string, StatusCode> kCodes = [] {
+    std::unordered_map<std::string, StatusCode> codes;
+    for (StatusCode code : {
+             StatusCode::kOk, StatusCode::kInvalidArgument,
+             StatusCode::kNotFound, StatusCode::kAlreadyExists,
+             StatusCode::kOutOfRange, StatusCode::kUnsupported,
+             StatusCode::kInternal, StatusCode::kIOError,
+             StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded,
+             StatusCode::kUnavailable}) {
+      codes.emplace(StatusCodeName(code), code);
+    }
+    return codes;
+  }();
+  auto it = kCodes.find(name);
+  return it == kCodes.end() ? StatusCode::kInternal : it->second;
+}
+
+std::string EncodeRequest(const ServerRequest& request) {
+  std::string out = "{\"id\":";
+  out += std::to_string(request.id);
+  out += ",\"estimator\":";
+  AppendJsonString(request.estimator, &out);
+  out += ",\"sql\":";
+  AppendJsonString(request.sql, &out);
+  if (request.subplan_mask != 0) {
+    out += ",\"mask\":";
+    out += std::to_string(request.subplan_mask);
+  }
+  if (request.deadline_ms > 0.0) {
+    out += ",\"deadline_ms\":";
+    AppendJsonDouble(request.deadline_ms, &out);
+  }
+  out += "}";
+  return out;
+}
+
+std::string EncodeResponse(const ServerResponse& response) {
+  std::string out = "{\"id\":";
+  out += std::to_string(response.id);
+  out += ",\"status\":";
+  AppendJsonString(StatusCodeName(response.code), &out);
+  if (!response.error.empty()) {
+    out += ",\"error\":";
+    AppendJsonString(response.error, &out);
+  }
+  out += ",\"cards\":{";
+  bool first = true;
+  for (const auto& [mask, card] : response.cards) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += std::to_string(mask);
+    out += "\":";
+    AppendJsonDouble(card, &out);
+  }
+  out += "}";
+  out += ",\"cache_hits\":";
+  out += std::to_string(response.cache_hits);
+  out += ",\"cache_misses\":";
+  out += std::to_string(response.cache_misses);
+  if (response.code == StatusCode::kResourceExhausted) {
+    out += ",\"queue_depth\":";
+    out += std::to_string(response.queue_depth);
+    out += ",\"retry_after_ms\":";
+    AppendJsonDouble(response.retry_after_ms, &out);
+  }
+  out += ",\"elapsed_us\":";
+  AppendJsonDouble(response.elapsed_us, &out);
+  out += "}";
+  return out;
+}
+
+Result<ServerRequest> DecodeRequest(const std::string& payload) {
+  JsonParser parser(payload);
+  CARDBENCH_ASSIGN_OR_RETURN(const JsonValue root, parser.Parse());
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("request is not a JSON object");
+  }
+  ServerRequest request;
+  request.id = static_cast<uint64_t>(NumberOr(root.Find("id"), 0.0));
+  request.estimator = StringOr(root.Find("estimator"), "");
+  request.sql = StringOr(root.Find("sql"), "");
+  request.subplan_mask = static_cast<uint64_t>(NumberOr(root.Find("mask"), 0.0));
+  request.deadline_ms = NumberOr(root.Find("deadline_ms"), 0.0);
+  if (request.estimator.empty()) {
+    return Status::InvalidArgument("request missing \"estimator\"");
+  }
+  if (request.sql.empty()) {
+    return Status::InvalidArgument("request missing \"sql\"");
+  }
+  if (request.deadline_ms < 0.0) {
+    return Status::InvalidArgument("negative \"deadline_ms\"");
+  }
+  return request;
+}
+
+Result<ServerResponse> DecodeResponse(const std::string& payload) {
+  JsonParser parser(payload);
+  CARDBENCH_ASSIGN_OR_RETURN(const JsonValue root, parser.Parse());
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("response is not a JSON object");
+  }
+  ServerResponse response;
+  response.id = static_cast<uint64_t>(NumberOr(root.Find("id"), 0.0));
+  response.code =
+      StatusCodeFromName(StringOr(root.Find("status"), "Internal"));
+  response.error = StringOr(root.Find("error"), "");
+  response.cache_hits =
+      static_cast<uint64_t>(NumberOr(root.Find("cache_hits"), 0.0));
+  response.cache_misses =
+      static_cast<uint64_t>(NumberOr(root.Find("cache_misses"), 0.0));
+  response.queue_depth =
+      static_cast<uint64_t>(NumberOr(root.Find("queue_depth"), 0.0));
+  response.retry_after_ms = NumberOr(root.Find("retry_after_ms"), 0.0);
+  response.elapsed_us = NumberOr(root.Find("elapsed_us"), 0.0);
+  if (const JsonValue* cards = root.Find("cards");
+      cards != nullptr && cards->kind == JsonValue::Kind::kObject) {
+    for (const auto& [key, value] : cards->object) {
+      if (value.kind != JsonValue::Kind::kNumber) {
+        return Status::InvalidArgument("non-numeric card for mask " + key);
+      }
+      char* end = nullptr;
+      const uint64_t mask = std::strtoull(key.c_str(), &end, 10);
+      if (end == key.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad card mask key '" + key + "'");
+      }
+      response.cards[mask] = value.number;
+    }
+  }
+  return response;
+}
+
+std::string EncodeFrame(const std::string& payload) {
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(payload.size() + 4);
+  frame.push_back(static_cast<char>((size >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((size >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((size >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(size & 0xFF));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameReader::Feed(const char* data, size_t size) {
+  // Compact lazily: drop fully consumed prefix before growing the buffer.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > (64u << 10)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+Status FrameReader::Next(std::string* payload) {
+  const size_t available = buffer_.size() - consumed_;
+  if (available < 4) return Status::NotFound("no complete frame");
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data()) + consumed_;
+  const uint32_t size = (static_cast<uint32_t>(p[0]) << 24) |
+                        (static_cast<uint32_t>(p[1]) << 16) |
+                        (static_cast<uint32_t>(p[2]) << 8) |
+                        static_cast<uint32_t>(p[3]);
+  if (size > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        StrFormat("frame of %u bytes exceeds the %u-byte cap", size,
+                  kMaxFrameBytes));
+  }
+  if (available < 4 + static_cast<size_t>(size)) {
+    return Status::NotFound("no complete frame");
+  }
+  payload->assign(buffer_, consumed_ + 4, size);
+  consumed_ += 4 + static_cast<size_t>(size);
+  return Status::OK();
+}
+
+bool FrameReader::LooksLikeHttpGet() const {
+  const size_t available = buffer_.size() - consumed_;
+  static constexpr char kGet[] = "GET ";
+  const size_t check = available < 4 ? available : 4;
+  return check > 0 &&
+         std::memcmp(buffer_.data() + consumed_, kGet, check) == 0;
+}
+
+}  // namespace cardbench

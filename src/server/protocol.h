@@ -1,0 +1,124 @@
+#ifndef CARDBENCH_SERVER_PROTOCOL_H_
+#define CARDBENCH_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cardbench {
+
+/// Wire protocol of cardserved, and the request/response vocabulary shared
+/// by every serving front-end (the network server, the cardserve CLI and
+/// the socket load driver all speak these structs — one protocol
+/// definition, three transports).
+///
+/// Framing: every message is a 4-byte big-endian payload length followed by
+/// a UTF-8 JSON object. The length prefix of a well-formed frame can never
+/// spell ASCII "GET " (0x47455420 ≈ 1.2GB, far above kMaxFrameBytes), which
+/// is how the server tells a plain HTTP `GET /metrics` probe apart from a
+/// binary client on the same port.
+///
+///   request  {"id":7,"estimator":"PostgreSQL","sql":"SELECT ...",
+///             "mask":0,"deadline_ms":50}
+///   response {"id":7,"status":"OK","cards":{"1":42.0,"3":7.5},
+///             "cache_hits":2,"cache_misses":1,"elapsed_us":913.2}
+///
+/// Errors are structured: a rejected request answers with
+/// {"status":"ResourceExhausted","error":...,"queue_depth":256,
+///  "retry_after_ms":3.1} — the admission-control contract is "reject with
+/// data, never hang".
+
+/// Hard cap on a frame payload. A length above this (or a negative JSON
+/// nesting depth, etc.) is a protocol violation and closes the connection.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// One estimation request as carried on the wire.
+struct ServerRequest {
+  /// Client-chosen correlation id, echoed verbatim in the response, so
+  /// responses may complete out of order on a pipelined connection.
+  uint64_t id = 0;
+  /// Registered estimator name ("PostgreSQL", "MSCN", ...).
+  std::string estimator;
+  /// SQL text of the query; the server compiles it once to a QueryGraph.
+  std::string sql;
+  /// Connected-sub-plan selector; 0 requests every connected sub-plan
+  /// (kAllSubplans, the planner-visit unit).
+  uint64_t subplan_mask = 0;
+  /// Per-request wall-clock budget in milliseconds; 0 = no deadline. The
+  /// service aborts estimation at the next budget check past the deadline
+  /// and answers DeadlineExceeded.
+  double deadline_ms = 0.0;
+};
+
+/// One estimation response as carried on the wire.
+struct ServerResponse {
+  uint64_t id = 0;
+  StatusCode code = StatusCode::kOk;
+  /// Human-readable error detail; empty when code == kOk.
+  std::string error;
+  /// Sub-plan estimates, bitmask-keyed (ordered map: deterministic wire
+  /// bytes for identical answers).
+  std::map<uint64_t, double> cards;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Queue depth observed at rejection time (ResourceExhausted only).
+  uint64_t queue_depth = 0;
+  /// Backoff hint for rejected requests, in milliseconds (ResourceExhausted
+  /// only; 0 otherwise).
+  double retry_after_ms = 0.0;
+  /// Server-side processing time in microseconds (admission to response
+  /// marshalling), for client-observed queueing-delay attribution.
+  double elapsed_us = 0.0;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  Status ToStatus() const {
+    return ok() ? Status::OK() : Status(code, error);
+  }
+};
+
+/// Parses the stable code spelling emitted by StatusCodeName; unknown
+/// spellings map to kInternal (never silently OK).
+StatusCode StatusCodeFromName(const std::string& name);
+
+/// JSON object payloads (no frame prefix).
+std::string EncodeRequest(const ServerRequest& request);
+std::string EncodeResponse(const ServerResponse& response);
+Result<ServerRequest> DecodeRequest(const std::string& payload);
+Result<ServerResponse> DecodeResponse(const std::string& payload);
+
+/// Wraps `payload` in the 4-byte big-endian length frame.
+std::string EncodeFrame(const std::string& payload);
+
+/// Incremental frame decoder for a byte stream: feed whatever the socket
+/// delivered, pull complete payloads out. Tolerates arbitrary fragmentation
+/// (a frame split across reads, several frames in one read).
+class FrameReader {
+ public:
+  /// Appends raw bytes from the transport.
+  void Feed(const char* data, size_t size);
+
+  /// Extracts the next complete payload into `payload`. Returns:
+  ///   kOk       — one payload extracted, call again (more may be buffered)
+  ///   kNotFound — no complete frame buffered yet (read more bytes)
+  ///   kInvalidArgument — framing violation (oversized length); the stream
+  ///                      can no longer be trusted and must be closed.
+  Status Next(std::string* payload);
+
+  /// True once buffered bytes start with an ASCII HTTP "GET " — the metrics
+  /// probe path. Only meaningful before any successful Next().
+  bool LooksLikeHttpGet() const;
+
+  /// Unconsumed buffered bytes (HTTP mode reads the request line here).
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< bytes of buffer_ already handed out
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_SERVER_PROTOCOL_H_

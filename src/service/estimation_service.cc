@@ -1,11 +1,20 @@
 #include "service/estimation_service.h"
 
+#include <algorithm>
 #include <future>
 #include <utility>
 
 #include "common/str_util.h"
 
 namespace cardbench {
+namespace {
+
+/// Masks estimated between two deadline checks of a deadlined request.
+/// Small enough that an expired request releases its worker quickly, large
+/// enough that batch-native estimators still amortize featurization.
+constexpr size_t kDeadlineCheckStride = 8;
+
+}  // namespace
 
 EstimationService::EstimationService(ServiceOptions options)
     : options_(options),
@@ -40,12 +49,44 @@ Status EstimationService::Submit(EstimateRequest request,
     return Status::InvalidArgument(
         "EstimateRequest needs a query or a graph");
   }
-  if (!queue_.TryPush(WorkItem{std::move(request), std::move(done)})) {
+  if (request.timeout_seconds < 0.0) {
+    return Status::InvalidArgument("negative EstimateRequest timeout");
+  }
+  WorkItem item{std::move(request), std::move(done)};
+  if (item.request.timeout_seconds > 0.0) {
+    item.deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(item.request.timeout_seconds));
+  }
+  if (!queue_.TryPush(std::move(item))) {
+    // Structured backpressure: the payload names the observed depth and a
+    // retry-after hint, so callers (and the network protocol on top) can
+    // shed load intelligently instead of blind-retrying.
     return Status::ResourceExhausted(
-        StrFormat("estimation queue full (depth %zu) or shut down",
-                  queue_.capacity()));
+        StrFormat("estimation queue full (depth %zu/%zu); retry after "
+                  "%.1fms",
+                  queue_.size(), queue_.capacity(),
+                  SuggestedRetrySeconds() * 1e3));
   }
   return Status::OK();
+}
+
+double EstimationService::avg_process_seconds() const {
+  const uint64_t requests =
+      processed_requests_.load(std::memory_order_relaxed);
+  if (requests == 0) return 0.0;
+  return static_cast<double>(
+             processed_nanos_.load(std::memory_order_relaxed)) *
+         1e-9 / static_cast<double>(requests);
+}
+
+double EstimationService::SuggestedRetrySeconds() const {
+  const double avg = avg_process_seconds();
+  const size_t workers = pool_.num_threads();
+  // One full-queue drain at the observed service rate, split across the
+  // worker pool; 1ms floor before any request has been timed.
+  const double drain = avg * static_cast<double>(queue_.capacity()) /
+                       static_cast<double>(workers > 0 ? workers : 1);
+  return std::clamp(drain, 1e-3, 1.0);
 }
 
 Result<double> EstimationService::EstimateSync(const std::string& estimator,
@@ -144,15 +185,31 @@ void EstimationService::WorkerLoop() {
   WorkItem item;
   while (queue_.Pop(&item)) {
     EstimateResponse response;
-    {
-      std::shared_lock<std::shared_mutex> serving(update_mu_);
-      response = Process(item.request);
+    if (Clock::now() > item.deadline) {
+      // Expired while queued: answer without touching an estimator, so an
+      // overloaded queue sheds dead work at dequeue speed.
+      response.status = Status::DeadlineExceeded(
+          "request deadline expired while queued");
+    } else {
+      const Clock::time_point start = Clock::now();
+      {
+        std::shared_lock<std::shared_mutex> serving(update_mu_);
+        response = Process(item.request, item.deadline);
+      }
+      processed_requests_.fetch_add(1, std::memory_order_relaxed);
+      processed_nanos_.fetch_add(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - start)
+                  .count()),
+          std::memory_order_relaxed);
     }
     if (item.done) item.done(std::move(response));
   }
 }
 
-EstimateResponse EstimationService::Process(const EstimateRequest& request) {
+EstimateResponse EstimationService::Process(const EstimateRequest& request,
+                                            Clock::time_point deadline) {
   EstimateResponse response;
   const CardinalityEstimator* estimator = GetEstimator(request.estimator);
   if (estimator == nullptr) {
@@ -195,15 +252,35 @@ EstimateResponse EstimationService::Process(const EstimateRequest& request) {
           miss_idx.push_back(i);
         }
       }
-      const std::vector<double> fresh =
-          estimator->EstimateCards(graph, miss_masks);
-      std::vector<SubplanCacheKey> miss_keys;
-      miss_keys.reserve(miss_idx.size());
-      for (size_t m = 0; m < miss_idx.size(); ++m) {
-        estimates[miss_idx[m]] = fresh[m];
-        miss_keys.push_back(keys[miss_idx[m]]);
+      // Without a deadline the whole miss set goes to the estimator as one
+      // batch (maximum GEMM/featurization amortization). With one, the
+      // batch is cut into bounded slices with a clock check before each, so
+      // an expired request frees its worker after at most one slice. Work
+      // finished before expiry is still cached — a retry resumes, not
+      // restarts.
+      const bool deadlined = deadline != Clock::time_point::max();
+      const size_t stride =
+          deadlined ? kDeadlineCheckStride : miss_masks.size();
+      for (size_t begin = 0; begin < miss_masks.size(); begin += stride) {
+        if (deadlined && Clock::now() > deadline) {
+          response.status = Status::DeadlineExceeded(StrFormat(
+              "deadline expired after %zu of %zu sub-plan estimates", begin,
+              miss_masks.size()));
+          response.cards.clear();
+          return response;
+        }
+        const size_t count = std::min(stride, miss_masks.size() - begin);
+        const std::vector<double> fresh = estimator->EstimateCards(
+            graph, std::span<const uint64_t>(miss_masks).subspan(begin,
+                                                                 count));
+        std::vector<SubplanCacheKey> slice_keys;
+        slice_keys.reserve(count);
+        for (size_t m = 0; m < count; ++m) {
+          estimates[miss_idx[begin + m]] = fresh[m];
+          slice_keys.push_back(keys[miss_idx[begin + m]]);
+        }
+        cache_.InsertBatch(slice_keys, fresh);
       }
-      cache_.InsertBatch(miss_keys, fresh);
     }
     for (size_t i = 0; i < masks.size(); ++i) {
       response.cards[masks[i]] = estimates[i];
@@ -224,6 +301,12 @@ EstimateResponse EstimationService::Process(const EstimateRequest& request) {
   }
 
   for (uint64_t mask : masks) {
+    if (deadline != Clock::time_point::max() && Clock::now() > deadline) {
+      response.status = Status::DeadlineExceeded(
+          "deadline expired during sub-plan estimation");
+      response.cards.clear();
+      return response;
+    }
     SubplanCacheKey key{request.estimator, fingerprint, mask};
     double estimate = 0.0;
     if (cache_.Lookup(key, &estimate)) {

@@ -1,6 +1,8 @@
 #ifndef CARDBENCH_SERVICE_ESTIMATION_SERVICE_H_
 #define CARDBENCH_SERVICE_ESTIMATION_SERVICE_H_
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -49,6 +51,14 @@ struct EstimateRequest {
   const Query* query = nullptr;
   uint64_t subplan_mask = kAllSubplans;
   const QueryGraph* graph = nullptr;
+  /// Per-request wall-clock budget in seconds, measured from Submit; 0
+  /// disables it. A request whose deadline expires — in the queue or
+  /// between estimation batches — completes with DeadlineExceeded instead
+  /// of its estimates: workers check the clock when they dequeue and again
+  /// between bounded estimation slices, so an expired request never holds a
+  /// worker longer than one slice (the serving-layer analogue of the
+  /// executor's budget cut-off).
+  double timeout_seconds = 0.0;
 };
 
 /// The answer. For a single-mask request `cards` has one entry; for
@@ -123,22 +133,45 @@ class EstimationService {
   size_t num_threads() const { return pool_.num_threads(); }
   size_t queue_capacity() const { return queue_.capacity(); }
 
+  /// Requests currently waiting for a worker (point-in-time gauge).
+  size_t queue_size() const { return queue_.size(); }
+
+  /// Mean worker-side processing time over the service lifetime, seconds
+  /// (0 until the first request completes).
+  double avg_process_seconds() const;
+
+  /// Backoff hint attached to queue-full rejections: the time one full
+  /// queue drain is expected to take at the current processing rate,
+  /// clamped to [1ms, 1s]. Callers that retry sooner will mostly re-collide
+  /// with the same full queue.
+  double SuggestedRetrySeconds() const;
+
   /// Stops admission, drains queued requests (their callbacks still run)
   /// and joins the workers. Idempotent; the destructor calls it.
   void Shutdown();
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct WorkItem {
     EstimateRequest request;
     EstimateCallback done;
+    /// Absolute deadline stamped at Submit (Clock::time_point::max() when
+    /// the request carries no timeout).
+    Clock::time_point deadline = Clock::time_point::max();
   };
 
   void WorkerLoop();
-  EstimateResponse Process(const EstimateRequest& request);
+  EstimateResponse Process(const EstimateRequest& request,
+                           Clock::time_point deadline);
 
   ServiceOptions options_;
   SubplanEstimateCache cache_;
   RequestQueue<WorkItem> queue_;
+
+  /// Lifetime processing-time counters feeding avg_process_seconds().
+  std::atomic<uint64_t> processed_requests_{0};
+  std::atomic<uint64_t> processed_nanos_{0};
 
   /// Readers: workers serving estimates. Writer: NotifyDataUpdate.
   std::shared_mutex update_mu_;

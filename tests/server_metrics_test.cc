@@ -1,0 +1,204 @@
+#include "server/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cardbench {
+namespace {
+
+TEST(LatencyHistogramTest, QuantilesBracketObservations) {
+  LatencyHistogram histogram;
+  // 1000 observations spread uniformly over [1ms, 1s).
+  for (int i = 0; i < 1000; ++i) {
+    histogram.Record(1e-3 + i * (1.0 - 1e-3) / 1000.0);
+  }
+  const auto snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_NEAR(snap.MeanSeconds(), 0.5, 0.05);
+
+  // Quantile uses the bucket upper bound, so it never understates: the
+  // reported p50 must be >= the true median and within one log bucket
+  // (a factor of 10^(1/12) ~ 1.21) of it.
+  const double p50 = snap.Quantile(0.5);
+  EXPECT_GE(p50, 0.5);
+  EXPECT_LE(p50, 0.5 * 1.25);
+  const double p99 = snap.Quantile(0.99);
+  EXPECT_GE(p99, 0.99);
+  EXPECT_LE(p99, 1.0 * 1.25);
+  // Quantiles are monotone in q.
+  EXPECT_LE(snap.Quantile(0.5), snap.Quantile(0.99));
+  EXPECT_LE(snap.Quantile(0.99), snap.Quantile(0.999));
+}
+
+TEST(LatencyHistogramTest, ClampsOutOfRangeObservations) {
+  LatencyHistogram histogram;
+  histogram.Record(0.0);      // below the 1us floor
+  histogram.Record(-5.0);     // nonsense, still must not crash or wrap
+  histogram.Record(1e9);      // far above the top bucket
+  const auto snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 3u);
+  // Everything landed in real buckets: totals match the count.
+  uint64_t total = 0;
+  for (uint64_t bucket : snap.buckets) total += bucket;
+  EXPECT_EQ(total, 3u);
+  // The huge observation is clamped into the last bucket.
+  EXPECT_EQ(snap.buckets.back(), 1u);
+  // The tiny ones into the first.
+  EXPECT_EQ(snap.buckets.front(), 2u);
+}
+
+TEST(LatencyHistogramTest, EmptySnapshotIsZero) {
+  LatencyHistogram histogram;
+  const auto snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_EQ(snap.MeanSeconds(), 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketBoundsAreLogSpaced) {
+  // 12 buckets per decade: bound(i+12) == 10 * bound(i).
+  for (size_t i = 0; i + 12 < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_NEAR(LatencyHistogram::BucketUpperBound(i + 12) /
+                    LatencyHistogram::BucketUpperBound(i),
+                10.0, 1e-9);
+  }
+  EXPECT_NEAR(LatencyHistogram::BucketUpperBound(0),
+              LatencyHistogram::kMinSeconds, 1e-12);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsLoseNothing) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(1e-4);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t total = 0;
+  for (uint64_t bucket : snap.buckets) total += bucket;
+  EXPECT_EQ(total, snap.count);
+}
+
+TEST(ServerMetricsTest, RenderTextExposesCountersGaugesAndQuantiles) {
+  ServerMetrics metrics;
+  metrics.counters().requests_received.fetch_add(3);
+  metrics.counters().completed.fetch_add(2);
+  metrics.counters().rejected.fetch_add(1);
+  metrics.RecordLatency("PostgreSQL", 0.010);
+  metrics.RecordLatency("PostgreSQL", 0.020);
+  metrics.RecordLatency("MSCN", 0.001);
+
+  ServerGauges gauges;
+  gauges.queue_depth = 4;
+  gauges.queue_capacity = 256;
+  gauges.in_flight = 2;
+  gauges.open_connections = 3;
+  gauges.cache.hits = 10;
+  gauges.cache.misses = 30;
+
+  const std::string text = metrics.RenderText(gauges);
+  EXPECT_NE(text.find("cardserved_requests_total 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cardserved_completed_total 2"), std::string::npos);
+  EXPECT_NE(text.find("cardserved_rejected_total 1"), std::string::npos);
+  EXPECT_NE(text.find("cardserved_queue_depth 4"), std::string::npos);
+  EXPECT_NE(text.find("cardserved_queue_capacity 256"), std::string::npos);
+  EXPECT_NE(text.find("cardserved_cache_hit_rate 0.25"), std::string::npos);
+  // One latency series per estimator, three quantiles each.
+  for (const char* name : {"PostgreSQL", "MSCN"}) {
+    for (const char* q : {"0.5", "0.99", "0.999"}) {
+      const std::string series =
+          std::string("cardserved_latency_seconds{estimator=\"") + name +
+          "\",quantile=\"" + q + "\"}";
+      EXPECT_NE(text.find(series), std::string::npos) << series;
+    }
+  }
+  EXPECT_NE(
+      text.find("cardserved_latency_seconds_count{estimator=\"MSCN\"} 1"),
+      std::string::npos);
+}
+
+TEST(ServerMetricsTest, LatencySnapshotsAreNameSorted) {
+  ServerMetrics metrics;
+  metrics.RecordLatency("Zeta", 0.001);
+  metrics.RecordLatency("Alpha", 0.002);
+  metrics.RecordLatency("Mid", 0.003);
+  const auto snapshots = metrics.LatencySnapshots();
+  ASSERT_EQ(snapshots.size(), 3u);
+  EXPECT_EQ(snapshots[0].first, "Alpha");
+  EXPECT_EQ(snapshots[1].first, "Mid");
+  EXPECT_EQ(snapshots[2].first, "Zeta");
+}
+
+TEST(ServerMetricsTest, RenderJsonIsWellFormedAndComplete) {
+  ServerMetrics metrics;
+  metrics.counters().requests_received.fetch_add(5);
+  metrics.RecordLatency("PostgreSQL", 0.005);
+  ServerGauges gauges;
+  gauges.queue_capacity = 128;
+
+  const std::string json = metrics.RenderJson(gauges);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"requests\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queue_capacity\":128"), std::string::npos);
+  EXPECT_NE(json.find("\"PostgreSQL\":{\"count\":1"), std::string::npos);
+  // Balanced braces — a cheap well-formedness check without a parser.
+  int depth = 0;
+  for (char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ServerMetricsTest, WriteJsonSnapshotReplacesFileAtomically) {
+  ServerMetrics metrics;
+  metrics.counters().requests_received.fetch_add(1);
+  const std::string path =
+      ::testing::TempDir() + "/cardserved_snapshot_test.json";
+
+  ServerGauges gauges;
+  ASSERT_TRUE(metrics.WriteJsonSnapshot(path, gauges).ok());
+  metrics.counters().requests_received.fetch_add(1);
+  ASSERT_TRUE(metrics.WriteJsonSnapshot(path, gauges).ok());
+
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(file);
+  EXPECT_NE(contents.find("\"requests\":2"), std::string::npos) << contents;
+  // No stale temp file left behind.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "r");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp) std::fclose(tmp);
+  std::remove(path.c_str());
+}
+
+TEST(ServerMetricsTest, WriteJsonSnapshotFailsOnBadPath) {
+  ServerMetrics metrics;
+  ServerGauges gauges;
+  EXPECT_FALSE(
+      metrics.WriteJsonSnapshot("/nonexistent-dir/snapshot.json", gauges)
+          .ok());
+}
+
+}  // namespace
+}  // namespace cardbench

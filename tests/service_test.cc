@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -237,6 +239,89 @@ TEST(EstimationServiceTest, FullQueueRejectsWithResourceExhausted) {
   gate_ptr->Release();
   service.Shutdown();  // drains the queued request
   EXPECT_EQ(completed.load(), 2);
+}
+
+TEST(EstimationServiceTest, RejectionPayloadCarriesDepthAndRetryHint) {
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.queue_depth = 1;
+  EstimationService service(options);
+  auto gate = std::make_unique<GateEstimator>();
+  GateEstimator* gate_ptr = gate.get();
+  service.RegisterEstimator(std::move(gate));
+
+  const Query q = TestQueries()[2];
+  auto done = [](EstimateResponse) {};
+  ASSERT_TRUE(service.Submit(EstimateRequest{"Gate", &q, q.FullMask()}, done)
+                  .ok());
+  gate_ptr->WaitUntilEntered();
+  ASSERT_TRUE(service.Submit(EstimateRequest{"Gate", &q, q.FullMask()}, done)
+                  .ok());
+  Status overflow =
+      service.Submit(EstimateRequest{"Gate", &q, q.FullMask()}, done);
+  ASSERT_EQ(overflow.code(), StatusCode::kResourceExhausted);
+  // The error payload is self-describing: observed depth and a backoff
+  // hint, so network clients can be told when to come back.
+  EXPECT_NE(overflow.message().find("depth 1/1"), std::string::npos)
+      << overflow.ToString();
+  EXPECT_NE(overflow.message().find("retry after"), std::string::npos);
+  const double retry = service.SuggestedRetrySeconds();
+  EXPECT_GE(retry, 1e-3);
+  EXPECT_LE(retry, 1.0);
+
+  gate_ptr->Release();
+  service.Shutdown();  // drain the queued request while `q` is alive
+}
+
+TEST(EstimationServiceTest, DeadlineExpiredInQueueAnswersDeadlineExceeded) {
+  ServiceOptions options;
+  options.num_threads = 1;
+  EstimationService service(options);
+  auto gate = std::make_unique<GateEstimator>();
+  GateEstimator* gate_ptr = gate.get();
+  service.RegisterEstimator(std::move(gate));
+
+  const Query q = TestQueries()[2];
+  ASSERT_TRUE(service
+                  .Submit(EstimateRequest{"Gate", &q, q.FullMask()},
+                          [](EstimateResponse response) {
+                            EXPECT_TRUE(response.status.ok());
+                          })
+                  .ok());
+  gate_ptr->WaitUntilEntered();
+
+  // Queued behind the pinned worker with a 1ms budget: by the time a worker
+  // dequeues it the deadline has passed, so it must complete with
+  // DeadlineExceeded and no estimates.
+  std::promise<EstimateResponse> expired_promise;
+  auto expired_future = expired_promise.get_future();
+  EstimateRequest deadlined{"Gate", &q, kAllSubplans};
+  deadlined.timeout_seconds = 1e-3;
+  ASSERT_TRUE(service
+                  .Submit(deadlined,
+                          [&](EstimateResponse response) {
+                            expired_promise.set_value(std::move(response));
+                          })
+                  .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  gate_ptr->Release();
+
+  const EstimateResponse response = expired_future.get();
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(response.cards.empty());
+}
+
+TEST(EstimationServiceTest, NegativeTimeoutIsRejectedUpFront) {
+  EstimationService service;
+  service.RegisterEstimator(std::make_unique<HashEstimator>());
+  const Query q = TestQueries()[2];
+  EstimateRequest request{"Hash", &q, q.FullMask()};
+  request.timeout_seconds = -1.0;
+  std::atomic<bool> callback_ran{false};
+  Status status = service.Submit(
+      request, [&](EstimateResponse) { callback_ran.store(true); });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(callback_ran.load());
 }
 
 TEST(EstimationServiceTest, EightThreadHammerMatchesSerialExactly) {

@@ -1,0 +1,130 @@
+// cardclient: a thin CLI over the cardserved wire protocol. Reads SQL
+// queries one-per-line from stdin, sends each as a length-prefixed JSON
+// frame and prints the bitmask-keyed sub-plan estimates; --metrics instead
+// fetches the server's metrics page over HTTP on the same port.
+//
+//   echo "SELECT COUNT(*) FROM users WHERE users.Reputation >= 100;" |
+//     build/tools/cardclient --port=9747 --estimator=PostgreSQL
+//   build/tools/cardclient --port=9747 --metrics
+//
+// Exit status: 0 when every request succeeded, 1 on any failure — so smoke
+// scripts can assert on it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/client.h"
+#include "server/protocol.h"
+
+namespace cardbench {
+namespace {
+
+struct ClientFlags {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string estimator = "PostgreSQL";
+  double deadline_ms = 0.0;
+  bool metrics = false;
+  bool metrics_json = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port=N [--host=ADDR] [--estimator=NAME]\n"
+               "          [--deadline-ms=MS] [--metrics] [--metrics-json]\n"
+               "SQL queries are read one per line from stdin.\n",
+               argv0);
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  ClientFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--host=")) {
+      flags.host = v;
+    } else if (const char* v = value_of("--port=")) {
+      flags.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (const char* v = value_of("--estimator=")) {
+      flags.estimator = v;
+    } else if (const char* v = value_of("--deadline-ms=")) {
+      flags.deadline_ms = std::atof(v);
+    } else if (arg == "--metrics") {
+      flags.metrics = true;
+    } else if (arg == "--metrics-json") {
+      flags.metrics_json = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (flags.port == 0) return Usage(argv[0]);
+
+  if (flags.metrics || flags.metrics_json) {
+    auto body = FetchServerMetrics(
+        flags.host, flags.port,
+        flags.metrics_json ? "/metrics.json" : "/metrics");
+    if (!body.ok()) {
+      std::fprintf(stderr, "cardclient: %s\n",
+                   body.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(body->c_str(), stdout);
+    return 0;
+  }
+
+  CardClient client;
+  if (Status connected = client.Connect(flags.host, flags.port);
+      !connected.ok()) {
+    std::fprintf(stderr, "cardclient: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ServerRequest request;
+    request.estimator = flags.estimator;
+    request.sql = line;
+    request.deadline_ms = flags.deadline_ms;
+    auto response = client.Call(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "cardclient: transport error: %s\n",
+                   response.status().ToString().c_str());
+      return 1;  // the connection is gone; later queries cannot proceed
+    }
+    if (!response->ok()) {
+      std::printf("error %s: %s\n", StatusCodeName(response->code),
+                  response->error.c_str());
+      if (response->code == StatusCode::kResourceExhausted) {
+        std::printf("  queue depth %llu, retry after %.1fms\n",
+                    static_cast<unsigned long long>(response->queue_depth),
+                    response->retry_after_ms);
+      }
+      ++failures;
+      continue;
+    }
+    std::printf("%zu sub-plan estimate(s) in %.1fus (cache %llu/%llu):\n",
+                response->cards.size(), response->elapsed_us,
+                static_cast<unsigned long long>(response->cache_hits),
+                static_cast<unsigned long long>(
+                    response->cache_hits + response->cache_misses));
+    for (const auto& [mask, card] : response->cards) {
+      std::printf("  mask %llu: %.1f rows\n",
+                  static_cast<unsigned long long>(mask), card);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cardbench
+
+int main(int argc, char** argv) { return cardbench::Run(argc, argv); }

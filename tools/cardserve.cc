@@ -14,10 +14,10 @@
 #include <vector>
 
 #include "common/logging.h"
-#include "common/stopwatch.h"
 #include "common/str_util.h"
 #include "harness/bench_env.h"
-#include "query/parser.h"
+#include "server/protocol.h"
+#include "server/request_executor.h"
 #include "service/estimation_service.h"
 #include "service/load_driver.h"
 
@@ -34,32 +34,36 @@ void PrintCacheStats(const EstimationService& service) {
               static_cast<unsigned long long>(stats.evictions));
 }
 
-/// Serves SQL queries from stdin. Returns the number served.
-size_t ServeStdin(EstimationService& service, BenchEnv& env,
+/// Serves SQL queries from stdin through the same RequestExecutor +
+/// protocol structs the network server uses — the CLI is the in-process
+/// transport of the cardserved request path, not a parallel
+/// implementation. Returns the number served.
+size_t ServeStdin(RequestExecutor& executor,
                   const std::vector<std::string>& estimators) {
   size_t served = 0;
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty() || line[0] == '#') continue;
-    auto query = ParseSql(line);
-    if (!query.ok()) {
-      std::printf("parse error: %s\n", query.status().ToString().c_str());
-      continue;
-    }
-    if (Status valid = ValidateQuery(*query, env.db()); !valid.ok()) {
-      std::printf("invalid query: %s\n", valid.ToString().c_str());
+    auto graph = executor.Compile(line);
+    if (!graph.ok()) {
+      std::printf("invalid query: %s\n", graph.status().ToString().c_str());
       continue;
     }
     for (const std::string& name : estimators) {
-      Stopwatch watch;
-      auto card = service.EstimateSync(name, *query, query->FullMask());
-      if (!card.ok()) {
+      ServerRequest request;
+      request.estimator = name;
+      request.sql = line;
+      request.subplan_mask = (*graph)->full_mask();
+      const ServerResponse response = executor.ExecuteSync(request);
+      if (!response.ok()) {
         std::printf("%-12s error: %s\n", name.c_str(),
-                    card.status().ToString().c_str());
+                    response.ToStatus().ToString().c_str());
         continue;
       }
-      std::printf("%-12s %14.1f rows   (%s)\n", name.c_str(), *card,
-                  FormatDuration(watch.ElapsedSeconds()).c_str());
+      const auto card = response.cards.find(request.subplan_mask);
+      std::printf("%-12s %14.1f rows   (%s)\n", name.c_str(),
+                  card == response.cards.end() ? 0.0 : card->second,
+                  FormatDuration(response.elapsed_us * 1e-6).c_str());
     }
     ++served;
   }
@@ -135,7 +139,8 @@ int Run(const BenchFlags& flags) {
               estimators.size(), env.dataset_name().c_str(),
               flags.exec_threads, flags.batch_size);
 
-  if (ServeStdin(service, env, estimators) == 0) {
+  RequestExecutor executor(service, env.db());
+  if (ServeStdin(executor, estimators) == 0) {
     ReplayWorkload(service, env, estimators,
                    std::max<size_t>(2, flags.threads * 2));
   }
