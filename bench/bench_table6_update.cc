@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "datagen/stats_gen.h"
+#include "datagen/streaming_feed.h"
 #include "datagen/update_split.h"
 #include "harness/bench_env.h"
 
@@ -59,11 +60,17 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    // Insert the post-cutoff rows and update the model (the timed step).
-    CARDBENCH_CHECK(ApplyInsertions(*split.stale, split.insertions).ok(),
-                    "insertions failed");
+    // Insert the post-cutoff rows as one streaming batch and update the
+    // model through its incremental path (the timed step). Table-6 methods
+    // absorb inserts via their Update() hook (the default IncrementalUpdate
+    // forwards to it), so timings match the paper's bulk-update protocol.
+    StreamingInsertFeed feed(*split.stale, std::move(split.insertions),
+                             StatsTimestampColumn, 1);
+    auto batch = feed.ApplyNext(*split.stale);
+    CARDBENCH_CHECK(batch.ok(), "insertions failed: %s",
+                    batch.status().ToString().c_str());
     Stopwatch watch;
-    const Status update_status = (*stale)->Update();
+    const Status update_status = (*stale)->IncrementalUpdate(*batch);
     const double update_seconds = watch.ElapsedSeconds();
     CARDBENCH_CHECK(update_status.ok(), "update failed: %s",
                     update_status.ToString().c_str());

@@ -13,6 +13,7 @@
 #include "common/stopwatch.h"
 #include "common/str_util.h"
 #include "datagen/stats_gen.h"
+#include "datagen/streaming_feed.h"
 #include "datagen/update_split.h"
 #include "exec/true_card.h"
 #include "query/parser.h"
@@ -44,29 +45,36 @@ int main() {
   std::printf("\nbefore insertions: estimate %.0f, exact %.0f\n",
               model.EstimateCard(*query), *stale_truth.Card(*query));
 
-  // New data arrives...
-  Stopwatch insert_watch;
-  if (!ApplyInsertions(*split.stale, split.insertions).ok()) {
-    std::fprintf(stderr, "insertions failed\n");
-    return 1;
-  }
-  std::printf("\ninserted %zu rows in %s\n", split.inserted_rows,
-              FormatDuration(insert_watch.ElapsedSeconds()).c_str());
+  // New data streams in as timestamp-ordered micro-batches; after each one
+  // the model absorbs the delta through its incremental-update hook
+  // (BayesCard: structure frozen, counts absorbed) instead of retraining.
+  StreamingInsertFeed feed(*split.stale, std::move(split.insertions),
+                           StatsTimestampColumn, 3);
+  std::printf("\nstreaming %zu rows in %zu micro-batches:\n",
+              feed.total_rows(), feed.num_batches());
+  while (!feed.Done()) {
+    auto batch = feed.ApplyNext(*split.stale);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "insertion batch failed: %s\n",
+                   batch.status().ToString().c_str());
+      return 1;
+    }
+    TrueCardService truth_now(*split.stale);
+    const double exact_now = *truth_now.Card(*query);
+    const double stale_estimate = model.EstimateCard(*query);
 
-  // ...the stale model drifts until Update() absorbs the new rows.
-  TrueCardService full_truth(*split.stale);
-  const double exact_after = *full_truth.Card(*query);
-  std::printf("stale model estimate:   %.0f (exact is now %.0f)\n",
-              model.EstimateCard(*query), exact_after);
-
-  Stopwatch update_watch;
-  if (!model.Update().ok()) {
-    std::fprintf(stderr, "update failed\n");
-    return 1;
+    Stopwatch update_watch;
+    if (!model.IncrementalUpdate(*batch).ok()) {
+      std::fprintf(stderr, "update failed\n");
+      return 1;
+    }
+    std::printf(
+        "  v%llu: +%zu rows; stale estimate %.0f -> refreshed %.0f "
+        "(exact %.0f, refresh %s)\n",
+        static_cast<unsigned long long>(batch->data_version),
+        batch->total_inserted_rows(), stale_estimate,
+        model.EstimateCard(*query), exact_now,
+        FormatDuration(update_watch.ElapsedSeconds()).c_str());
   }
-  std::printf("updated model in %s\n",
-              FormatDuration(update_watch.ElapsedSeconds()).c_str());
-  std::printf("updated model estimate: %.0f (exact %.0f)\n",
-              model.EstimateCard(*query), exact_after);
   return 0;
 }

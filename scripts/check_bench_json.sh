@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Validates every bench artifact (bench_*.json) against the minimal schema
+# enforced by tools/check_bench_json.cc. Registered with ctest as
+# `check_bench_json`, so a bench binary that starts emitting malformed JSON
+# fails the test suite.
+#
+# The script first self-tests the validator on a known-good and a
+# known-broken document (so a validator that accepts everything also fails),
+# then validates the artifacts found in the repo root and bench_logs/.
+# Having no artifacts around is fine — the self-test alone must pass.
+#
+#   scripts/check_bench_json.sh                     # default build/ binary
+#   BIN_DIR=build-asan/tools scripts/check_bench_json.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN_DIR=${BIN_DIR:-build/tools}
+CHECKER="$BIN_DIR/check_bench_json"
+if [ ! -x "$CHECKER" ]; then
+  echo "check_bench_json: missing binary $CHECKER (build the" \
+       "'check_bench_json' target first)" >&2
+  exit 1
+fi
+
+WORK_DIR=$(mktemp -d)
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+# Self-test: a well-formed artifact must pass...
+cat > "$WORK_DIR/bench_good.json" <<'EOF'
+{"bench": "bench_selftest", "scale": 0.5, "rows": [{"estimator": "UniSample", "p50": 1.25}]}
+EOF
+"$CHECKER" "$WORK_DIR/bench_good.json" > /dev/null
+
+# ...and each flavor of breakage must be rejected: trailing garbage, a
+# non-string "bench" field, and an empty top-level object.
+for bad in '{"bench": "x"} trailing' '{"bench": 7}' '{}'; do
+  echo "$bad" > "$WORK_DIR/bench_bad.json"
+  if "$CHECKER" "$WORK_DIR/bench_bad.json" > /dev/null 2>&1; then
+    echo "check_bench_json: validator accepted malformed input: $bad" >&2
+    exit 1
+  fi
+done
+
+# Validate whatever artifacts the benches have produced.
+shopt -s nullglob
+artifacts=(bench_*.json bench_logs/bench_*.json)
+shopt -u nullglob
+if [ "${#artifacts[@]}" -eq 0 ]; then
+  echo "check_bench_json: validator self-test passed (no artifacts found)"
+  exit 0
+fi
+"$CHECKER" "${artifacts[@]}"
+echo "check_bench_json: ${#artifacts[@]} artifact(s) validated"

@@ -76,6 +76,16 @@ run bench_micro_planner
 # bench_server_throughput.json with the per-estimator latency curves.
 run bench_server_throughput
 [ -f bench_server_throughput.json ] && mv bench_server_throughput.json "$LOGS/"
+# Online-refresh drift sweep: streaming micro-batch inserts against the
+# serving stack under no-refresh / incremental-refresh / full-retrain
+# policies; emits bench_drift.json with per-estimator Q-Error, latency and
+# refresh-cost comparisons.
+run bench_drift
+[ -f bench_drift.json ] && mv bench_drift.json "$LOGS/"
+
+# Gate: every collected bench artifact must satisfy the minimal JSON schema
+# (same check ctest runs as `check_bench_json`).
+bash scripts/check_bench_json.sh || echo "[run_all_benches] WARNING: bench JSON validation failed"
 
 # Collect in paper order.
 : > bench_output.txt
@@ -86,7 +96,7 @@ for name in bench_table1_datasets bench_table2_workloads \
             bench_figure3_practicality bench_ablation_fanout \
             bench_sensitivity_noise bench_micro_inference \
             bench_micro_executor bench_micro_planner \
-            bench_server_throughput; do
+            bench_server_throughput bench_drift; do
   {
     echo "================================================================"
     echo "==== $name"

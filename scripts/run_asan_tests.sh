@@ -16,7 +16,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target storage_test exec_test exec_parity_test thread_pool_test \
            service_test harness_test query_graph_test planner_parity_test \
            batch_parity_test serialization_test model_store_test \
-           server_test server_metrics_test
+           server_test server_metrics_test drift_test
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
 if [ "$#" -gt 0 ]; then
@@ -25,7 +25,7 @@ else
   for test in storage_test exec_test exec_parity_test thread_pool_test \
               service_test harness_test query_graph_test \
               planner_parity_test batch_parity_test serialization_test \
-              model_store_test server_test server_metrics_test; do
+              model_store_test server_test server_metrics_test drift_test; do
     echo "== $test (ASAN) =="
     "$BUILD_DIR/tests/$test"
   done

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cardest/insertion_batch.h"
 #include "common/status.h"
 #include "query/query.h"
 #include "query/query_graph.h"
@@ -130,10 +131,37 @@ class CardinalityEstimator {
   /// would need to re-collect and re-execute a training workload (O9).
   virtual bool SupportsUpdate() const { return false; }
 
+  /// Whether IncrementalUpdate has a genuinely incremental path — one whose
+  /// cost scales with the insertion delta (or a small refresh workload),
+  /// not with the full data. Defaults to SupportsUpdate() because the
+  /// Update() implementations of the data-driven zoo are delta-driven or
+  /// cheap rebuilds; query-driven estimators that fine-tune from
+  /// `InsertionBatch::refresh_training` override this to true while keeping
+  /// SupportsUpdate() false (they still cannot refresh from data alone).
+  virtual bool SupportsIncrementalUpdate() const { return SupportsUpdate(); }
+
   /// Incrementally refreshes the model after rows were appended to the
   /// database the estimator was built on. Only called when SupportsUpdate().
   virtual Status Update() {
     return Status::Unsupported(name() + " does not support updates");
+  }
+
+  /// Refreshes the model for one applied insertion batch — the primary
+  /// update entry point of the online-refresh pipeline (EstimationService::
+  /// RefreshIncremental, bench_drift, bench_table6_update all call this).
+  /// Exclusive-access like Update(): callers quiesce concurrent
+  /// EstimateCard calls first.
+  ///
+  /// Estimators with a delta-aware path (sampling re-reservoir, histogram
+  /// merge, warm-start boosting, fine-tune epochs) override this; the
+  /// default forwards to the legacy batch-oblivious Update() when
+  /// SupportsUpdate(), and otherwise answers Unsupported — the "full
+  /// retrain required" flag the refresh pipeline reports per estimator.
+  virtual Status IncrementalUpdate(const InsertionBatch& batch) {
+    (void)batch;
+    if (SupportsUpdate()) return Update();
+    return Status::Unsupported(name() +
+                               ": no incremental path, full retrain required");
   }
 };
 

@@ -1,0 +1,57 @@
+#ifndef CARDBENCH_CARDEST_INSERTION_BATCH_H_
+#define CARDBENCH_CARDEST_INSERTION_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cardbench {
+
+struct TrainingQuery;
+
+/// One table's share of an applied insertion batch: rows
+/// [old_num_rows, new_num_rows) of the named table are the fresh ones.
+/// Deltas describe data that is *already in* the database when the
+/// estimator sees the batch — IncrementalUpdate reads the new rows straight
+/// from the shared Database it was built on.
+struct TableDelta {
+  std::string table;
+  size_t old_num_rows = 0;
+  size_t new_num_rows = 0;
+
+  size_t inserted_rows() const { return new_num_rows - old_num_rows; }
+};
+
+/// What an estimator is told about one applied micro-batch of streaming
+/// inserts (the unit of the online-refresh pipeline). An empty `tables`
+/// list means "full refresh": the deltas are unknown and the model should
+/// rebuild whatever Update() used to rebuild — the legacy
+/// NotifyDataUpdate/Update path is expressed as this degenerate batch.
+struct InsertionBatch {
+  /// Database::data_version after this batch was applied (0 for the legacy
+  /// full-refresh batch). Refreshed models are stamped with it: a model at
+  /// model_version == data_version is fully caught up.
+  uint64_t data_version = 0;
+
+  /// Per-table row ranges of the fresh data; empty = full refresh.
+  std::vector<TableDelta> tables;
+
+  /// Optional refresh workload for query-driven estimators (LW-XGB
+  /// warm-start rounds, MSCN fine-tune epochs): queries labeled with true
+  /// cardinalities on the *post-insert* data. Borrowed; must outlive the
+  /// IncrementalUpdate call. Data-driven estimators ignore it.
+  const std::vector<TrainingQuery>* refresh_training = nullptr;
+
+  bool IsFullRefresh() const { return tables.empty(); }
+
+  size_t total_inserted_rows() const {
+    size_t total = 0;
+    for (const TableDelta& delta : tables) total += delta.inserted_rows();
+    return total;
+  }
+};
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_CARDEST_INSERTION_BATCH_H_

@@ -31,6 +31,12 @@ LwNnEstimator::LwNnEstimator(const Database& db,
                           options.hidden_units / 2, 1},
       rng);
 
+  TrainEpochs(training, options.epochs, rng);
+  train_seconds_ = watch.ElapsedSeconds();
+}
+
+void LwNnEstimator::TrainEpochs(const std::vector<TrainingQuery>& training,
+                                size_t epochs, Rng& rng) {
   // Pre-featurize once.
   std::vector<std::vector<double>> features;
   std::vector<double> targets;
@@ -40,10 +46,11 @@ LwNnEstimator::LwNnEstimator(const Database& db,
     targets.push_back(TargetOf(example.cardinality));
   }
 
-  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
     const auto order = rng.Permutation(training.size());
-    for (size_t begin = 0; begin < order.size(); begin += options.batch_size) {
-      const size_t end = std::min(order.size(), begin + options.batch_size);
+    for (size_t begin = 0; begin < order.size();
+         begin += options_.batch_size) {
+      const size_t end = std::min(order.size(), begin + options_.batch_size);
       Matrix x(end - begin, featurizer_.flat_dim());
       std::vector<double> batch_targets(end - begin);
       for (size_t i = begin; i < end; ++i) {
@@ -57,10 +64,26 @@ LwNnEstimator::LwNnEstimator(const Database& db,
       Matrix grad;
       MseLoss(y, batch_targets, &grad);
       net_->Backward(grad);
-      net_->Step(options.learning_rate);
+      net_->Step(options_.learning_rate);
     }
   }
-  train_seconds_ = watch.ElapsedSeconds();
+}
+
+Status LwNnEstimator::IncrementalUpdate(const InsertionBatch& batch) {
+  if (batch.refresh_training == nullptr || batch.refresh_training->empty()) {
+    return Status::Unsupported(
+        "LW-NN: incremental refresh needs re-labeled training queries "
+        "(batch.refresh_training), full retrain required");
+  }
+  Stopwatch watch;
+  // Derive the shuffle stream from (seed, data_version) so the same refresh
+  // applied to the same parameters is reproducible, while successive
+  // versions see different permutations.
+  Rng rng(options_.seed ^ (batch.data_version * 0x9e3779b97f4a7c15ULL));
+  const size_t epochs = std::max<size_t>(1, options_.epochs / 10);
+  TrainEpochs(*batch.refresh_training, epochs, rng);
+  train_seconds_ += watch.ElapsedSeconds();
+  return Status::OK();
 }
 
 double LwNnEstimator::EstimateCard(const QueryGraph& graph,
@@ -112,6 +135,28 @@ LwXgbEstimator::LwXgbEstimator(const Database& db,
   }
   gbdt_.Fit(features, targets);
   train_seconds_ = watch.ElapsedSeconds();
+}
+
+Status LwXgbEstimator::IncrementalUpdate(const InsertionBatch& batch) {
+  if (batch.refresh_training == nullptr || batch.refresh_training->empty()) {
+    return Status::Unsupported(
+        "LW-XGB: incremental refresh needs re-labeled training queries "
+        "(batch.refresh_training), full retrain required");
+  }
+  Stopwatch watch;
+  const std::vector<TrainingQuery>& training = *batch.refresh_training;
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  features.reserve(training.size());
+  for (const auto& example : training) {
+    features.push_back(featurizer_.FlatFeatures(example.query));
+    targets.push_back(TargetOf(example.cardinality));
+  }
+  const size_t extra =
+      std::max<size_t>(1, gbdt_.options().num_trees / 10);
+  gbdt_.BoostMore(features, targets, extra);
+  train_seconds_ += watch.ElapsedSeconds();
+  return Status::OK();
 }
 
 double LwXgbEstimator::EstimateCard(const QueryGraph& graph,

@@ -7,6 +7,7 @@
 
 #include "cardest/estimator.h"
 #include "cardest/query_features.h"
+#include "common/rng.h"
 #include "ml/gbdt.h"
 #include "ml/nn.h"
 
@@ -41,6 +42,13 @@ class LwNnEstimator : public CardinalityEstimator {
       std::span<const uint64_t> masks) const override;
   double TrainSeconds() const override { return train_seconds_; }
 
+  /// Query-driven: refreshing needs re-labeled queries, not raw rows, so the
+  /// incremental path requires `batch.refresh_training` to be populated.
+  bool SupportsIncrementalUpdate() const override { return true; }
+  /// Warm-start fine-tune: continues SGD from the current weights for
+  /// ~epochs/10 passes over the refresh workload.
+  Status IncrementalUpdate(const InsertionBatch& batch) override;
+
   /// Persists options + network parameters; the featurizer is rebuilt
   /// deterministically from the database on load.
   Status Serialize(std::ostream& out) const override;
@@ -51,6 +59,9 @@ class LwNnEstimator : public CardinalityEstimator {
   struct DeferredInit {};
   /// Load path: seeded untrained topology, parameters injected afterwards.
   LwNnEstimator(const Database& db, LwNnOptions options, DeferredInit);
+  /// Mini-batch SGD over `training`, continuing from the current weights.
+  void TrainEpochs(const std::vector<TrainingQuery>& training, size_t epochs,
+                   Rng& rng);
 
   QueryFeaturizer featurizer_;
   LwNnOptions options_;
@@ -74,6 +85,14 @@ class LwXgbEstimator : public CardinalityEstimator {
       const QueryGraph& graph,
       std::span<const uint64_t> masks) const override;
   double TrainSeconds() const override { return train_seconds_; }
+
+  /// Query-driven: refreshing needs re-labeled queries, not raw rows, so the
+  /// incremental path requires `batch.refresh_training` to be populated.
+  bool SupportsIncrementalUpdate() const override { return true; }
+  /// Warm-start boosting: appends ~num_trees/10 rounds fitted to the current
+  /// ensemble's residuals on the refresh workload — the existing trees are
+  /// untouched, so the refresh costs a tenth of a retrain.
+  Status IncrementalUpdate(const InsertionBatch& batch) override;
 
   /// Persists the fitted tree ensemble; the featurizer is rebuilt
   /// deterministically from the database on load.

@@ -2,8 +2,10 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cstdlib>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -115,6 +117,137 @@ std::string ModelStore::MakeKey(const std::string& estimator,
   key.push_back('-');
   key.append(hex);
   return key;
+}
+
+std::string ModelStore::MakeLineageKey(const std::string& estimator,
+                                       const EstimatorConfig& config) {
+  uint64_t h = kFnvOffset;
+  h = MixU64(h, config.fast ? 1 : 0);
+  std::string key;
+  key.reserve(estimator.size() + 17);
+  for (char c : estimator) {
+    key.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(h));
+  key.push_back('-');
+  key.append(hex);
+  return key;
+}
+
+std::string ModelStore::VersionPathFor(const std::string& lineage,
+                                       uint64_t version) const {
+  return dir_ + "/" + lineage + "@v" + std::to_string(version) + ".cbm";
+}
+
+namespace {
+
+std::string LatestPointerPath(const std::string& dir,
+                              const std::string& lineage) {
+  return dir + "/" + lineage + ".latest";
+}
+
+// Atomic small-file write: temp in the same directory, then rename.
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  static std::atomic<uint64_t> tmp_counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot write " + tmp);
+    out << contents;
+    if (!out.good()) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return Status::IOError("short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IOError("cannot install " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ModelStore::PersistVersion(const std::string& lineage, uint64_t version,
+                                  const CardinalityEstimator& est) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  const std::string path = VersionPathFor(lineage, version);
+  static std::atomic<uint64_t> tmp_counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot write " + tmp);
+    const Status serialized = est.Serialize(out);
+    if (!serialized.ok()) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      // Oracles (TrueCard) have nothing to persist; that is not a failure
+      // of the refresh pipeline.
+      if (serialized.code() == StatusCode::kUnsupported) return Status::OK();
+      return serialized;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IOError("cannot install " + path);
+  }
+  return AtomicWriteFile(LatestPointerPath(dir_, lineage),
+                         std::to_string(version) + "\n");
+}
+
+Result<uint64_t> ModelStore::LatestVersion(const std::string& lineage) const {
+  std::ifstream in(LatestPointerPath(dir_, lineage));
+  if (!in) return Status::NotFound("no latest pointer for " + lineage);
+  uint64_t version = 0;
+  in >> version;
+  if (in.fail()) {
+    return Status::IOError("malformed latest pointer for " + lineage);
+  }
+  return version;
+}
+
+Result<std::unique_ptr<CardinalityEstimator>> ModelStore::LoadVersion(
+    const std::string& lineage, uint64_t version, const Loader& loader) const {
+  const std::string path = VersionPathFor(lineage, version);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no artifact at " + path);
+  return loader(in);
+}
+
+std::vector<uint64_t> ModelStore::ListVersions(
+    const std::string& lineage) const {
+  std::vector<uint64_t> versions;
+  const std::string prefix = lineage + "@v";
+  const std::string suffix = ".cbm";
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return versions;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    versions.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
 }
 
 Result<std::unique_ptr<CardinalityEstimator>> ModelStore::BuildOrLoad(

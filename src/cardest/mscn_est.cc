@@ -52,7 +52,14 @@ MscnEstimator::MscnEstimator(const Database& db,
   head_ = std::make_unique<Mlp>(std::vector<size_t>{3 * h, 2 * h, 1}, rng);
 
   CARDBENCH_CHECK(!training.empty(), "MSCN requires training queries");
-  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+  TrainEpochs(training, options_.epochs, rng);
+  train_seconds_ = watch.ElapsedSeconds();
+}
+
+void MscnEstimator::TrainEpochs(const std::vector<TrainingQuery>& training,
+                                size_t epochs, Rng& rng) {
+  const size_t h = options_.hidden_units;
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
     const auto order = rng.Permutation(training.size());
     double loss_sum = 0.0;
     for (size_t idx : order) {
@@ -103,7 +110,23 @@ MscnEstimator::MscnEstimator(const Database& db,
     CARDBENCH_DLOG("MSCN epoch %zu loss %.4f", epoch,
                    loss_sum / static_cast<double>(training.size()));
   }
-  train_seconds_ = watch.ElapsedSeconds();
+}
+
+Status MscnEstimator::IncrementalUpdate(const InsertionBatch& batch) {
+  if (batch.refresh_training == nullptr || batch.refresh_training->empty()) {
+    return Status::Unsupported(
+        "MSCN: incremental refresh needs re-labeled training queries "
+        "(batch.refresh_training), full retrain required");
+  }
+  Stopwatch watch;
+  // Derive the shuffle stream from (seed, data_version) so the same refresh
+  // applied to the same parameters is reproducible, while successive
+  // versions see different permutations.
+  Rng rng(options_.seed ^ (batch.data_version * 0x9e3779b97f4a7c15ULL));
+  const size_t epochs = std::max<size_t>(1, options_.epochs / 10);
+  TrainEpochs(*batch.refresh_training, epochs, rng);
+  train_seconds_ += watch.ElapsedSeconds();
+  return Status::OK();
 }
 
 double MscnEstimator::Predict(const Query& query) const {

@@ -104,6 +104,45 @@ void MultiHistEstimator::Build(const Database& db) {
   }
 }
 
+Status MultiHistEstimator::Update() {
+  Stopwatch watch;
+  groups_.clear();
+  groups_by_id_.clear();
+  Build(db_);
+  train_seconds_ += watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status MultiHistEstimator::IncrementalUpdate(const InsertionBatch& batch) {
+  if (batch.IsFullRefresh()) return Update();
+  for (const TableDelta& delta : batch.tables) {
+    auto it = groups_.find(delta.table);
+    if (it == groups_.end()) {
+      return Status::NotFound("MultiHist: unknown table " + delta.table);
+    }
+    const Table& table = db_.TableOrDie(delta.table);
+    if (delta.new_num_rows > table.num_rows()) {
+      return Status::InvalidArgument(
+          "MultiHist: delta row range exceeds table " + delta.table);
+    }
+    for (Group& group : it->second) {
+      std::vector<uint16_t> key(group.column_ids.size());
+      for (size_t row = delta.old_num_rows; row < delta.new_num_rows; ++row) {
+        for (size_t k = 0; k < group.column_ids.size(); ++k) {
+          const Column& col =
+              table.column(static_cast<size_t>(group.column_ids[k]));
+          key[k] = group.binners[k]->BinOf(
+              col.IsValid(row) ? std::optional<Value>(col.Get(row))
+                               : std::nullopt);
+        }
+        group.joint[key] += 1.0;
+      }
+      group.total += static_cast<double>(delta.inserted_rows());
+    }
+  }
+  return Status::OK();
+}
+
 double MultiHistEstimator::GroupSelectivity(
     const Group& group,
     const std::vector<std::vector<Predicate>>& preds) const {

@@ -34,6 +34,18 @@ class MultiHistEstimator : public CardinalityEstimator {
   double EstimateCard(const Query& subquery) const override;
   double TrainSeconds() const override { return train_seconds_; }
 
+  bool SupportsUpdate() const override { return true; }
+  /// Full rebuild: re-derives groupings, binners and joint counts from the
+  /// current data (the "full retrain" arm of the drift bench).
+  Status Update() override;
+  /// Binner merge: the inserted rows of each delta are binned through the
+  /// *frozen* per-group binners and added to the joint counts — cost is
+  /// O(inserted rows x groups), no re-clustering, no binner rebuild. Bucket
+  /// boundaries stay where training put them, so heavy distribution shift
+  /// eventually needs the full rebuild; the drift bench measures exactly
+  /// that gap.
+  Status IncrementalUpdate(const InsertionBatch& batch) override;
+
   Status Serialize(std::ostream& out) const override;
   static Result<std::unique_ptr<MultiHistEstimator>> Deserialize(
       const Database& db, std::istream& in);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -232,6 +233,65 @@ std::vector<double> UniSampleEstimator::EstimateCards(
 
 Status UniSampleEstimator::Update() {
   Resample();
+  return Status::OK();
+}
+
+Status UniSampleEstimator::IncrementalUpdate(const InsertionBatch& batch) {
+  if (batch.IsFullRefresh()) {
+    Resample();
+    return Status::OK();
+  }
+  for (const TableDelta& delta : batch.tables) {
+    auto it = samples_.find(delta.table);
+    if (it == samples_.end()) {
+      return Status::NotFound("UniSample: unknown table " + delta.table);
+    }
+    std::vector<uint32_t>& sample = it->second;
+    const size_t n0 = delta.old_num_rows;
+    const size_t n1 = delta.new_num_rows;
+    if (n1 <= n0) continue;
+    if (n1 <= sample_size_) {
+      // Still below the sample budget: the sample is the identity map and
+      // simply absorbs every inserted row id.
+      for (size_t r = sample.size(); r < n1; ++r) {
+        sample.push_back(static_cast<uint32_t>(r));
+      }
+      continue;
+    }
+    if (n0 <= sample_size_) {
+      // Identity -> sampled transition (rare, once per table): redraw.
+      sample.clear();
+      sample.reserve(sample_size_);
+      for (size_t i = 0; i < sample_size_; ++i) {
+        sample.push_back(static_cast<uint32_t>(rng_.NextUint64(n1)));
+      }
+      continue;
+    }
+    // The sample is sample_size_ iid draws from [0, n0). U[0, n1) is the
+    // mixture (n0/n1) * U[0, n0) + p * U[n0, n1) with p = (n1-n0)/n1, so
+    // keeping each slot with probability n0/n1 and redrawing the rest
+    // uniformly from the *inserted* range [n0, n1) yields iid draws from
+    // [0, n1) — exactly the distribution a full Resample produces.
+    // Geometric skips visit only the ~s * p slots that redraw, so the
+    // refresh cost tracks the insertion fraction instead of the sample
+    // size.
+    const double p =
+        static_cast<double>(n1 - n0) / static_cast<double>(n1);
+    if (p <= 0.0) continue;
+    const double inv_log1mp = 1.0 / std::log1p(-p);
+    size_t idx = 0;
+    while (idx < sample.size()) {
+      const double u = std::max(rng_.NextDouble(), 1e-18);
+      const double skip = std::floor(std::log(u) * inv_log1mp);
+      if (skip >= static_cast<double>(sample.size() - idx)) break;
+      idx += static_cast<size_t>(skip);
+      sample[idx] =
+          static_cast<uint32_t>(n0 + rng_.NextUint64(n1 - n0));
+      ++idx;
+    }
+  }
+  // samples_by_id_ points at map nodes (stable under in-place mutation);
+  // nothing to rebuild.
   return Status::OK();
 }
 

@@ -41,6 +41,12 @@ class UniSampleEstimator : public CardinalityEstimator {
   /// Resamples (cheap: sampling is the whole model). Exclusive-access:
   /// concurrent EstimateCard calls must be quiesced first.
   Status Update() override;
+  /// Delta-aware re-reservoir: each existing draw survives with probability
+  /// old_rows/new_rows, otherwise it is redrawn from the inserted range —
+  /// the resulting sample is iid uniform over the grown table, the same
+  /// distribution a full Resample draws, at cost proportional to the
+  /// insertion fraction (geometric skips, no per-slot coin flip).
+  Status IncrementalUpdate(const InsertionBatch& batch) override;
 
   /// The "model" is the drawn row-id sample; persisting it keeps the
   /// deployed estimator's draws (and estimates) identical to training.

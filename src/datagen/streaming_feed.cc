@@ -1,0 +1,110 @@
+#include "datagen/streaming_feed.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace cardbench {
+
+StreamingInsertFeed::StreamingInsertFeed(
+    const Database& db, std::vector<TimeSplit::Insertion> insertions,
+    const TimestampColumnFn& ts_column_of, size_t num_batches) {
+  if (num_batches == 0) num_batches = 1;
+
+  // Flatten timestamped rows into one global event list; rows without a
+  // usable timestamp (no ts column, or NULL) are scheduled by source order.
+  struct TsEvent {
+    Value ts;
+    size_t src;
+    size_t row;
+  };
+  std::vector<TsEvent> events;
+  std::vector<std::vector<size_t>> orderless(insertions.size());
+  for (size_t i = 0; i < insertions.size(); ++i) {
+    const TimeSplit::Insertion& ins = insertions[i];
+    std::optional<size_t> ts_idx;
+    const Table* table = db.FindTable(ins.table);
+    const std::string ts_name = ts_column_of(ins.table);
+    if (table != nullptr && !ts_name.empty()) {
+      ts_idx = table->FindColumn(ts_name);
+    }
+    for (size_t r = 0; r < ins.rows.size(); ++r) {
+      if (ts_idx.has_value() && *ts_idx < ins.rows[r].size() &&
+          ins.rows[r][*ts_idx].has_value()) {
+        events.push_back(TsEvent{*ins.rows[r][*ts_idx], i, r});
+      } else {
+        orderless[i].push_back(r);
+      }
+    }
+    total_rows_ += ins.rows.size();
+  }
+  // Stable: ties and re-runs replay in identical order.
+  std::stable_sort(
+      events.begin(), events.end(),
+      [](const TsEvent& a, const TsEvent& b) { return a.ts < b.ts; });
+
+  // Equal-count chunking of the timeline; orderless rows interleave
+  // proportionally so every table drains at the same relative rate.
+  std::vector<std::vector<size_t>> assign(insertions.size());
+  for (size_t i = 0; i < insertions.size(); ++i) {
+    assign[i].resize(insertions[i].rows.size(), 0);
+  }
+  for (size_t e = 0; e < events.size(); ++e) {
+    assign[events[e].src][events[e].row] = e * num_batches / events.size();
+  }
+  for (size_t i = 0; i < orderless.size(); ++i) {
+    const size_t n = orderless[i].size();
+    for (size_t j = 0; j < n; ++j) {
+      assign[i][orderless[i][j]] = j * num_batches / n;
+    }
+  }
+
+  batches_.resize(num_batches);
+  for (size_t b = 0; b < num_batches; ++b) {
+    for (size_t i = 0; i < insertions.size(); ++i) {
+      TimeSplit::Insertion slice;
+      slice.table = insertions[i].table;
+      for (size_t r = 0; r < insertions[i].rows.size(); ++r) {
+        if (assign[i][r] == b) {
+          slice.rows.push_back(std::move(insertions[i].rows[r]));
+        }
+      }
+      if (!slice.rows.empty()) batches_[b].push_back(std::move(slice));
+    }
+  }
+  // An empty micro-batch would masquerade as a full-refresh InsertionBatch
+  // downstream (empty tables list); drop them instead.
+  batches_.erase(std::remove_if(batches_.begin(), batches_.end(),
+                                [](const std::vector<TimeSplit::Insertion>& b) {
+                                  return b.empty();
+                                }),
+                 batches_.end());
+}
+
+Result<InsertionBatch> StreamingInsertFeed::ApplyNext(Database& db) {
+  if (Done()) return Status::OutOfRange("streaming feed exhausted");
+  const std::vector<TimeSplit::Insertion>& micro = batches_[next_];
+  InsertionBatch out;
+  out.tables.reserve(micro.size());
+  for (const auto& ins : micro) {
+    const Table* table = db.FindTable(ins.table);
+    if (table == nullptr) {
+      return Status::NotFound("streaming feed targets unknown table " +
+                              ins.table);
+    }
+    TableDelta delta;
+    delta.table = ins.table;
+    delta.old_num_rows = table->num_rows();
+    delta.new_num_rows = table->num_rows() + ins.rows.size();
+    out.tables.push_back(std::move(delta));
+  }
+  CARDBENCH_RETURN_IF_ERROR(ApplyInsertions(db, micro));
+  out.data_version = db.data_version();
+  ++next_;
+  return out;
+}
+
+}  // namespace cardbench

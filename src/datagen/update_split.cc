@@ -98,15 +98,32 @@ TimeSplit SplitDatabaseByTime(const Database& db,
 
 Status ApplyInsertions(Database& db,
                        const std::vector<TimeSplit::Insertion>& insertions) {
+  // Validate every batch before touching any table: a malformed feed must
+  // leave the database exactly as it was (no partially applied batch), so
+  // schema mismatches surface as structured errors, never as half-writes.
   for (const auto& batch : insertions) {
-    Table* table = db.FindTable(batch.table);
+    const Table* table = db.FindTable(batch.table);
     if (table == nullptr) {
       return Status::NotFound("insertion into unknown table " + batch.table);
     }
     for (const auto& row : batch.rows) {
-      CARDBENCH_RETURN_IF_ERROR(table->AppendRow(row));
+      if (row.size() != table->num_columns()) {
+        return Status::InvalidArgument(
+            "insertion row width " + std::to_string(row.size()) +
+            " does not match table " + batch.table + " (" +
+            std::to_string(table->num_columns()) + " columns)");
+      }
     }
   }
+  size_t applied = 0;
+  for (const auto& batch : insertions) {
+    Table* table = db.FindTable(batch.table);
+    for (const auto& row : batch.rows) {
+      CARDBENCH_RETURN_IF_ERROR(table->AppendRow(row));
+      ++applied;
+    }
+  }
+  if (applied > 0) db.BumpDataVersion();
   return Status::OK();
 }
 

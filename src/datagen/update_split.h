@@ -46,7 +46,10 @@ TimeSplit SplitDatabaseByTime(const Database& db,
                               double stale_fraction);
 
 /// Appends every insertion batch to `db` (the stale database), simulating
-/// the arrival of new data.
+/// the arrival of new data, and bumps the database's data version once on
+/// success. All batches are validated (known table, matching row width)
+/// before any row is written: on error the database is unchanged and the
+/// returned status names the offending table.
 Status ApplyInsertions(Database& db,
                        const std::vector<TimeSplit::Insertion>& insertions);
 

@@ -105,9 +105,32 @@ void GbdtRegressor::Fit(const std::vector<std::vector<double>>& features,
   base_prediction_ = sum / static_cast<double>(targets.size());
 
   std::vector<double> predictions(targets.size(), base_prediction_);
+  BoostRounds(features, targets, predictions, options_.num_trees);
+}
+
+void GbdtRegressor::BoostMore(const std::vector<std::vector<double>>& features,
+                              const std::vector<double>& targets,
+                              size_t extra_trees) {
+  CARDBENCH_CHECK(features.size() == targets.size() && !features.empty(),
+                  "bad GBDT training data");
+  if (trees_.empty()) {
+    // Unfitted model: no ensemble to continue, so this is a plain fit with
+    // `extra_trees` rounds (the base prediction must come from the data).
+    double sum = 0.0;
+    for (double t : targets) sum += t;
+    base_prediction_ = sum / static_cast<double>(targets.size());
+  }
+  std::vector<double> predictions = PredictBatch(features);
+  BoostRounds(features, targets, predictions, extra_trees);
+}
+
+void GbdtRegressor::BoostRounds(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& targets, std::vector<double>& predictions,
+    size_t rounds) {
   std::vector<double> residuals(targets.size());
   std::vector<size_t> items(targets.size());
-  for (size_t t = 0; t < options_.num_trees; ++t) {
+  for (size_t t = 0; t < rounds; ++t) {
     for (size_t i = 0; i < targets.size(); ++i) {
       residuals[i] = targets[i] - predictions[i];
       items[i] = i;

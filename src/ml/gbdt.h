@@ -34,6 +34,15 @@ class GbdtRegressor {
   void Fit(const std::vector<std::vector<double>>& features,
            const std::vector<double>& targets);
 
+  /// Warm-start continuation: appends `extra_trees` boosting rounds fitted
+  /// to the residuals of the *current* ensemble on the given data, without
+  /// touching the existing trees or the base prediction. This is the
+  /// incremental-refresh path of LW-XGB: a handful of rounds on a small
+  /// fresh workload instead of a full retrain. On an unfitted model it
+  /// degenerates to Fit with `extra_trees` rounds.
+  void BoostMore(const std::vector<std::vector<double>>& features,
+                 const std::vector<double>& targets, size_t extra_trees);
+
   /// Predicts one example.
   double Predict(const std::vector<double>& features) const;
 
@@ -45,6 +54,7 @@ class GbdtRegressor {
       const std::vector<std::vector<double>>& rows) const;
 
   size_t num_trees() const { return trees_.size(); }
+  const GbdtOptions& options() const { return options_; }
   size_t ModelBytes() const;
 
   /// Appends the fitted ensemble (base prediction + every tree's nodes) to
@@ -61,6 +71,12 @@ class GbdtRegressor {
     int right = -1;
   };
   using Tree = std::vector<Node>;
+
+  /// Runs `rounds` residual-boosting iterations, appending to trees_ and
+  /// advancing `predictions` in place (shared by Fit and BoostMore).
+  void BoostRounds(const std::vector<std::vector<double>>& features,
+                   const std::vector<double>& targets,
+                   std::vector<double>& predictions, size_t rounds);
 
   int BuildNode(Tree& tree, const std::vector<std::vector<double>>& features,
                 const std::vector<double>& residuals,

@@ -83,7 +83,37 @@ ServerMetrics::LatencySnapshots() const {
   return out;
 }
 
+void ServerMetrics::RecordRefresh(const std::string& estimator,
+                                  uint64_t model_version, double seconds) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  RefreshStats& stats = refresh_[estimator];
+  stats.count += 1;
+  stats.total_seconds += seconds;
+  stats.last_seconds = seconds;
+  stats.last_version = model_version;
+  stats.last_refresh = std::chrono::steady_clock::now();
+}
+
+std::vector<std::pair<std::string, ServerMetrics::RefreshStats>>
+ServerMetrics::RefreshSnapshots() const {
+  std::vector<std::pair<std::string, RefreshStats>> out;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    out.reserve(refresh_.size());
+    for (const auto& [name, stats] : refresh_) out.emplace_back(name, stats);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 namespace {
+
+double StalenessSeconds(const ServerMetrics::RefreshStats& stats) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       stats.last_refresh)
+      .count();
+}
 
 void AppendCounter(const char* name, uint64_t value, std::string* out) {
   out->append(name);
@@ -145,6 +175,21 @@ std::string ServerMetrics::RenderText(const ServerGauges& gauges) const {
                      "%.9f\n",
                      name.c_str(), snap.sum_seconds);
   }
+  for (const auto& [name, stats] : RefreshSnapshots()) {
+    out += StrFormat("cardserved_model_version{estimator=\"%s\"} %llu\n",
+                     name.c_str(),
+                     static_cast<unsigned long long>(stats.last_version));
+    out += StrFormat("cardserved_model_refresh_total{estimator=\"%s\"} "
+                     "%llu\n",
+                     name.c_str(),
+                     static_cast<unsigned long long>(stats.count));
+    out += StrFormat(
+        "cardserved_model_refresh_seconds_total{estimator=\"%s\"} %.6f\n",
+        name.c_str(), stats.total_seconds);
+    out += StrFormat(
+        "cardserved_model_staleness_seconds{estimator=\"%s\"} %.3f\n",
+        name.c_str(), StalenessSeconds(stats));
+  }
   return out;
 }
 
@@ -190,6 +235,21 @@ std::string ServerMetrics::RenderJson(const ServerGauges& gauges) const {
                      static_cast<unsigned long long>(snap.count),
                      snap.MeanSeconds() * 1e6, snap.Quantile(0.5) * 1e6,
                      snap.Quantile(0.99) * 1e6, snap.Quantile(0.999) * 1e6);
+  }
+  out += "},\"models\":{";
+  bool first_model = true;
+  for (const auto& [name, stats] : RefreshSnapshots()) {
+    if (!first_model) out += ",";
+    first_model = false;
+    out += "\"";
+    out += name;  // estimator names are identifier-like; no escaping needed
+    out += StrFormat(
+        "\":{\"version\":%llu,\"refreshes\":%llu,"
+        "\"refresh_seconds_total\":%.6f,\"last_refresh_seconds\":%.6f,"
+        "\"staleness_seconds\":%.3f}",
+        static_cast<unsigned long long>(stats.last_version),
+        static_cast<unsigned long long>(stats.count), stats.total_seconds,
+        stats.last_seconds, StalenessSeconds(stats));
   }
   out += "}}";
   return out;

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
@@ -102,6 +103,24 @@ class ServerMetrics {
   std::vector<std::pair<std::string, LatencyHistogram::Snapshot>>
   LatencySnapshots() const;
 
+  /// Records one model refresh or hot-swap: the new live version and the
+  /// wall-clock the refresh took. Fed by the service's refresh listener;
+  /// rare (per refresh, not per request), so it takes the writer lock.
+  void RecordRefresh(const std::string& estimator, uint64_t model_version,
+                     double seconds);
+
+  /// Per-estimator model lifecycle state for the exposition endpoints.
+  struct RefreshStats {
+    uint64_t count = 0;
+    double total_seconds = 0.0;
+    double last_seconds = 0.0;
+    uint64_t last_version = 0;
+    std::chrono::steady_clock::time_point last_refresh{};
+  };
+
+  /// Refresh snapshot per estimator, name-sorted for stable output.
+  std::vector<std::pair<std::string, RefreshStats>> RefreshSnapshots() const;
+
   /// Prometheus-style exposition text (counters, gauges, quantiles
   /// 0.5/0.99/0.999 per estimator).
   std::string RenderText(const ServerGauges& gauges) const;
@@ -119,6 +138,7 @@ class ServerMetrics {
   mutable std::shared_mutex mu_;  ///< guards the map shape, not the buckets
   std::unordered_map<std::string, std::unique_ptr<LatencyHistogram>>
       latency_;
+  std::unordered_map<std::string, RefreshStats> refresh_;  ///< also under mu_
 };
 
 }  // namespace cardbench

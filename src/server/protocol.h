@@ -64,6 +64,10 @@ struct ServerResponse {
   std::map<uint64_t, double> cards;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Version of the model that answered (0 when no estimator was reached,
+  /// e.g. rejections and unknown-estimator errors). Lets clients attribute
+  /// estimate changes across hot-swaps and detect stale replicas.
+  uint64_t model_version = 0;
   /// Queue depth observed at rejection time (ResourceExhausted only).
   uint64_t queue_depth = 0;
   /// Backoff hint for rejected requests, in milliseconds (ResourceExhausted

@@ -111,6 +111,7 @@ void RequestExecutor::ExecuteAsync(const ServerRequest& request,
         response.error = result.status.message();
         response.cache_hits = result.cache_hits;
         response.cache_misses = result.cache_misses;
+        response.model_version = result.model_version;
         for (const auto& [mask, card] : result.cards) {
           response.cards[mask] = card;
         }

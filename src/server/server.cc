@@ -86,9 +86,22 @@ CardServer::CardServer(EstimationService& service, const Database& db,
                        ServerOptions options)
     : service_(service),
       executor_(service, db, options.graph_cache_capacity),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  // Model lifecycle events (incremental refreshes, hot-swaps) flow into the
+  // metrics plane, surfacing model_version / refresh-latency / staleness-age
+  // through /metrics and the JSON snapshot.
+  service_.SetRefreshListener(
+      [this](const std::string& name, uint64_t version, double seconds) {
+        metrics_.RecordRefresh(name, version, seconds);
+      });
+}
 
-CardServer::~CardServer() { Stop(); }
+CardServer::~CardServer() {
+  // The listener captures `this`; detach it before the metrics plane dies
+  // (the service may outlive the server and keep refreshing).
+  service_.SetRefreshListener(nullptr);
+  Stop();
+}
 
 Status CardServer::Start() {
   if (running_.load()) return Status::AlreadyExists("server already running");

@@ -14,6 +14,7 @@ size_t SubplanEstimateCache::KeyHash::operator()(
   // reproducible.
   uint64_t h = Fnv1aHash(key.estimator) * 31 + key.fingerprint;
   h ^= key.subplan_mask + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h ^= key.model_version + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
   return static_cast<size_t>(h);
 }
 

@@ -21,10 +21,17 @@ struct SubplanCacheKey {
   std::string estimator;
   uint64_t fingerprint = 0;
   uint64_t subplan_mask = 0;
+  /// Version of the model that produced the estimate. Hot-swapping a model
+  /// bumps this in every new key, so entries computed by the retired
+  /// version can never be served for the new one (and vice versa) — the
+  /// cache stays linearizable across swaps without a global flush.
+  uint64_t model_version = 0;
 
   bool operator==(const SubplanCacheKey& other) const {
     return subplan_mask == other.subplan_mask &&
-           fingerprint == other.fingerprint && estimator == other.estimator;
+           fingerprint == other.fingerprint &&
+           model_version == other.model_version &&
+           estimator == other.estimator;
   }
 };
 

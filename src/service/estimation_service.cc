@@ -32,15 +32,141 @@ EstimationService::~EstimationService() { Shutdown(); }
 
 void EstimationService::RegisterEstimator(
     std::unique_ptr<CardinalityEstimator> estimator) {
-  std::lock_guard<std::mutex> lock(registry_mu_);
-  estimators_[estimator->name()] = std::move(estimator);
+  const std::string name = estimator->name();
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  RegisteredEstimator& entry = estimators_[name];
+  if (entry.estimator != nullptr) retired_.push_back(entry.estimator);
+  entry.estimator = std::move(estimator);
+  entry.model_version = 1;
+  entry.installed_at = Clock::now();
 }
 
 const CardinalityEstimator* EstimationService::GetEstimator(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
   auto it = estimators_.find(name);
-  return it == estimators_.end() ? nullptr : it->second.get();
+  return it == estimators_.end() ? nullptr : it->second.estimator.get();
+}
+
+std::shared_ptr<CardinalityEstimator> EstimationService::Snapshot(
+    const std::string& name, uint64_t* model_version) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  auto it = estimators_.find(name);
+  if (it == estimators_.end()) return nullptr;
+  *model_version = it->second.model_version;
+  return it->second.estimator;
+}
+
+void EstimationService::HotSwapEstimator(
+    std::unique_ptr<CardinalityEstimator> estimator, uint64_t model_version,
+    double refresh_seconds) {
+  const std::string name = estimator->name();
+  {
+    std::unique_lock<std::shared_mutex> lock(registry_mu_);
+    RegisteredEstimator& entry = estimators_[name];
+    if (entry.estimator != nullptr) retired_.push_back(entry.estimator);
+    entry.estimator = std::move(estimator);
+    // Versions only move forward, even if the caller hands back a smaller
+    // number (e.g. replays an old artifact: it still becomes a new epoch).
+    entry.model_version = std::max(entry.model_version + 1, model_version);
+    entry.refresh_count += 1;
+    entry.last_refresh_seconds = refresh_seconds;
+    entry.installed_at = Clock::now();
+    entry.full_retrain_required = false;
+    model_version = entry.model_version;
+  }
+  // No cache flush and no quiesce: keys carry the model version, so the
+  // new version simply misses into fresh entries while in-flight requests
+  // finish against their snapshot of the old one.
+  NotifyRefresh(name, model_version, refresh_seconds);
+}
+
+Status EstimationService::RefreshIncremental(const InsertionBatch& batch,
+                                             RefreshReport* report) {
+  // Writer lock: IncrementalUpdate mutates models in place, which needs
+  // every in-flight estimate quiesced (same contract as Update()).
+  std::unique_lock<std::shared_mutex> quiesce(update_mu_);
+  Status first_error = Status::OK();
+  struct Refreshed {
+    std::string name;
+    uint64_t model_version;
+    double seconds;
+  };
+  std::vector<Refreshed> refreshed;
+  {
+    std::unique_lock<std::shared_mutex> lock(registry_mu_);
+    for (auto& [name, entry] : estimators_) {
+      RefreshReport::Entry out;
+      out.name = name;
+      const Clock::time_point start = Clock::now();
+      Status status = entry.estimator->IncrementalUpdate(batch);
+      out.seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      out.status = status;
+      if (status.ok()) {
+        out.incremental = !batch.IsFullRefresh() &&
+                          entry.estimator->SupportsIncrementalUpdate();
+        entry.model_version =
+            std::max(entry.model_version + 1, batch.data_version);
+        entry.refresh_count += 1;
+        entry.last_refresh_seconds = out.seconds;
+        entry.installed_at = Clock::now();
+        entry.full_retrain_required = false;
+        refreshed.push_back(Refreshed{name, entry.model_version, out.seconds});
+      } else if (status.code() == StatusCode::kUnsupported) {
+        // Not an error: the model simply has no in-place path for this
+        // batch — it serves on, flagged stale until a full retrain swap.
+        out.full_retrain_required = true;
+        entry.full_retrain_required = true;
+      } else if (first_error.ok()) {
+        first_error = status;
+      }
+      out.model_version = entry.model_version;
+      if (report != nullptr) report->entries.push_back(std::move(out));
+    }
+  }
+  // Bump even on error: serving estimates from a model in an unknown state
+  // is strictly worse than recomputing them.
+  cache_.BumpVersion();
+  for (const Refreshed& r : refreshed) {
+    NotifyRefresh(r.name, r.model_version, r.seconds);
+  }
+  return first_error;
+}
+
+std::vector<EstimationService::EstimatorVersionInfo>
+EstimationService::VersionInfo() const {
+  std::vector<EstimatorVersionInfo> out;
+  const Clock::time_point now = Clock::now();
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  out.reserve(estimators_.size());
+  for (const auto& [name, entry] : estimators_) {
+    EstimatorVersionInfo info;
+    info.name = name;
+    info.model_version = entry.model_version;
+    info.refresh_count = entry.refresh_count;
+    info.last_refresh_seconds = entry.last_refresh_seconds;
+    info.staleness_seconds =
+        std::chrono::duration<double>(now - entry.installed_at).count();
+    info.full_retrain_required = entry.full_retrain_required;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+void EstimationService::SetRefreshListener(RefreshListener listener) {
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  refresh_listener_ = std::move(listener);
+}
+
+void EstimationService::NotifyRefresh(const std::string& name,
+                                      uint64_t model_version, double seconds) {
+  RefreshListener listener;
+  {
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    listener = refresh_listener_;
+  }
+  if (listener) listener(name, model_version, seconds);
 }
 
 Status EstimationService::Submit(EstimateRequest request,
@@ -57,7 +183,23 @@ Status EstimationService::Submit(EstimateRequest request,
     item.deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(item.request.timeout_seconds));
   }
-  if (!queue_.TryPush(std::move(item))) {
+  // When the queue is full, expired work queued ahead must not hold
+  // admission slots: it is purged first (and answered below, on this
+  // thread — cheap, no estimator touched), then the push is retried.
+  std::vector<WorkItem> purged;
+  const Clock::time_point now = Clock::now();
+  const bool pushed = queue_.TryPushPurgeExpired(
+      std::move(item),
+      [now](const WorkItem& queued) { return now > queued.deadline; },
+      &purged);
+  for (WorkItem& dead : purged) {
+    if (!dead.done) continue;
+    EstimateResponse response;
+    response.status =
+        Status::DeadlineExceeded("request deadline expired while queued");
+    dead.done(std::move(response));
+  }
+  if (!pushed) {
     // Structured backpressure: the payload names the observed depth and a
     // retry-after hint, so callers (and the network protocol on top) can
     // shed load intelligently instead of blind-retrying.
@@ -158,22 +300,10 @@ EstimationService::EstimateQuerySync(const std::string& estimator,
 }
 
 Status EstimationService::NotifyDataUpdate() {
-  // Writer lock: waits out every in-flight estimate and blocks new ones
-  // while models refresh — Update() has exclusive access by contract.
-  std::unique_lock<std::shared_mutex> quiesce(update_mu_);
-  Status first_error = Status::OK();
-  {
-    std::lock_guard<std::mutex> lock(registry_mu_);
-    for (auto& [name, estimator] : estimators_) {
-      if (!estimator->SupportsUpdate()) continue;
-      Status status = estimator->Update();
-      if (!status.ok() && first_error.ok()) first_error = status;
-    }
-  }
-  // Bump even on error: serving estimates from a model in an unknown state
-  // is strictly worse than recomputing them.
-  cache_.BumpVersion();
-  return first_error;
+  // A full-refresh batch: every estimator that supports any update path
+  // rebuilds from current data (default IncrementalUpdate forwards to
+  // Update()); the rest are flagged, not failed.
+  return RefreshIncremental(InsertionBatch{});
 }
 
 void EstimationService::Shutdown() {
@@ -211,13 +341,20 @@ void EstimationService::WorkerLoop() {
 EstimateResponse EstimationService::Process(const EstimateRequest& request,
                                             Clock::time_point deadline) {
   EstimateResponse response;
-  const CardinalityEstimator* estimator = GetEstimator(request.estimator);
+  // One snapshot for the whole request: even if a hot-swap lands mid-way,
+  // every estimate (and every cache key) of this response comes from the
+  // same model version.
+  uint64_t model_version = 0;
+  const std::shared_ptr<CardinalityEstimator> snapshot =
+      Snapshot(request.estimator, &model_version);
+  const CardinalityEstimator* estimator = snapshot.get();
   if (estimator == nullptr) {
     response.status =
         Status::NotFound("no estimator registered as '" + request.estimator +
                          "'");
     return response;
   }
+  response.model_version = model_version;
   if (request.graph != nullptr) {
     // Compiled-IR batch path: every mask of the request is probed against
     // the sharded LRU in one batch (one lock acquisition per shard), only
@@ -234,7 +371,7 @@ EstimateResponse EstimationService::Process(const EstimateRequest& request,
     keys.reserve(masks.size());
     for (uint64_t mask : masks) {
       keys.push_back(SubplanCacheKey{request.estimator, graph.fingerprint(),
-                                     mask});
+                                     mask, model_version});
     }
     std::vector<double> estimates;
     std::vector<bool> hit;
@@ -307,7 +444,7 @@ EstimateResponse EstimationService::Process(const EstimateRequest& request,
       response.cards.clear();
       return response;
     }
-    SubplanCacheKey key{request.estimator, fingerprint, mask};
+    SubplanCacheKey key{request.estimator, fingerprint, mask, model_version};
     double estimate = 0.0;
     if (cache_.Lookup(key, &estimate)) {
       ++response.cache_hits;

@@ -69,9 +69,36 @@ struct EstimateResponse {
   std::unordered_map<uint64_t, double> cards;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  /// Version of the model that answered (every card in one response comes
+  /// from a single version — the registry snapshot is taken once per
+  /// request, so a hot-swap mid-request can never mix versions).
+  uint64_t model_version = 0;
 };
 
 using EstimateCallback = std::function<void(EstimateResponse)>;
+
+/// Outcome of one RefreshIncremental pass, per estimator.
+struct RefreshReport {
+  struct Entry {
+    std::string name;
+    Status status;
+    /// True when the estimator took the incremental path (vs. falling back
+    /// to a full Update or reporting Unsupported).
+    bool incremental = false;
+    /// The estimator has no path to absorb this batch in place; the caller
+    /// should schedule a full retrain + HotSwapEstimator.
+    bool full_retrain_required = false;
+    double seconds = 0.0;
+    uint64_t model_version = 0;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Notified after every model-version change (incremental refresh or
+/// hot-swap): estimator name, new model version, refresh wall-clock
+/// seconds. Invoked outside the registry lock, possibly concurrently.
+using RefreshListener =
+    std::function<void(const std::string&, uint64_t, double)>;
 
 /// The concurrent cardinality-estimation serving layer: owns trained
 /// estimator instances and answers estimation requests from a fixed-size
@@ -96,13 +123,51 @@ class EstimationService {
   EstimationService(const EstimationService&) = delete;
   EstimationService& operator=(const EstimationService&) = delete;
 
-  /// Registers `estimator` under its name(). Replaces an existing
-  /// registration of the same name.
+  /// Registers `estimator` under its name() at model version 1. Replaces an
+  /// existing registration of the same name.
   void RegisterEstimator(std::unique_ptr<CardinalityEstimator> estimator);
 
   /// Registered estimator lookup (nullptr if absent). The pointer stays
-  /// valid until the service is destroyed.
+  /// valid until the service is destroyed (hot-swapped versions are
+  /// retired, not destroyed).
   const CardinalityEstimator* GetEstimator(const std::string& name) const;
+
+  /// Atomically replaces the model serving `estimator->name()` with a new
+  /// version. Readers never block: each in-flight request holds a
+  /// shared_ptr snapshot of exactly one version, and cache keys carry the
+  /// model version, so concurrent estimates are always answered entirely by
+  /// the old or entirely by the new model — never a torn mix. The retired
+  /// version stays alive until service destruction. `refresh_seconds` is
+  /// the wall-clock the caller spent producing the new version (full
+  /// retrain time), reported through the refresh listener and VersionInfo.
+  void HotSwapEstimator(std::unique_ptr<CardinalityEstimator> estimator,
+                        uint64_t model_version, double refresh_seconds = 0.0);
+
+  /// Quiesces serving and applies `batch` to every registered estimator via
+  /// IncrementalUpdate. Per-estimator outcomes land in `report` (if given):
+  /// success advances the estimator's model version to
+  /// max(current+1, batch.data_version); Unsupported marks
+  /// full_retrain_required instead of failing the pass. Returns the first
+  /// hard error (after attempting every estimator and bumping the cache
+  /// data version).
+  Status RefreshIncremental(const InsertionBatch& batch,
+                            RefreshReport* report = nullptr);
+
+  /// Per-estimator lifecycle snapshot (registration order not guaranteed).
+  struct EstimatorVersionInfo {
+    std::string name;
+    uint64_t model_version = 0;
+    uint64_t refresh_count = 0;
+    /// Wall-clock seconds of the most recent refresh / swap build.
+    double last_refresh_seconds = 0.0;
+    /// Age of the live version: seconds since it was installed.
+    double staleness_seconds = 0.0;
+    bool full_retrain_required = false;
+  };
+  std::vector<EstimatorVersionInfo> VersionInfo() const;
+
+  /// Installs the model-version-change listener (pass nullptr to clear).
+  void SetRefreshListener(RefreshListener listener);
 
   /// Enqueues `request`; `done` runs on a worker thread when it completes
   /// (including with a non-OK response status, e.g. unknown estimator).
@@ -122,10 +187,11 @@ class EstimationService {
   Result<std::unordered_map<uint64_t, double>> EstimateQuerySync(
       const std::string& estimator, const QueryGraph& graph);
 
-  /// Data-update hook: quiesces all in-flight estimation, invokes Update()
-  /// on every estimator that SupportsUpdate, and invalidates the cache.
-  /// Returns the first estimator-update error (after finishing the rest and
-  /// always bumping the cache version).
+  /// Data-update hook: quiesces all in-flight estimation, invokes the full
+  /// refresh path (Update()) on every estimator that SupportsUpdate, and
+  /// invalidates the cache. Equivalent to RefreshIncremental with a
+  /// full-refresh batch. Returns the first estimator-update error (after
+  /// finishing the rest and always bumping the cache version).
   Status NotifyDataUpdate();
 
   EstimateCacheStats cache_stats() const { return cache_.stats(); }
@@ -161,9 +227,28 @@ class EstimationService {
     Clock::time_point deadline = Clock::time_point::max();
   };
 
+  /// One entry of the versioned registry: the live model, its version, and
+  /// refresh bookkeeping. Swaps replace `estimator` (the old shared_ptr is
+  /// retired); incremental refreshes mutate the object in place under the
+  /// update_mu_ writer lock and advance `model_version`.
+  struct RegisteredEstimator {
+    std::shared_ptr<CardinalityEstimator> estimator;
+    uint64_t model_version = 1;
+    uint64_t refresh_count = 0;
+    double last_refresh_seconds = 0.0;
+    Clock::time_point installed_at;
+    bool full_retrain_required = false;
+  };
+
   void WorkerLoop();
   EstimateResponse Process(const EstimateRequest& request,
                            Clock::time_point deadline);
+  /// One coherent (model, version) view for a whole request.
+  std::shared_ptr<CardinalityEstimator> Snapshot(const std::string& name,
+                                                 uint64_t* model_version)
+      const;
+  void NotifyRefresh(const std::string& name, uint64_t model_version,
+                     double seconds);
 
   ServiceOptions options_;
   SubplanEstimateCache cache_;
@@ -173,12 +258,19 @@ class EstimationService {
   std::atomic<uint64_t> processed_requests_{0};
   std::atomic<uint64_t> processed_nanos_{0};
 
-  /// Readers: workers serving estimates. Writer: NotifyDataUpdate.
+  /// Readers: workers serving estimates. Writer: RefreshIncremental /
+  /// NotifyDataUpdate (in-place model mutation needs exclusive access;
+  /// hot-swaps don't — they only retire a pointer).
   std::shared_mutex update_mu_;
 
-  mutable std::mutex registry_mu_;
-  std::unordered_map<std::string, std::unique_ptr<CardinalityEstimator>>
-      estimators_;
+  mutable std::shared_mutex registry_mu_;
+  std::unordered_map<std::string, RegisteredEstimator> estimators_;
+  /// Hot-swapped-out models, kept alive so GetEstimator pointers obtained
+  /// before a swap stay valid for the service's lifetime.
+  std::vector<std::shared_ptr<CardinalityEstimator>> retired_;
+
+  std::mutex listener_mu_;
+  RefreshListener refresh_listener_;
 
   ThreadPool pool_;  // last member: workers must die before queue/registry
 };

@@ -6,6 +6,7 @@
 #include <deque>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 namespace cardbench {
 
@@ -34,6 +35,36 @@ class RequestQueue {
     }
     ready_.notify_one();
     return true;
+  }
+
+  /// Like TryPush, but when the queue is at capacity it first evicts every
+  /// queued item for which `expired` returns true — moving them into
+  /// `purged` so the caller can answer their deadlines — and then retries
+  /// the push. Dead work (a deadline that lapsed while queued) therefore
+  /// never costs a live request its admission slot.
+  template <typename ExpiredFn>
+  bool TryPushPurgeExpired(T item, const ExpiredFn& expired,
+                           std::vector<T>* purged) {
+    bool pushed = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      if (items_.size() >= capacity_) {
+        for (auto it = items_.begin(); it != items_.end();) {
+          if (expired(*it)) {
+            purged->push_back(std::move(*it));
+            it = items_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      if (items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      pushed = true;
+    }
+    ready_.notify_one();
+    return pushed;
   }
 
   /// Blocks until an item is available (returns true) or the queue is

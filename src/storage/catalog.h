@@ -1,6 +1,8 @@
 #ifndef CARDBENCH_STORAGE_CATALOG_H_
 #define CARDBENCH_STORAGE_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -76,11 +78,26 @@ class Database {
   /// Sum of per-table memory footprints.
   size_t MemoryBytes() const;
 
+  /// Monotonic data version: starts at 1 (the load-time state) and is
+  /// bumped by every applied insertion batch (StreamingInsertFeed /
+  /// ApplyInsertions). Models and cache entries are stamped with the
+  /// version they were built against, which is what makes "is this model
+  /// stale, and by how much?" a well-posed question for the refresh
+  /// pipeline. Atomic so metrics threads may read it while a quiesced
+  /// update section bumps it.
+  uint64_t data_version() const {
+    return data_version_.load(std::memory_order_acquire);
+  }
+  void BumpDataVersion() {
+    data_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
  private:
   std::string name_;
   std::vector<std::string> table_names_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<JoinRelation> relations_;
+  std::atomic<uint64_t> data_version_{1};
 };
 
 }  // namespace cardbench

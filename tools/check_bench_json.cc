@@ -1,0 +1,105 @@
+// Validates bench artifact files (bench_*.json) against the repo's minimal
+// schema, so a formatting bug in a bench's hand-rolled JSON writer fails
+// the test suite instead of silently corrupting downstream analysis.
+//
+// Schema (deliberately small — it must hold for every artifact the benches
+// emit, object-shaped or array-shaped):
+//   - the file parses as strict JSON (no trailing garbage, finite numbers);
+//   - the top-level value is a non-empty object or a non-empty array of
+//     objects;
+//   - object keys are non-empty and unique per object;
+//   - when a "bench" key is present it is a non-empty string.
+//
+// Usage: check_bench_json FILE...   (exit 0 iff every file validates)
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+
+namespace cardbench {
+namespace {
+
+Status ValidateObject(const JsonValue& value) {
+  std::set<std::string> keys;
+  for (const auto& [key, child] : value.object) {
+    if (key.empty()) return Status::InvalidArgument("empty object key");
+    if (!keys.insert(key).second) {
+      return Status::InvalidArgument("duplicate key \"" + key + "\"");
+    }
+    if (child.kind == JsonValue::Kind::kObject) {
+      CARDBENCH_RETURN_IF_ERROR(ValidateObject(child));
+    } else if (child.kind == JsonValue::Kind::kArray) {
+      for (const auto& element : child.array) {
+        if (element.kind == JsonValue::Kind::kObject) {
+          CARDBENCH_RETURN_IF_ERROR(ValidateObject(element));
+        }
+      }
+    }
+  }
+  const JsonValue* bench = value.Find("bench");
+  if (bench != nullptr &&
+      (bench->kind != JsonValue::Kind::kString || bench->string.empty())) {
+    return Status::InvalidArgument("\"bench\" must be a non-empty string");
+  }
+  return Status::OK();
+}
+
+Status ValidateFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) return Status::InvalidArgument("empty file");
+
+  JsonParser parser(text);
+  auto parsed = parser.Parse();
+  if (!parsed.ok()) return parsed.status();
+
+  if (parsed->kind == JsonValue::Kind::kObject) {
+    if (parsed->object.empty()) {
+      return Status::InvalidArgument("top-level object is empty");
+    }
+    return ValidateObject(*parsed);
+  }
+  if (parsed->kind == JsonValue::Kind::kArray) {
+    if (parsed->array.empty()) {
+      return Status::InvalidArgument("top-level array is empty");
+    }
+    for (const auto& element : parsed->array) {
+      if (element.kind != JsonValue::Kind::kObject) {
+        return Status::InvalidArgument(
+            "top-level array elements must be objects");
+      }
+      CARDBENCH_RETURN_IF_ERROR(ValidateObject(element));
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "top-level value must be an object or an array");
+}
+
+}  // namespace
+}  // namespace cardbench
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const cardbench::Status status = cardbench::ValidateFile(argv[i]);
+    if (status.ok()) {
+      std::printf("OK   %s\n", argv[i]);
+    } else {
+      std::printf("FAIL %s: %s\n", argv[i], status.ToString().c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
