@@ -31,6 +31,7 @@
 
 #include "cardest/insertion_batch.h"
 #include "cardest/registry.h"
+#include "common/cpu_info.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/str_util.h"
@@ -300,10 +301,11 @@ int Run(const BenchFlags& flags) {
   const char* json_path = "bench_drift.json";
   if (std::FILE* out = std::fopen(json_path, "w")) {
     std::fprintf(out,
-                 "{\n  \"bench\": \"bench_drift\",\n"
+                 "{\n  \"bench\": \"bench_drift\",\n  %s,\n"
                  "  \"dataset\": \"%s\",\n  \"scale\": %g,\n"
                  "  \"batches\": %zu,\n  \"queries\": %zu,\n"
                  "  \"streamed_rows\": %zu,\n  \"estimators\": [\n",
+                 CpuInfoJson().c_str(),
                  env.dataset_name().c_str(), flags.scale, num_batches,
                  env.query_contexts().size(), streamed_rows);
     auto mode_json = [out](const char* label, const ModeResult& m,

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_info.h"
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "harness/bench_env.h"
@@ -84,11 +85,13 @@ void RunDataset(BenchDataset dataset, const BenchFlags& flags,
 void WriteJson(const std::vector<PracticalityRow>& rows) {
   std::FILE* json = std::fopen("bench_figure3_practicality.json", "w");
   if (json == nullptr) return;
-  std::fprintf(json, "[\n");
+  std::fprintf(json, "{\n  \"bench\": \"bench_figure3_practicality\",\n  %s,\n",
+               CpuInfoJson().c_str());
+  std::fprintf(json, "  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const PracticalityRow& row = rows[i];
     std::fprintf(json,
-                 "  {\"dataset\": \"%s\", \"estimator\": \"%s\", "
+                 "    {\"dataset\": \"%s\", \"estimator\": \"%s\", "
                  "\"avg_inference_seconds\": %.9f, \"model_bytes\": %zu, "
                  "\"train_seconds\": %.6f, \"build_seconds\": %.6f, "
                  "\"load_seconds\": %.6f, \"loaded\": %s}%s\n",
@@ -98,7 +101,7 @@ void WriteJson(const std::vector<PracticalityRow>& rows) {
                  row.loaded ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(json, "]\n");
+  std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("\nwrote bench_figure3_practicality.json (%zu rows)\n",
               rows.size());

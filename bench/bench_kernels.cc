@@ -1,0 +1,187 @@
+// Micro-benchmark of the shared kernel layer (src/common/simd.h): times
+// every kernel at every SIMD tier the host can execute and reports each
+// tier's speedup over the scalar reference. The JSON artifact feeds the
+// check_perf_floor gate — a refactor that silently drops a vector tier back
+// to scalar-level throughput fails the test suite instead of landing.
+//
+//   bench_kernels [--json=PATH] [--reps=N] [--quick]
+//
+// Timing method: each (kernel, tier) point runs `reps` passes over a fixed
+// working set and reports best-of-3 chunk wall time per element —
+// insensitive to one-off scheduler noise, cheap enough for a ctest gate.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/cpu_info.h"
+#include "common/rng.h"
+#include "common/simd.h"
+
+namespace cardbench {
+namespace {
+
+using simd::Cmp;
+using simd::KernelTable;
+using simd::Level;
+
+// L1-resident working set: the hot callers run over L1-sized spans (GEMM
+// inner rows, 1-4K-row filter batches), and an L2-bound sweep would measure
+// memory bandwidth instead of kernel throughput.
+constexpr size_t kN = 1024;
+
+// Sink defeating dead-code elimination of result values.
+volatile double g_sink = 0.0;
+
+struct KernelCase {
+  const char* name;
+  std::function<void(const KernelTable&)> run;  // one pass over kN elements
+};
+
+struct Row {
+  std::string kernel;
+  std::string level;
+  double ns_per_element = 0.0;
+  double speedup_vs_scalar = 0.0;
+};
+
+std::vector<KernelCase> BuildCases() {
+  static Rng rng(2021);
+  static std::vector<double> a(kN), b(kN), dst(kN);
+  static std::vector<int64_t> values(kN);
+  static std::vector<uint8_t> valid(kN);
+  static std::vector<uint32_t> rows(kN), out(kN + 8);
+  static std::vector<int64_t> keys(kN);
+  static std::vector<uint8_t> valid_out(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    a[i] = rng.NextDouble();
+    b[i] = rng.NextDouble() - 0.5;
+    dst[i] = 0.0;
+    values[i] = static_cast<int64_t>(rng.NextUint64(100));
+    valid[i] = rng.NextUint64(16) != 0;
+    rows[i] = static_cast<uint32_t>(rng.NextUint64(kN));
+  }
+  return {
+      {"dot",
+       [](const KernelTable& kt) { g_sink = kt.dot(a.data(), b.data(), kN); }},
+      {"axpy",
+       [](const KernelTable& kt) { kt.axpy(dst.data(), a.data(), 1.0001, kN); }},
+      {"relu",
+       [](const KernelTable& kt) { kt.relu(dst.data(), kN); }},
+      {"filter_range",
+       [](const KernelTable& kt) {
+         g_sink = static_cast<double>(kt.filter_range(
+             values.data(), valid.data(), 0, kN, Cmp::kLt, 50, out.data()));
+       }},
+      {"filter_rows",
+       [](const KernelTable& kt) {
+         // Rebuild the row list each pass: filter_rows compacts in place.
+         std::memcpy(out.data(), rows.data(), kN * sizeof(uint32_t));
+         g_sink = static_cast<double>(kt.filter_rows(
+             values.data(), valid.data(), out.data(), kN, Cmp::kGe, 50));
+       }},
+      {"gather",
+       [](const KernelTable& kt) {
+         kt.gather(values.data(), valid.data(), rows.data(), kN, keys.data(),
+                   valid_out.data());
+       }},
+  };
+}
+
+double TimePass(const KernelCase& kc, const KernelTable& kt, size_t reps) {
+  // Warm-up pass pulls the working set into cache.
+  kc.run(kt);
+  double best_ns = 1e300;
+  for (int chunk = 0; chunk < 3; ++chunk) {
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < reps; ++r) kc.run(kt);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count() /
+        (static_cast<double>(reps) * static_cast<double>(kN));
+    best_ns = std::min(best_ns, ns);
+  }
+  return best_ns;
+}
+
+int Run(int argc, char** argv) {
+  std::string json_path;
+  size_t reps = 500;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = std::stoul(arg.substr(7));
+    } else if (arg == "--quick") {
+      reps = 50;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=PATH] [--reps=N] [--quick]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<Level> levels = {Level::kScalar};
+  for (Level l : {Level::kSse2, Level::kAvx2, Level::kAvx512}) {
+    if (l <= simd::DetectLevel()) levels.push_back(l);
+  }
+
+  std::printf("kernel micro-bench: %zu elements/pass, %zu reps, cpu \"%s\" "
+              "(best tier %s)\n",
+              kN, reps, CpuModelName().c_str(), CpuSimdCapability());
+  std::printf("%-14s %-8s %14s %14s\n", "kernel", "level", "ns/element",
+              "vs scalar");
+
+  std::vector<Row> rows;
+  for (const KernelCase& kc : BuildCases()) {
+    double scalar_ns = 0.0;
+    for (Level level : levels) {
+      const double ns = TimePass(kc, simd::KernelsFor(level), reps);
+      if (level == Level::kScalar) scalar_ns = ns;
+      Row row;
+      row.kernel = kc.name;
+      row.level = simd::LevelName(level);
+      row.ns_per_element = ns;
+      row.speedup_vs_scalar = ns > 0.0 ? scalar_ns / ns : 0.0;
+      rows.push_back(row);
+      std::printf("%-14s %-8s %14.3f %13.2fx\n", kc.name,
+                  simd::LevelName(level), ns, row.speedup_vs_scalar);
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"bench_kernels\",\n  %s,\n",
+                 CpuInfoJson().c_str());
+    std::fprintf(out, "  \"elements_per_pass\": %zu,\n  \"reps\": %zu,\n", kN,
+                 reps);
+    std::fprintf(out, "  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"kernel\": \"%s\", \"level\": \"%s\", "
+                   "\"ns_per_element\": %.4f, \"speedup_vs_scalar\": %.3f}%s\n",
+                   rows[i].kernel.c_str(), rows[i].level.c_str(),
+                   rows[i].ns_per_element, rows[i].speedup_vs_scalar,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("rows -> %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cardbench
+
+int main(int argc, char** argv) { return cardbench::Run(argc, argv); }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cpu_info.h"
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "exec/executor.h"
@@ -110,10 +111,11 @@ int Run(const BenchFlags& flags) {
   const char* json_path = "bench_micro_executor.json";
   if (std::FILE* out = std::fopen(json_path, "w")) {
     std::fprintf(out,
-                 "{\n  \"bench\": \"bench_micro_executor\",\n"
+                 "{\n  \"bench\": \"bench_micro_executor\",\n  %s,\n"
                  "  \"dataset\": \"%s\",\n  \"scale\": %g,\n"
                  "  \"plans\": %zu,\n  \"repeats\": %zu,\n"
                  "  \"serial_seconds\": %.6f,\n  \"configs\": [\n",
+                 CpuInfoJson().c_str(),
                  env.dataset_name().c_str(), flags.scale, plans.size(),
                  repeats, baseline.seconds);
     for (size_t i = 0; i < results.size(); ++i) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cardest/registry.h"
+#include "common/cpu_info.h"
 #include "datagen/stats_gen.h"
 #include "exec/true_card.h"
 #include "query/parser.h"
@@ -203,7 +204,9 @@ void RunBatchSweep() {
 
   const char* json_path = "bench_micro_inference_batch.json";
   if (std::FILE* out = std::fopen(json_path, "w")) {
-    std::fprintf(out, "{\n  \"query\": \"5-way join (stats scale 0.1)\",\n");
+    std::fprintf(out, "{\n  \"bench\": \"bench_micro_inference_batch\",\n");
+    std::fprintf(out, "  %s,\n", CpuInfoJson().c_str());
+    std::fprintf(out, "  \"query\": \"5-way join (stats scale 0.1)\",\n");
     std::fprintf(out, "  \"num_connected_subsets\": %zu,\n", num_subsets);
     std::fprintf(out, "  \"target_subplans_per_point\": %zu,\n",
                  kTargetSubplans);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_info.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/str_util.h"
@@ -118,11 +119,11 @@ int Run(const BenchFlags& flags) {
   const char* json_path = "bench_micro_planner.json";
   if (std::FILE* out = std::fopen(json_path, "w")) {
     std::fprintf(out,
-                 "{\n  \"bench\": \"bench_micro_planner\",\n"
+                 "{\n  \"bench\": \"bench_micro_planner\",\n  %s,\n"
                  "  \"dataset\": \"%s\",\n  \"scale\": %g,\n"
                  "  \"estimator\": \"%s\",\n  \"queries\": %zu,\n"
                  "  \"repeats\": %zu,\n  \"paths\": [\n",
-                 env.dataset_name().c_str(), flags.scale,
+                 CpuInfoJson().c_str(), env.dataset_name().c_str(), flags.scale,
                  estimator_name.c_str(), contexts.size(), repeats);
     for (size_t i = 0; i < rows.size(); ++i) {
       const PathResult& r = *rows[i];

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_info.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/str_util.h"
@@ -241,10 +242,11 @@ int RunBench(const BenchFlags& flags) {
   const char* json_path = "bench_server_throughput.json";
   if (std::FILE* out = std::fopen(json_path, "w")) {
     std::fprintf(out,
-                 "{\n  \"bench\": \"bench_server_throughput\",\n"
+                 "{\n  \"bench\": \"bench_server_throughput\",\n  %s,\n"
                  "  \"dataset\": \"%s\",\n  \"scale\": %g,\n"
                  "  \"queries\": %zu,\n  \"workers\": %zu,\n"
                  "  \"queue_depth\": %zu,\n  \"estimators\": [\n",
+                 CpuInfoJson().c_str(),
                  env.dataset_name().c_str(), flags.scale, sqls.size(),
                  service.num_threads(), service.queue_capacity());
     for (size_t e = 0; e < runs.size(); ++e) {

@@ -27,13 +27,23 @@ trap 'rm -rf "$WORK_DIR"' EXIT
 
 # Self-test: a well-formed artifact must pass...
 cat > "$WORK_DIR/bench_good.json" <<'EOF'
-{"bench": "bench_selftest", "scale": 0.5, "rows": [{"estimator": "UniSample", "p50": 1.25}]}
+{"bench": "bench_selftest", "cpu": {"model": "Test CPU", "simd": "avx2"}, "scale": 0.5, "rows": [{"estimator": "UniSample", "p50": 1.25}]}
 EOF
 "$CHECKER" "$WORK_DIR/bench_good.json" > /dev/null
 
+# ...as must a perf-counter artifact with null counters (perf unavailable).
+cat > "$WORK_DIR/bench_counters_null.json" <<'EOF'
+{"bench": "bench_kernels_perf_counters", "cpu": {"model": "Test CPU", "simd": "avx512"}, "counters": null}
+EOF
+"$CHECKER" "$WORK_DIR/bench_counters_null.json" > /dev/null
+
 # ...and each flavor of breakage must be rejected: trailing garbage, a
-# non-string "bench" field, and an empty top-level object.
-for bad in '{"bench": "x"} trailing' '{"bench": 7}' '{}'; do
+# non-string "bench" field, an empty top-level object, and a "cpu" stamp
+# that is not an object or misses its model/simd strings.
+for bad in '{"bench": "x"} trailing' '{"bench": 7}' '{}' \
+           '{"bench": "x", "cpu": "avx2"}' \
+           '{"bench": "x", "cpu": {"model": "y"}}' \
+           '{"bench": "x", "cpu": {"model": "", "simd": "avx2"}}'; do
   echo "$bad" > "$WORK_DIR/bench_bad.json"
   if "$CHECKER" "$WORK_DIR/bench_bad.json" > /dev/null 2>&1; then
     echo "check_bench_json: validator accepted malformed input: $bad" >&2
@@ -41,10 +51,13 @@ for bad in '{"bench": "x"} trailing' '{"bench": 7}' '{}'; do
   fi
 done
 
-# Validate whatever artifacts the benches have produced.
+# Validate whatever artifacts the benches have produced. bench_*.json also
+# matches bench_perf_counters.json (scripts/perf_stat.sh) and the checked-in
+# floor file is validated explicitly.
 shopt -s nullglob
 artifacts=(bench_*.json bench_logs/bench_*.json)
 shopt -u nullglob
+[ -f bench/perf_floor.json ] && artifacts+=(bench/perf_floor.json)
 if [ "${#artifacts[@]}" -eq 0 ]; then
   echo "check_bench_json: validator self-test passed (no artifacts found)"
   exit 0

@@ -83,9 +83,18 @@ run bench_server_throughput
 run bench_drift
 [ -f bench_drift.json ] && mv bench_drift.json "$LOGS/"
 
+# Kernel-layer micro-bench + perf-counter capture: bench_kernels' per-tier
+# speedups, and hardware counters when perf is usable here (null otherwise).
+"$BENCH/bench_kernels" --json=bench_kernels.json > "$LOGS/bench_kernels.log" 2>&1
+bash scripts/perf_stat.sh >> "$LOGS/bench_kernels.log" 2>&1
+[ -f bench_kernels.json ] && mv bench_kernels.json "$LOGS/"
+
 # Gate: every collected bench artifact must satisfy the minimal JSON schema
-# (same check ctest runs as `check_bench_json`).
+# (same check ctest runs as `check_bench_json`), and the kernel tiers must
+# clear the checked-in speedup floors (same check ctest runs as
+# `check_perf_floor`).
 bash scripts/check_bench_json.sh || echo "[run_all_benches] WARNING: bench JSON validation failed"
+bash scripts/check_perf_floor.sh || echo "[run_all_benches] WARNING: kernel perf floors violated"
 
 # Collect in paper order.
 : > bench_output.txt
@@ -95,7 +104,7 @@ for name in bench_table1_datasets bench_table2_workloads \
             bench_table7_qerror_perror bench_figure2_case_study \
             bench_figure3_practicality bench_ablation_fanout \
             bench_sensitivity_noise bench_micro_inference \
-            bench_micro_executor bench_micro_planner \
+            bench_micro_executor bench_micro_planner bench_kernels \
             bench_server_throughput bench_drift; do
   {
     echo "================================================================"

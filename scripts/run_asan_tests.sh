@@ -16,7 +16,8 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target storage_test exec_test exec_parity_test thread_pool_test \
            service_test harness_test query_graph_test planner_parity_test \
            batch_parity_test serialization_test model_store_test \
-           server_test server_metrics_test drift_test
+           server_test server_metrics_test drift_test \
+           kernel_parity_test arena_test
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
 if [ "$#" -gt 0 ]; then
@@ -25,9 +26,14 @@ else
   for test in storage_test exec_test exec_parity_test thread_pool_test \
               service_test harness_test query_graph_test \
               planner_parity_test batch_parity_test serialization_test \
-              model_store_test server_test server_metrics_test drift_test; do
+              model_store_test server_test server_metrics_test drift_test \
+              kernel_parity_test arena_test; do
     echo "== $test (ASAN) =="
     "$BUILD_DIR/tests/$test"
   done
+  # The parity binary once more with dispatch clamped to the scalar tier,
+  # so the fallback path is ASAN-clean too.
+  echo "== kernel_parity_test (ASAN, CARDBENCH_SIMD=scalar) =="
+  CARDBENCH_SIMD=scalar "$BUILD_DIR/tests/kernel_parity_test"
 fi
 echo "ASAN run clean."

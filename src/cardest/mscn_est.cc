@@ -1,6 +1,7 @@
 #include "cardest/mscn_est.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -8,6 +9,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/serde.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 
 namespace cardbench {
@@ -24,11 +26,12 @@ Matrix ToMatrix(const std::vector<std::vector<double>>& rows) {
 
 Matrix MeanPool(const Matrix& h) {
   Matrix pooled(1, h.cols());
+  const simd::KernelTable& kt = simd::Active();
   for (size_t r = 0; r < h.rows(); ++r) {
-    for (size_t c = 0; c < h.cols(); ++c) pooled.At(0, c) += h.At(r, c);
+    kt.vec_add(pooled.Row(0), h.Row(r), h.cols());
   }
   const double inv = h.rows() > 0 ? 1.0 / static_cast<double>(h.rows()) : 0.0;
-  for (double& v : pooled.data()) v *= inv;
+  kt.vec_scale(pooled.Row(0), inv, h.cols());
   return pooled;
 }
 
@@ -176,68 +179,79 @@ std::vector<double> MscnEstimator::EstimateCards(
   uint64_t union_mask = 0;
   for (uint64_t mask : masks) union_mask |= mask;
 
-  auto infer_elements =
-      [](Mlp& module, const std::vector<std::vector<double>>& elements,
-         size_t element_dim) {
-        Matrix x(elements.size(), element_dim);
-        for (size_t r = 0; r < elements.size(); ++r) {
-          for (size_t c = 0; c < elements[r].size(); ++c) {
-            x.At(r, c) = elements[r][c];
-          }
-        }
-        return module.Infer(x);
-      };
-
+  // Element rows are featurized straight into zero-initialized module input
+  // matrices through the *ElementInto builders — no per-element vectors on
+  // the hot path.
   std::vector<int> table_row(graph.num_tables(), -1);
-  std::vector<std::vector<double>> table_elements;
-  for (uint64_t rest = union_mask; rest != 0; rest &= rest - 1) {
-    const int local = std::countr_zero(rest);
-    table_row[local] = static_cast<int>(table_elements.size());
-    table_elements.push_back(featurizer_.MscnTableElement(graph.table(local)));
+  Matrix xt(static_cast<size_t>(std::popcount(union_mask)),
+            featurizer_.table_element_dim());
+  {
+    size_t r = 0;
+    for (uint64_t rest = union_mask; rest != 0; rest &= rest - 1) {
+      const int local = std::countr_zero(rest);
+      table_row[local] = static_cast<int>(r);
+      featurizer_.MscnTableElementInto(graph.table(local), xt.Row(r));
+      ++r;
+    }
   }
-  const Matrix ht = infer_elements(*table_module_, table_elements,
-                                   featurizer_.table_element_dim());
+  const Matrix ht = table_module_->Infer(xt);
 
   // The trailing all-zero element backs masks with no edge (no predicate):
-  // the scalar path pools exactly one zero element there.
+  // the scalar path pools exactly one zero element there. Zero rows need no
+  // writes — Matrix zero-initializes.
   std::vector<int> edge_row(graph.edges().size(), -1);
-  std::vector<std::vector<double>> join_elements;
-  for (size_t e = 0; e < graph.edges().size(); ++e) {
-    const auto& edge = graph.edges()[e];
-    if ((edge.mask & union_mask) != edge.mask) continue;
-    edge_row[e] = static_cast<int>(join_elements.size());
-    join_elements.push_back(featurizer_.MscnJoinElement(edge));
+  size_t num_joins = 0;
+  for (const auto& edge : graph.edges()) {
+    if ((edge.mask & union_mask) == edge.mask) ++num_joins;
   }
-  const size_t zero_join = join_elements.size();
-  join_elements.push_back(
-      std::vector<double>(featurizer_.join_element_dim(), 0.0));
-  const Matrix hj = infer_elements(*join_module_, join_elements,
-                                   featurizer_.join_element_dim());
+  Matrix xj(num_joins + 1, featurizer_.join_element_dim());
+  {
+    size_t r = 0;
+    for (size_t e = 0; e < graph.edges().size(); ++e) {
+      const auto& edge = graph.edges()[e];
+      if ((edge.mask & union_mask) != edge.mask) continue;
+      edge_row[e] = static_cast<int>(r);
+      featurizer_.MscnJoinElementInto(edge, xj.Row(r));
+      ++r;
+    }
+  }
+  const size_t zero_join = num_joins;
+  const Matrix hj = join_module_->Infer(xj);
 
   std::vector<int> pred_row(graph.predicates().size(), -1);
-  std::vector<std::vector<double>> pred_elements;
-  for (size_t p = 0; p < graph.predicates().size(); ++p) {
-    const auto& pred = graph.predicates()[p];
-    if (((union_mask >> pred.local_table) & 1) == 0) continue;
-    pred_row[p] = static_cast<int>(pred_elements.size());
-    pred_elements.push_back(featurizer_.MscnPredElement(pred));
+  size_t num_preds = 0;
+  for (const auto& pred : graph.predicates()) {
+    if (((union_mask >> pred.local_table) & 1) != 0) ++num_preds;
   }
-  const size_t zero_pred = pred_elements.size();
-  pred_elements.push_back(
-      std::vector<double>(featurizer_.predicate_element_dim(), 0.0));
-  const Matrix hp = infer_elements(*pred_module_, pred_elements,
-                                   featurizer_.predicate_element_dim());
+  Matrix xp(num_preds + 1, featurizer_.predicate_element_dim());
+  {
+    size_t r = 0;
+    for (size_t p = 0; p < graph.predicates().size(); ++p) {
+      const auto& pred = graph.predicates()[p];
+      if (((union_mask >> pred.local_table) & 1) == 0) continue;
+      pred_row[p] = static_cast<int>(r);
+      featurizer_.MscnPredElementInto(pred, xp.Row(r));
+      ++r;
+    }
+  }
+  const size_t zero_pred = num_preds;
+  const Matrix hp = pred_module_->Infer(xp);
 
   Matrix concat(masks.size(), 3 * h);
+  const simd::KernelTable& kt = simd::Active();
   auto pool_rows = [&](size_t i, size_t offset, const Matrix& hidden,
                        const std::vector<int>& rows_used) {
-    size_t count = rows_used.size();
+    // Same additions in the same order as MeanPool (vec_add is elementwise),
+    // same 1/count scale — segment pooling stays bit-identical to the
+    // scalar path.
+    double* dst = concat.Row(i) + offset;
     for (const int r : rows_used) {
-      const double* hrow = hidden.Row(static_cast<size_t>(r));
-      for (size_t c = 0; c < h; ++c) concat.At(i, offset + c) += hrow[c];
+      kt.vec_add(dst, hidden.Row(static_cast<size_t>(r)), h);
     }
-    const double inv = count > 0 ? 1.0 / static_cast<double>(count) : 0.0;
-    for (size_t c = 0; c < h; ++c) concat.At(i, offset + c) *= inv;
+    const double inv = rows_used.empty()
+                           ? 0.0
+                           : 1.0 / static_cast<double>(rows_used.size());
+    kt.vec_scale(dst, inv, h);
   };
   std::vector<int> rows_used;
   for (size_t i = 0; i < masks.size(); ++i) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
+#include "common/arena.h"
 #include "common/logging.h"
 #include "storage/filter.h"
 #include "storage/stats.h"
@@ -174,42 +176,74 @@ std::vector<double> QueryFeaturizer::FlatFeatures(const QueryGraph& graph,
 
 std::vector<double> QueryFeaturizer::MscnTableElement(
     const QueryGraph::TableInfo& info) const {
-  // One-hot table plus predicate-satisfaction bitmap over the table's
-  // materialized sample, evaluated through the graph's pre-bound compiled
-  // predicates.
   std::vector<double> element(table_element_dim(), 0.0);
-  element[table_slot_[info.table_id]] = 1.0;
-  const auto& rows = *bitmap_by_id_[info.table_id];
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const bool pass = info.table->num_rows() > 0 &&
-                      RowPassesCompiled(info.compiled, rows[i]);
-    element[table_index_.size() + i] = pass ? 1.0 : 0.0;
-  }
+  MscnTableElementInto(info, element.data());
   return element;
 }
 
 std::vector<double> QueryFeaturizer::MscnJoinElement(
     const QueryGraph::EdgeInfo& edge) const {
   std::vector<double> element(join_element_dim(), 0.0);
-  auto it = join_index_.find(edge.canonical);
-  if (it != join_index_.end()) element[it->second] = 1.0;
+  MscnJoinElementInto(edge, element.data());
   return element;
 }
 
 std::vector<double> QueryFeaturizer::MscnPredElement(
     const QueryGraph::PredInfo& pred) const {
   std::vector<double> element(predicate_element_dim(), 0.0);
+  MscnPredElementInto(pred, element.data());
+  return element;
+}
+
+void QueryFeaturizer::MscnTableElementInto(const QueryGraph::TableInfo& info,
+                                           double* out) const {
+  // One-hot table plus predicate-satisfaction bitmap over the table's
+  // materialized sample, evaluated through the graph's pre-bound compiled
+  // predicates. The sample is refined as one batch through the storage
+  // filter kernels (arena scratch, unwound on return); a two-pointer walk
+  // over the surviving subsequence then sets the per-sample bits —
+  // duplicate sampled rows are unambiguous because equal row ids always
+  // share one pass/fail outcome.
+  out[table_slot_[info.table_id]] = 1.0;
+  const auto& rows = *bitmap_by_id_[info.table_id];
+  if (info.table->num_rows() == 0 || rows.empty()) return;
+  double* bits = out + table_index_.size();
+  if (info.compiled.empty()) {
+    for (size_t i = 0; i < rows.size(); ++i) bits[i] = 1.0;
+    return;
+  }
+  ArenaFrame frame(&ThreadLocalArena());
+  uint32_t* passing = frame.arena()->AllocateArray<uint32_t>(rows.size());
+  std::memcpy(passing, rows.data(), rows.size() * sizeof(uint32_t));
+  const size_t count =
+      FilterRowsConjunction(info.compiled, passing, rows.size());
+  size_t j = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (j < count && passing[j] == rows[i]) {
+      bits[i] = 1.0;
+      ++j;
+    }
+  }
+}
+
+void QueryFeaturizer::MscnJoinElementInto(const QueryGraph::EdgeInfo& edge,
+                                          double* out) const {
+  auto it = join_index_.find(edge.canonical);
+  if (it != join_index_.end()) out[it->second] = 1.0;
+}
+
+void QueryFeaturizer::MscnPredElementInto(const QueryGraph::PredInfo& pred,
+                                          double* out) const {
   const int slot = column_slot_[pred.table_id][pred.column_id];
-  if (slot >= 0) element[static_cast<size_t>(slot)] = 1.0;
-  element[column_index_.size() + static_cast<size_t>(pred.pred.op)] = 1.0;
+  if (slot >= 0) out[static_cast<size_t>(slot)] = 1.0;
+  out[column_index_.size() + static_cast<size_t>(pred.pred.op)] = 1.0;
   const ColumnInfo* info = column_info_by_id_[pred.table_id][pred.column_id];
   if (info != nullptr) {
-    element[column_index_.size() + 6] =
+    out[column_index_.size() + 6] =
         std::clamp((static_cast<double>(pred.pred.value) - info->min) /
                        (info->max - info->min),
                    0.0, 1.0);
   }
-  return element;
 }
 
 QueryFeaturizer::SetFeatures QueryFeaturizer::MscnFeatures(

@@ -59,6 +59,17 @@ class QueryFeaturizer {
   std::vector<double> MscnTableElement(const QueryGraph::TableInfo& info) const;
   std::vector<double> MscnJoinElement(const QueryGraph::EdgeInfo& edge) const;
   std::vector<double> MscnPredElement(const QueryGraph::PredInfo& pred) const;
+
+  /// Raw-row variants writing into `out[0..*_element_dim())`, which must be
+  /// zero-initialized (only the non-zero entries are written — batch callers
+  /// featurize straight into zero-initialized Matrix rows, no copies). The
+  /// vector builders above delegate here. The table variant evaluates the
+  /// sample bitmap through the batched storage filter kernels on the
+  /// thread's arena instead of row-at-a-time predicate evaluation.
+  void MscnTableElementInto(const QueryGraph::TableInfo& info,
+                            double* out) const;
+  void MscnJoinElementInto(const QueryGraph::EdgeInfo& edge, double* out) const;
+  void MscnPredElementInto(const QueryGraph::PredInfo& pred, double* out) const;
   size_t table_element_dim() const { return table_index_.size() + bitmap_size_; }
   size_t join_element_dim() const { return join_index_.size(); }
   size_t predicate_element_dim() const { return column_index_.size() + 6 + 1; }

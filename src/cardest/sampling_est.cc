@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstring>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -10,6 +11,7 @@
 #include <set>
 
 #include "cardest/extended_table.h"
+#include "common/arena.h"
 #include "common/logging.h"
 #include "common/serde.h"
 #include "common/str_util.h"
@@ -173,8 +175,13 @@ double UniSampleEstimator::EstimateCard(const QueryGraph& graph,
   for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
     const QueryGraph::TableInfo& info = graph.table(std::countr_zero(rest));
     const std::vector<uint32_t>& sample = *samples_by_id_[info.table_id];
-    std::vector<uint32_t> passing = sample;
-    const size_t pass = FilterRowsConjunction(info.compiled, &passing);
+    // Probe scratch lives on the thread's arena: the sample copy is released
+    // when the frame unwinds, so repeated probes allocate zero heap.
+    ArenaFrame frame(&ThreadLocalArena());
+    uint32_t* passing = frame.arena()->AllocateArray<uint32_t>(sample.size());
+    std::memcpy(passing, sample.data(), sample.size() * sizeof(uint32_t));
+    const size_t pass =
+        FilterRowsConjunction(info.compiled, passing, sample.size());
     const double sel = sample.empty()
                            ? 1.0
                            : static_cast<double>(pass) /
@@ -202,8 +209,11 @@ std::vector<double> UniSampleEstimator::EstimateCards(
     const int local = std::countr_zero(rest);
     const QueryGraph::TableInfo& info = graph.table(local);
     const std::vector<uint32_t>& sample = *samples_by_id_[info.table_id];
-    std::vector<uint32_t> passing = sample;
-    const size_t pass = FilterRowsConjunction(info.compiled, &passing);
+    ArenaFrame frame(&ThreadLocalArena());
+    uint32_t* passing = frame.arena()->AllocateArray<uint32_t>(sample.size());
+    std::memcpy(passing, sample.data(), sample.size() * sizeof(uint32_t));
+    const size_t pass =
+        FilterRowsConjunction(info.compiled, passing, sample.size());
     const double sel = sample.empty()
                            ? 1.0
                            : static_cast<double>(pass) /
@@ -302,8 +312,10 @@ double UniSampleEstimator::EstimateCard(const Query& subquery) const {
     const auto& sample = samples_.at(table_name);
     const auto compiled =
         CompilePredicatesFor(table, table_name, subquery.predicates);
-    std::vector<uint32_t> passing = sample;
-    const size_t pass = FilterRowsConjunction(compiled, &passing);
+    ArenaFrame frame(&ThreadLocalArena());
+    uint32_t* passing = frame.arena()->AllocateArray<uint32_t>(sample.size());
+    std::memcpy(passing, sample.data(), sample.size() * sizeof(uint32_t));
+    const size_t pass = FilterRowsConjunction(compiled, passing, sample.size());
     const double sel = sample.empty()
                            ? 1.0
                            : static_cast<double>(pass) /

@@ -1,0 +1,124 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cassert>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define CARDBENCH_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CARDBENCH_ASAN 1
+#endif
+#endif
+
+#if defined(CARDBENCH_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace cardbench {
+
+namespace {
+
+#if defined(CARDBENCH_ASAN)
+// Poisoned gap after each allocation so off-by-one writes trip ASAN instead
+// of silently corrupting the next allocation.
+constexpr size_t kRedzone = 8;
+void PoisonRange(void* p, size_t n) { ASAN_POISON_MEMORY_REGION(p, n); }
+void UnpoisonRange(void* p, size_t n) { ASAN_UNPOISON_MEMORY_REGION(p, n); }
+#else
+constexpr size_t kRedzone = 0;
+void PoisonRange(void*, size_t) {}
+void UnpoisonRange(void*, size_t) {}
+#endif
+
+size_t AlignUp(size_t v, size_t a) { return (v + a - 1) & ~(a - 1); }
+
+}  // namespace
+
+Arena::Arena(size_t initial_capacity)
+    : initial_capacity_(std::max<size_t>(initial_capacity, 1024)) {}
+
+Arena::~Arena() {
+  for (Block& b : blocks_) {
+    UnpoisonRange(b.data, b.capacity);
+    ::operator delete[](b.data, std::align_val_t{kDefaultAlignment});
+  }
+}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  assert(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  alignment = std::min(alignment, kDefaultAlignment);
+  Block* b = blocks_.empty() ? nullptr : &blocks_[current_];
+  size_t offset = b ? AlignUp(b->used, alignment) : 0;
+  if (b == nullptr || offset + bytes + kRedzone > b->capacity) {
+    b = GrowAndAlign(bytes, alignment);
+    offset = AlignUp(b->used, alignment);
+  }
+  char* p = b->data + offset;
+  b->used = offset + bytes + kRedzone;
+  UnpoisonRange(p, bytes);
+  return p;
+}
+
+Arena::Block* Arena::GrowAndAlign(size_t bytes, size_t alignment) {
+  // Try the already-grown blocks after current_ first (post-Reset reuse).
+  const size_t needed = AlignUp(bytes, alignment) + kRedzone;
+  while (current_ + 1 < blocks_.size()) {
+    Block& next = blocks_[++current_];
+    if (needed <= next.capacity) return &next;
+  }
+  size_t capacity = std::max(needed, initial_capacity_);
+  if (!blocks_.empty()) {
+    capacity = std::max(capacity, blocks_.back().capacity * 2);
+  }
+  capacity = AlignUp(capacity, kDefaultAlignment);
+  Block b;
+  b.data = static_cast<char*>(
+      ::operator new[](capacity, std::align_val_t{kDefaultAlignment}));
+  b.capacity = capacity;
+  PoisonRange(b.data, b.capacity);
+  blocks_.push_back(b);
+  current_ = blocks_.size() - 1;
+  return &blocks_.back();
+}
+
+Arena::Mark Arena::Position() const {
+  if (blocks_.empty()) return Mark{};
+  return Mark{current_, blocks_[current_].used};
+}
+
+void Arena::Rewind(Mark mark) {
+  if (blocks_.empty()) return;
+  for (size_t i = mark.block_index + 1; i <= current_; ++i) {
+    PoisonRange(blocks_[i].data, blocks_[i].used);
+    blocks_[i].used = 0;
+  }
+  Block& b = blocks_[mark.block_index];
+  PoisonRange(b.data + mark.used, b.used - mark.used);
+  b.used = mark.used;
+  current_ = mark.block_index;
+}
+
+void Arena::Reset() { Rewind(Mark{}); }
+
+size_t Arena::bytes_used() const {
+  size_t total = 0;
+  for (size_t i = 0; i <= current_ && i < blocks_.size(); ++i) {
+    total += blocks_[i].used;
+  }
+  return total;
+}
+
+size_t Arena::bytes_reserved() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.capacity;
+  return total;
+}
+
+Arena& ThreadLocalArena() {
+  static thread_local Arena arena(1 << 18);
+  return arena;
+}
+
+}  // namespace cardbench

@@ -1,0 +1,49 @@
+#include "common/cpu_info.h"
+
+#include <fstream>
+
+#include "common/json.h"
+#include "common/simd.h"
+
+namespace cardbench {
+
+namespace {
+
+std::string ReadModelName() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string model = line.substr(colon + 1);
+    // Trim and collapse the tab/space padding cpuinfo uses.
+    size_t b = model.find_first_not_of(" \t");
+    size_t e = model.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    return model.substr(b, e - b + 1);
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+const std::string& CpuModelName() {
+  static const std::string model = ReadModelName();
+  return model;
+}
+
+const char* CpuSimdCapability() {
+  return simd::LevelName(simd::DetectLevel());
+}
+
+std::string CpuInfoJson() {
+  std::string out = "\"cpu\": {\"model\": ";
+  AppendJsonString(CpuModelName(), &out);
+  out += ", \"simd\": ";
+  AppendJsonString(CpuSimdCapability(), &out);
+  out += "}";
+  return out;
+}
+
+}  // namespace cardbench

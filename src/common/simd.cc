@@ -1,0 +1,351 @@
+#include "common/simd.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/simd_internal.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace cardbench::simd {
+
+namespace {
+
+using internal::CmpApply;
+using internal::ReduceDotLanes;
+
+// ----------------------------------------------------------- scalar tier
+//
+// The scalar kernels fix the reference semantics: elementwise loops in
+// ascending index order, the 16-lane striped dot, and branchless selection
+// compaction. Every vector tier reproduces these bit-for-bit.
+
+void AxpyScalar(double* dst, const double* x, double a, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += a * x[i];
+}
+
+void VecAddScalar(double* dst, const double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += x[i];
+}
+
+void VecScaleScalar(double* x, double a, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+void AddBiasScalar(double* x, const double* bias, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] += bias[i];
+}
+
+void ReluScalar(double* x, size_t n) {
+  // std::max(0.0, v) returns the first argument on ties and when the
+  // comparison is unordered — exactly maxpd(v, 0)'s second-operand rule —
+  // so -0.0 and NaN both map to +0.0 in every tier.
+  for (size_t i = 0; i < n; ++i) x[i] = std::max(0.0, x[i]);
+}
+
+double DotScalar(const double* a, const double* b, size_t n) {
+  double lanes[kDotLanes] = {0.0};
+  size_t i = 0;
+  for (; i + kDotLanes <= n; i += kDotLanes) {
+    for (size_t l = 0; l < kDotLanes; ++l) lanes[l] += a[i + l] * b[i + l];
+  }
+  for (; i < n; ++i) lanes[i % kDotLanes] += a[i] * b[i];
+  return ReduceDotLanes(lanes);
+}
+
+template <Cmp kOp>
+size_t FilterRangeScalarT(const int64_t* values, const uint8_t* valid,
+                          size_t begin, size_t end, int64_t rhs,
+                          uint32_t* out) {
+  size_t count = 0;
+  for (size_t row = begin; row < end; ++row) {
+    out[count] = static_cast<uint32_t>(row);
+    count += (valid[row] && CmpApply(kOp, values[row], rhs)) ? 1 : 0;
+  }
+  return count;
+}
+
+template <Cmp kOp>
+size_t FilterRowsScalarT(const int64_t* values, const uint8_t* valid,
+                         uint32_t* rows, size_t n, int64_t rhs) {
+  size_t out = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t row = rows[i];
+    rows[out] = row;
+    out += (valid[row] && CmpApply(kOp, values[row], rhs)) ? 1 : 0;
+  }
+  return out;
+}
+
+/// Dispatches the comparison once, outside the row loop.
+template <template <Cmp> class FnSelector, typename... Args>
+auto WithCmp(Cmp op, Args... args) {
+  switch (op) {
+    case Cmp::kEq: return FnSelector<Cmp::kEq>::Run(args...);
+    case Cmp::kNeq: return FnSelector<Cmp::kNeq>::Run(args...);
+    case Cmp::kLt: return FnSelector<Cmp::kLt>::Run(args...);
+    case Cmp::kLe: return FnSelector<Cmp::kLe>::Run(args...);
+    case Cmp::kGt: return FnSelector<Cmp::kGt>::Run(args...);
+    case Cmp::kGe: return FnSelector<Cmp::kGe>::Run(args...);
+  }
+  return FnSelector<Cmp::kEq>::Run(args...);
+}
+
+template <Cmp kOp>
+struct FilterRangeScalarSel {
+  static size_t Run(const int64_t* values, const uint8_t* valid, size_t begin,
+                    size_t end, int64_t rhs, uint32_t* out) {
+    return FilterRangeScalarT<kOp>(values, valid, begin, end, rhs, out);
+  }
+};
+
+template <Cmp kOp>
+struct FilterRowsScalarSel {
+  static size_t Run(const int64_t* values, const uint8_t* valid,
+                    uint32_t* rows, size_t n, int64_t rhs) {
+    return FilterRowsScalarT<kOp>(values, valid, rows, n, rhs);
+  }
+};
+
+size_t FilterRangeScalar(const int64_t* values, const uint8_t* valid,
+                         size_t begin, size_t end, Cmp op, int64_t rhs,
+                         uint32_t* out) {
+  return WithCmp<FilterRangeScalarSel>(op, values, valid, begin, end, rhs,
+                                       out);
+}
+
+size_t FilterRowsScalar(const int64_t* values, const uint8_t* valid,
+                        uint32_t* rows, size_t n, Cmp op, int64_t rhs) {
+  return WithCmp<FilterRowsScalarSel>(op, values, valid, rows, n, rhs);
+}
+
+void GatherScalar(const int64_t* values, const uint8_t* valid,
+                  const uint32_t* rows, size_t n, int64_t* keys,
+                  uint8_t* valid_out) {
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = values[rows[i]];
+    valid_out[i] = valid[rows[i]];
+  }
+}
+
+constexpr KernelTable kScalarKernels = {
+    AxpyScalar,       VecAddScalar,    VecScaleScalar,
+    AddBiasScalar,    ReluScalar,      DotScalar,
+    FilterRangeScalar, FilterRowsScalar, GatherScalar,
+};
+
+// ------------------------------------------------------------- SSE2 tier
+//
+// Baseline on x86-64, so no separate TU or runtime check is needed. The
+// SSE2 tier vectorizes the double kernels (2 lanes); the integer selection
+// kernels need SSE4.2 compares and stay scalar at this tier.
+
+#if defined(__SSE2__)
+
+void AxpySse2(double* dst, const double* x, double a, size_t n) {
+  const __m128d va = _mm_set1_pd(a);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d r = _mm_add_pd(_mm_loadu_pd(dst + i),
+                                 _mm_mul_pd(va, _mm_loadu_pd(x + i)));
+    _mm_storeu_pd(dst + i, r);
+  }
+  for (; i < n; ++i) dst[i] += a * x[i];
+}
+
+void VecAddSse2(double* dst, const double* x, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(dst + i,
+                  _mm_add_pd(_mm_loadu_pd(dst + i), _mm_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) dst[i] += x[i];
+}
+
+void VecScaleSse2(double* x, double a, size_t n) {
+  const __m128d va = _mm_set1_pd(a);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(x + i, _mm_mul_pd(_mm_loadu_pd(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= a;
+}
+
+void AddBiasSse2(double* x, const double* bias, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(x + i,
+                  _mm_add_pd(_mm_loadu_pd(x + i), _mm_loadu_pd(bias + i)));
+  }
+  for (; i < n; ++i) x[i] += bias[i];
+}
+
+void ReluSse2(double* x, size_t n) {
+  const __m128d zero = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // max(x, 0): ties and NaN resolve to the second operand (+0.0),
+    // matching the scalar tier.
+    _mm_storeu_pd(x + i, _mm_max_pd(_mm_loadu_pd(x + i), zero));
+  }
+  for (; i < n; ++i) x[i] = std::max(0.0, x[i]);
+}
+
+double DotSse2(const double* a, const double* b, size_t n) {
+  __m128d acc[kDotLanes / 2];
+  for (auto& v : acc) v = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + kDotLanes <= n; i += kDotLanes) {
+    for (size_t j = 0; j < kDotLanes / 2; ++j) {
+      acc[j] = _mm_add_pd(acc[j], _mm_mul_pd(_mm_loadu_pd(a + i + 2 * j),
+                                             _mm_loadu_pd(b + i + 2 * j)));
+    }
+  }
+  alignas(16) double lanes[kDotLanes];
+  for (size_t j = 0; j < kDotLanes / 2; ++j) {
+    _mm_store_pd(lanes + 2 * j, acc[j]);
+  }
+  for (; i < n; ++i) lanes[i % kDotLanes] += a[i] * b[i];
+  return ReduceDotLanes(lanes);
+}
+
+constexpr KernelTable kSse2Kernels = {
+    AxpySse2,         VecAddSse2,      VecScaleSse2,
+    AddBiasSse2,      ReluSse2,        DotSse2,
+    FilterRangeScalar, FilterRowsScalar, GatherScalar,
+};
+
+#endif  // __SSE2__
+
+// -------------------------------------------------------------- dispatch
+
+Level ClampToBuild(Level level) {
+#if !defined(__SSE2__)
+  if (level > Level::kScalar) level = Level::kScalar;
+#endif
+  if (level >= Level::kAvx512 && internal::GetAvx512Kernels() == nullptr) {
+    level = Level::kAvx2;
+  }
+  if (level >= Level::kAvx2 && internal::GetAvx2Kernels() == nullptr) {
+    level = Level::kSse2;
+  }
+#if !defined(__SSE2__)
+  if (level > Level::kScalar) level = Level::kScalar;
+#endif
+  return level;
+}
+
+Level DetectImpl() {
+  Level best = Level::kScalar;
+#if defined(__SSE2__)
+  best = Level::kSse2;
+#endif
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) best = Level::kAvx2;
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl")) {
+    best = Level::kAvx512;
+  }
+#endif
+  return ClampToBuild(best);
+}
+
+/// ForceLevel state; plain (non-atomic) by contract — test/bench only,
+/// mutated before workers exist.
+bool g_forced = false;
+Level g_forced_level = Level::kScalar;
+
+Level EnvLevel() {
+  const char* env = std::getenv("CARDBENCH_SIMD");
+  Level level = DetectLevel();
+  if (env != nullptr && *env != '\0') {
+    Level parsed;
+    if (ParseLevelName(env, &parsed)) {
+      level = std::min(level, parsed);
+    }
+  }
+  return level;
+}
+
+}  // namespace
+
+#if !defined(CARDBENCH_NATIVE_KERNELS)
+namespace internal {
+const KernelTable* GetAvx2Kernels() { return nullptr; }
+const KernelTable* GetAvx512Kernels() { return nullptr; }
+}  // namespace internal
+#endif
+
+Level DetectLevel() {
+  static const Level detected = DetectImpl();
+  return detected;
+}
+
+Level ActiveLevel() {
+  if (g_forced) return g_forced_level;
+  static const Level env_level = EnvLevel();
+  return env_level;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kSse2: return "sse2";
+    case Level::kAvx2: return "avx2";
+    case Level::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseLevelName(const char* name, Level* out) {
+  if (name == nullptr) return false;
+  for (Level level : {Level::kScalar, Level::kSse2, Level::kAvx2,
+                      Level::kAvx512}) {
+    if (std::strcmp(name, LevelName(level)) == 0) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+const KernelTable& KernelsFor(Level level) {
+  level = std::min(level, DetectLevel());
+  switch (level) {
+    case Level::kAvx512: {
+      const KernelTable* t = internal::GetAvx512Kernels();
+      if (t != nullptr) return *t;
+      [[fallthrough]];
+    }
+    case Level::kAvx2: {
+      const KernelTable* t = internal::GetAvx2Kernels();
+      if (t != nullptr) return *t;
+      [[fallthrough]];
+    }
+    case Level::kSse2:
+#if defined(__SSE2__)
+      return kSse2Kernels;
+#else
+      [[fallthrough]];
+#endif
+    case Level::kScalar:
+      return kScalarKernels;
+  }
+  return kScalarKernels;
+}
+
+const KernelTable& Active() { return KernelsFor(ActiveLevel()); }
+
+void ForceLevel(Level level) {
+  g_forced_level = std::min(level, DetectLevel());
+  g_forced = true;
+}
+
+void ClearForcedLevel() { g_forced = false; }
+
+}  // namespace cardbench::simd

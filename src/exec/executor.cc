@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "exec/row_batch.h"
 #include "storage/filter.h"
 
@@ -73,6 +74,36 @@ class EmitCap {
   std::atomic<uint64_t> emitted_{0};
   size_t cap_;
   Budget budget_;
+};
+
+/// KeyBatch storage for one morsel, allocated once at the morsel's batch
+/// capacity: from the calling thread's arena when `use_arena` (the frame
+/// unwinds when the morsel ends, so steady-state probing allocates zero
+/// heap), from the heap otherwise. Must be constructed on the thread that
+/// runs the morsel — it borrows that thread's arena.
+class KeyScratch {
+ public:
+  KeyScratch(bool use_arena, size_t capacity)
+      : frame_(use_arena ? &ThreadLocalArena() : nullptr) {
+    if (Arena* arena = frame_.arena(); arena != nullptr) {
+      rows = arena->AllocateArray<uint32_t>(capacity);
+      keys = arena->AllocateArray<Value>(capacity);
+      valid = arena->AllocateArray<uint8_t>(capacity);
+    } else {
+      heap_.Resize(capacity);
+      rows = heap_.rows.data();
+      keys = heap_.keys.data();
+      valid = heap_.valid.data();
+    }
+  }
+
+  uint32_t* rows = nullptr;
+  Value* keys = nullptr;
+  uint8_t* valid = nullptr;
+
+ private:
+  ArenaFrame frame_;
+  KeyBatch heap_;
 };
 
 int LookupId(const std::unordered_map<std::string, int>& ids,
@@ -263,9 +294,10 @@ using HashTable = std::unordered_map<Value, std::vector<uint32_t>>;
 /// gathers, budget-checked (a huge build input must respect the wall
 /// clock). NULL keys are skipped (they join nothing).
 void BuildHashTable(const TupleSet& build, const ColRef& key,
-                    size_t batch_size, Budget budget, HashTable* ht) {
+                    size_t batch_size, bool use_arena, Budget budget,
+                    HashTable* ht) {
   ht->reserve(build.size());
-  KeyBatch kb;
+  KeyScratch kb(use_arena, std::min(batch_size, build.size()));
   size_t since_check = 0;
   for (size_t b = 0; b < build.size(); b += batch_size) {
     const size_t e = std::min(build.size(), b + batch_size);
@@ -273,11 +305,10 @@ void BuildHashTable(const TupleSet& build, const ColRef& key,
       since_check = 0;
       if (!budget.CheckTime()) return;
     }
-    kb.Resize(e - b);
     for (size_t t = b; t < e; ++t) {
       kb.rows[t - b] = build.Row(t, static_cast<size_t>(key.component));
     }
-    key.column->Gather(kb.rows.data(), e - b, kb.keys.data(), kb.valid.data());
+    key.column->Gather(kb.rows, e - b, kb.keys, kb.valid);
     for (size_t i = 0; i < e - b; ++i) {
       if (kb.valid[i]) {
         (*ht)[kb.keys[i]].push_back(static_cast<uint32_t>(b + i));
@@ -295,12 +326,12 @@ void BuildHashTable(const TupleSet& build, const ColRef& key,
 void HashProbeMorsel(const TupleSet& left, const TupleSet& right,
                      const ColRef& lkey, const HashTable& ht,
                      const std::vector<std::pair<ColRef, ColRef>>& extra,
-                     size_t batch_size, size_t t_lo, size_t t_hi,
-                     Budget budget, EmitCap* cap, std::vector<uint32_t>* dst,
-                     uint64_t* count_out) {
+                     size_t batch_size, bool use_arena, size_t t_lo,
+                     size_t t_hi, Budget budget, EmitCap* cap,
+                     std::vector<uint32_t>* dst, uint64_t* count_out) {
   const size_t larity = left.arity();
   const size_t rarity = right.arity();
-  KeyBatch kb;
+  KeyScratch kb(use_arena, std::min(batch_size, t_hi - t_lo));
   uint64_t count = 0;
   size_t since_check = 0;
   if (!budget.CheckTime()) return;
@@ -310,12 +341,10 @@ void HashProbeMorsel(const TupleSet& left, const TupleSet& right,
       since_check = 0;
       if (!budget.CheckTime()) return;
     }
-    kb.Resize(e - b);
     for (size_t t = b; t < e; ++t) {
       kb.rows[t - b] = left.Row(t, static_cast<size_t>(lkey.component));
     }
-    lkey.column->Gather(kb.rows.data(), e - b, kb.keys.data(),
-                        kb.valid.data());
+    lkey.column->Gather(kb.rows, e - b, kb.keys, kb.valid);
     for (size_t i = 0; i < e - b; ++i) {
       if (!kb.valid[i]) continue;
       auto it = ht.find(kb.keys[i]);
@@ -354,11 +383,11 @@ void HashProbeMorsel(const TupleSet& left, const TupleSet& right,
 /// edges. Budget-checked per posting-list entry batch (a huge posting list
 /// must respect the wall clock).
 void IndexProbeMorsel(const TupleSet& left, const IndexJoinSetup& s,
-                      size_t batch_size, size_t t_lo, size_t t_hi,
-                      Budget budget, EmitCap* cap, std::vector<uint32_t>* dst,
-                      uint64_t* count_out) {
+                      size_t batch_size, bool use_arena, size_t t_lo,
+                      size_t t_hi, Budget budget, EmitCap* cap,
+                      std::vector<uint32_t>* dst, uint64_t* count_out) {
   const size_t arity = left.arity();
-  KeyBatch kb;
+  KeyScratch kb(use_arena, std::min(batch_size, t_hi - t_lo));
   uint64_t count = 0;
   size_t since_check = 0;
   if (!budget.CheckTime()) return;
@@ -368,12 +397,10 @@ void IndexProbeMorsel(const TupleSet& left, const IndexJoinSetup& s,
       since_check = 0;
       if (!budget.CheckTime()) return;
     }
-    kb.Resize(e - b);
     for (size_t t = b; t < e; ++t) {
       kb.rows[t - b] = left.Row(t, static_cast<size_t>(s.outer_ref.component));
     }
-    s.outer_ref.column->Gather(kb.rows.data(), e - b, kb.keys.data(),
-                               kb.valid.data());
+    s.outer_ref.column->Gather(kb.rows, e - b, kb.keys, kb.valid);
     for (size_t i = 0; i < e - b; ++i) {
       if (!kb.valid[i]) continue;
       const size_t t = b + i;
@@ -408,10 +435,11 @@ void IndexProbeMorsel(const TupleSet& left, const IndexJoinSetup& s,
 std::vector<std::pair<Value, uint32_t>> SortedKeys(const TupleSet& ts,
                                                    const ColRef& key,
                                                    size_t batch_size,
+                                                   bool use_arena,
                                                    Budget budget) {
   std::vector<std::pair<Value, uint32_t>> keys;
   keys.reserve(ts.size());
-  KeyBatch kb;
+  KeyScratch kb(use_arena, std::min(batch_size, ts.size()));
   size_t since_check = 0;
   for (size_t b = 0; b < ts.size(); b += batch_size) {
     const size_t e = std::min(ts.size(), b + batch_size);
@@ -419,11 +447,10 @@ std::vector<std::pair<Value, uint32_t>> SortedKeys(const TupleSet& ts,
       since_check = 0;
       if (!budget.CheckTime()) return keys;
     }
-    kb.Resize(e - b);
     for (size_t t = b; t < e; ++t) {
       kb.rows[t - b] = ts.Row(t, static_cast<size_t>(key.component));
     }
-    key.column->Gather(kb.rows.data(), e - b, kb.keys.data(), kb.valid.data());
+    key.column->Gather(kb.rows, e - b, kb.keys, kb.valid);
     for (size_t i = 0; i < e - b; ++i) {
       if (kb.valid[i]) {
         keys.emplace_back(kb.keys[i], static_cast<uint32_t>(b + i));
@@ -675,8 +702,9 @@ Status Executor::ExecuteJoin(const PlanNode& plan, Ctx& ctx,
     RunProbeMorsels(
         left.size(), ctx, out, nullptr,
         [&](size_t lo, size_t hi, std::vector<uint32_t>* dst, uint64_t* cnt) {
-          IndexProbeMorsel(left, setup, options_.batch_size, lo, hi, budget,
-                           &cap, dst, cnt);
+          IndexProbeMorsel(left, setup, options_.batch_size,
+                           options_.use_arena, lo, hi, budget, &cap, dst,
+                           cnt);
         });
     return Status::OK();
   }
@@ -696,21 +724,25 @@ Status Executor::ExecuteJoin(const PlanNode& plan, Ctx& ctx,
   if (plan.join_method == JoinMethod::kHashJoin) {
     // Build on the right (inner) side, probe with the left.
     HashTable ht;
-    BuildHashTable(right, refs.rkey, options_.batch_size, budget, &ht);
+    BuildHashTable(right, refs.rkey, options_.batch_size, options_.use_arena,
+                   budget, &ht);
     if (ctx.TimedOut()) return Status::OK();
     RunProbeMorsels(
         left.size(), ctx, out, nullptr,
         [&](size_t lo, size_t hi, std::vector<uint32_t>* dst, uint64_t* cnt) {
           HashProbeMorsel(left, right, refs.lkey, ht, refs.extra,
-                          options_.batch_size, lo, hi, budget, &cap, dst, cnt);
+                          options_.batch_size, options_.use_arena, lo, hi,
+                          budget, &cap, dst, cnt);
         });
     return Status::OK();
   }
 
   // Merge join: sort both inputs by key (NULLs dropped), then walk equal
   // runs, emitting their cross products.
-  const auto lkeys = SortedKeys(left, refs.lkey, options_.batch_size, budget);
-  const auto rkeys = SortedKeys(right, refs.rkey, options_.batch_size, budget);
+  const auto lkeys = SortedKeys(left, refs.lkey, options_.batch_size,
+                                options_.use_arena, budget);
+  const auto rkeys = SortedKeys(right, refs.rkey, options_.batch_size,
+                                options_.use_arena, budget);
   if (ctx.TimedOut()) return Status::OK();
   MergeRuns(left, right, lkeys, rkeys, refs.extra, budget, &cap, &out->data,
             nullptr);
@@ -751,8 +783,9 @@ Status Executor::CountNode(const PlanNode& plan, Ctx& ctx,
     RunProbeMorsels(
         left.size(), ctx, nullptr, count,
         [&](size_t lo, size_t hi, std::vector<uint32_t>* dst, uint64_t* cnt) {
-          IndexProbeMorsel(left, setup, options_.batch_size, lo, hi, budget,
-                           nullptr, dst, cnt);
+          IndexProbeMorsel(left, setup, options_.batch_size,
+                           options_.use_arena, lo, hi, budget, nullptr, dst,
+                           cnt);
         });
     return Status::OK();
   }
@@ -769,9 +802,9 @@ Status Executor::CountNode(const PlanNode& plan, Ctx& ctx,
   // the sort, hash join the build.
   if (plan.join_method == JoinMethod::kMergeJoin) {
     const auto lkeys = SortedKeys(left, refs.lkey, options_.batch_size,
-                                  budget);
+                                  options_.use_arena, budget);
     const auto rkeys = SortedKeys(right, refs.rkey, options_.batch_size,
-                                  budget);
+                                  options_.use_arena, budget);
     if (ctx.TimedOut()) return Status::OK();
     MergeRuns(left, right, lkeys, rkeys, refs.extra, budget, nullptr, nullptr,
               count);
@@ -779,14 +812,15 @@ Status Executor::CountNode(const PlanNode& plan, Ctx& ctx,
   }
 
   HashTable ht;
-  BuildHashTable(right, refs.rkey, options_.batch_size, budget, &ht);
+  BuildHashTable(right, refs.rkey, options_.batch_size, options_.use_arena,
+                 budget, &ht);
   if (ctx.TimedOut()) return Status::OK();
   RunProbeMorsels(
       left.size(), ctx, nullptr, count,
       [&](size_t lo, size_t hi, std::vector<uint32_t>* dst, uint64_t* cnt) {
         HashProbeMorsel(left, right, refs.lkey, ht, refs.extra,
-                        options_.batch_size, lo, hi, budget, nullptr, dst,
-                        cnt);
+                        options_.batch_size, options_.use_arena, lo, hi,
+                        budget, nullptr, dst, cnt);
       });
   return Status::OK();
 }

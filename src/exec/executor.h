@@ -39,6 +39,11 @@ struct ExecOptions {
   /// Worker threads for intra-query morsel parallelism (leaf scans, hash
   /// probe, index-nested-loop probe). 1 = serial, no pool is created.
   size_t num_threads = 1;
+  /// Allocate per-morsel gather scratch (KeyBatch buffers) from the worker
+  /// thread's arena instead of the heap. Steady-state execution then
+  /// allocates zero heap per morsel. Purely an allocation-strategy knob —
+  /// results are identical either way.
+  bool use_arena = true;
 };
 
 /// Outcome of executing one COUNT(*) plan.

@@ -94,6 +94,16 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
         std::exit(2);
       }
       flags.batch_size = parsed;
+    } else if (StartsWith(arg, "--arena=")) {
+      const std::string v = value_of("--arena=");
+      if (v == "on" || v == "1" || v == "true") {
+        flags.use_arena = true;
+      } else if (v == "off" || v == "0" || v == "false") {
+        flags.use_arena = false;
+      } else {
+        std::fprintf(stderr, "--arena must be on/off, got %s\n", arg.c_str());
+        std::exit(2);
+      }
     } else if (StartsWith(arg, "--seed=")) {
       flags.seed = std::stoull(value_of("--seed="));
     } else if (StartsWith(arg, "--verbose=")) {
@@ -104,7 +114,7 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
                    "--exec-timeout=S --exec-repeats=N --cache-dir=D "
                    "--model-dir=D --estimators=a,b --training-queries=N "
                    "--threads=N --queue-depth=N --exec-threads=N "
-                   "--batch-size=N --seed=N --verbose=L\n",
+                   "--batch-size=N --arena=on|off --seed=N --verbose=L\n",
                    arg.c_str());
       std::exit(2);
     }

@@ -52,19 +52,24 @@ struct BenchFlags {
   size_t exec_threads = 1;
   /// Vectorized batch size of the executor (ExecOptions::batch_size).
   size_t batch_size = 1024;
+  /// Arena-backed per-morsel scratch (ExecOptions::use_arena). Off routes
+  /// the executor's gather buffers back to the heap for A/B comparisons.
+  bool use_arena = true;
   uint64_t seed = 2021;
 
   ExecOptions exec_options() const {
     ExecOptions options;
     options.batch_size = batch_size;
     options.num_threads = exec_threads;
+    options.use_arena = use_arena;
     return options;
   }
 };
 
 /// Parses --scale=, --fast, --max-queries=, --exec-timeout=, --cache-dir=,
 /// --model-dir=, --estimators=a,b,c, --training-queries=, --threads=,
-/// --queue-depth=, --exec-threads=, --batch-size=, --seed=, --verbose=.
+/// --queue-depth=, --exec-threads=, --batch-size=, --arena=on|off, --seed=,
+/// --verbose=.
 /// Unknown flags and invalid values abort with a usage message.
 BenchFlags ParseBenchFlags(int argc, char** argv);
 

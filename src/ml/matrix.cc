@@ -1,20 +1,24 @@
 #include "ml/matrix.h"
 
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace cardbench {
 
 Matrix Matrix::MatMul(const Matrix& other) const {
   CARDBENCH_CHECK(cols_ == other.rows(), "matmul shape mismatch");
   Matrix out(rows_, other.cols());
+  const simd::KernelTable& kt = simd::Active();
   for (size_t i = 0; i < rows_; ++i) {
     const double* a = Row(i);
     double* o = out.Row(i);
     for (size_t k = 0; k < cols_; ++k) {
       const double av = a[k];
+      // Zero-skip: one-hot / bitmap feature rows are mostly zeros, and
+      // 0 * x contributes nothing (features are finite), so skipping is
+      // bit-identical and saves the whole inner row pass.
       if (av == 0.0) continue;
-      const double* b = other.Row(k);
-      for (size_t j = 0; j < other.cols(); ++j) o[j] += av * b[j];
+      kt.axpy(o, other.Row(k), av, other.cols());
     }
   }
   return out;
@@ -23,77 +27,16 @@ Matrix Matrix::MatMul(const Matrix& other) const {
 Matrix Matrix::MatMulTransposed(const Matrix& other) const {
   CARDBENCH_CHECK(cols_ == other.cols(), "matmulT shape mismatch");
   Matrix out(rows_, other.rows());
-  // Blocked over activation rows (8, then 4): each output element is still
-  // one serial dot product in ascending-k order (results are bit-identical
-  // to the row-at-a-time loop, which batch-vs-scalar parity depends on),
-  // but the accumulator chains are independent, so multi-row batches get
-  // instruction-level parallelism a single-row inference cannot — plus one
-  // weight-row read shared across the block.
-  size_t i = 0;
-  for (; i + 8 <= rows_; i += 8) {
-    const double* a[8];
-    for (size_t r = 0; r < 8; ++r) a[r] = Row(i + r);
-    size_t j = 0;
-    for (; j + 2 <= other.rows(); j += 2) {
-      // Two weight rows per pass: each activation load feeds two FMA
-      // chains, easing the load-port pressure of the 8-row block.
-      const double* b0 = other.Row(j);
-      const double* b1 = other.Row(j + 1);
-      double acc0[8] = {0.0};
-      double acc1[8] = {0.0};
-      for (size_t k = 0; k < cols_; ++k) {
-        const double bv0 = b0[k];
-        const double bv1 = b1[k];
-        for (size_t r = 0; r < 8; ++r) {
-          const double av = a[r][k];
-          acc0[r] += av * bv0;
-          acc1[r] += av * bv1;
-        }
-      }
-      for (size_t r = 0; r < 8; ++r) {
-        out.Row(i + r)[j] = acc0[r];
-        out.Row(i + r)[j + 1] = acc1[r];
-      }
-    }
-    for (; j < other.rows(); ++j) {
-      const double* b = other.Row(j);
-      double acc[8] = {0.0};
-      for (size_t k = 0; k < cols_; ++k) {
-        const double bv = b[k];
-        for (size_t r = 0; r < 8; ++r) acc[r] += a[r][k] * bv;
-      }
-      for (size_t r = 0; r < 8; ++r) out.Row(i + r)[j] = acc[r];
-    }
-  }
-  for (; i + 4 <= rows_; i += 4) {
-    const double* a0 = Row(i);
-    const double* a1 = Row(i + 1);
-    const double* a2 = Row(i + 2);
-    const double* a3 = Row(i + 3);
-    for (size_t j = 0; j < other.rows(); ++j) {
-      const double* b = other.Row(j);
-      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-      for (size_t k = 0; k < cols_; ++k) {
-        const double bv = b[k];
-        acc0 += a0[k] * bv;
-        acc1 += a1[k] * bv;
-        acc2 += a2[k] * bv;
-        acc3 += a3[k] * bv;
-      }
-      out.Row(i)[j] = acc0;
-      out.Row(i + 1)[j] = acc1;
-      out.Row(i + 2)[j] = acc2;
-      out.Row(i + 3)[j] = acc3;
-    }
-  }
-  for (; i < rows_; ++i) {
+  // Every output element is one kernel-layer dot product under the 16-lane
+  // striped contract (simd.h), for every batch size: single-row inference
+  // and batched inference produce bit-identical activations by construction,
+  // and so do the scalar/SSE2/AVX2/AVX-512 dispatch tiers.
+  const simd::KernelTable& kt = simd::Active();
+  for (size_t i = 0; i < rows_; ++i) {
     const double* a = Row(i);
     double* o = out.Row(i);
     for (size_t j = 0; j < other.rows(); ++j) {
-      const double* b = other.Row(j);
-      double acc = 0.0;
-      for (size_t k = 0; k < cols_; ++k) acc += a[k] * b[k];
-      o[j] = acc;
+      o[j] = kt.dot(a, other.Row(j), cols_);
     }
   }
   return out;
@@ -102,14 +45,14 @@ Matrix Matrix::MatMulTransposed(const Matrix& other) const {
 Matrix Matrix::TransposedMatMul(const Matrix& other) const {
   CARDBENCH_CHECK(rows_ == other.rows(), "Tmatmul shape mismatch");
   Matrix out(cols_, other.cols());
+  const simd::KernelTable& kt = simd::Active();
   for (size_t i = 0; i < rows_; ++i) {
     const double* a = Row(i);
     const double* b = other.Row(i);
     for (size_t k = 0; k < cols_; ++k) {
       const double av = a[k];
       if (av == 0.0) continue;
-      double* o = out.Row(k);
-      for (size_t j = 0; j < other.cols(); ++j) o[j] += av * b[j];
+      kt.axpy(out.Row(k), b, av, other.cols());
     }
   }
   return out;
@@ -118,7 +61,7 @@ Matrix Matrix::TransposedMatMul(const Matrix& other) const {
 void Matrix::AddInPlace(const Matrix& other, double scale) {
   CARDBENCH_CHECK(rows_ == other.rows() && cols_ == other.cols(),
                   "add shape mismatch");
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data()[i];
+  simd::Active().axpy(data_.data(), other.data().data(), scale, data_.size());
 }
 
 }  // namespace cardbench

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/serde.h"
+#include "common/simd.h"
 
 namespace cardbench {
 
@@ -45,9 +46,9 @@ void LinearLayer::ApplyMask() {
 
 Matrix LinearLayer::Forward(const Matrix& x) const {
   Matrix y = x.MatMulTransposed(weight_);
+  const simd::KernelTable& kt = simd::Active();
   for (size_t r = 0; r < y.rows(); ++r) {
-    double* row = y.Row(r);
-    for (size_t c = 0; c < y.cols(); ++c) row[c] += bias_[c];
+    kt.add_bias(y.Row(r), bias_.data(), y.cols());
   }
   return y;
 }
@@ -55,9 +56,9 @@ Matrix LinearLayer::Forward(const Matrix& x) const {
 Matrix LinearLayer::Backward(const Matrix& x, const Matrix& grad_out) {
   // dW = grad_out^T x ; db = column sums of grad_out ; dx = grad_out W.
   grad_weight_.AddInPlace(grad_out.TransposedMatMul(x));
+  const simd::KernelTable& kt = simd::Active();
   for (size_t r = 0; r < grad_out.rows(); ++r) {
-    const double* row = grad_out.Row(r);
-    for (size_t c = 0; c < grad_out.cols(); ++c) grad_bias_[c] += row[c];
+    kt.vec_add(grad_bias_.data(), grad_out.Row(r), grad_out.cols());
   }
   return grad_out.MatMul(weight_);
 }
@@ -107,7 +108,7 @@ Matrix Mlp::Forward(const Matrix& x) {
     Matrix z = layers_[i].Forward(h);
     if (i + 1 < layers_.size()) {
       pre_act_.push_back(z);
-      for (double& v : z.data()) v = std::max(0.0, v);
+      simd::Active().relu(z.data().data(), z.data().size());
     } else {
       pre_act_.push_back(Matrix());
     }
@@ -121,7 +122,7 @@ Matrix Mlp::Infer(const Matrix& x) const {
   for (size_t i = 0; i < layers_.size(); ++i) {
     Matrix z = layers_[i].Forward(h);
     if (i + 1 < layers_.size()) {
-      for (double& v : z.data()) v = std::max(0.0, v);
+      simd::Active().relu(z.data().data(), z.data().size());
     }
     h = std::move(z);
   }

@@ -2,53 +2,30 @@
 
 #include <algorithm>
 
+#include "common/simd.h"
+
 namespace cardbench {
 
 namespace {
 
-template <typename Cmp>
-size_t FilterRangeImpl(const Value* values, const uint8_t* valid, size_t begin,
-                       size_t end, Value rhs, std::vector<uint32_t>* sel,
-                       Cmp cmp) {
-  const size_t before = sel->size();
-  for (size_t row = begin; row < end; ++row) {
-    if (valid[row] && cmp(values[row], rhs)) {
-      sel->push_back(static_cast<uint32_t>(row));
-    }
-  }
-  return sel->size() - before;
-}
+// The filter kernels live in the shared kernel layer (common/simd.h), which
+// mirrors CompareOp's numeric values as simd::Cmp so storage can cast
+// without a mapping table. Pin the correspondence here.
+static_assert(static_cast<uint8_t>(CompareOp::kEq) ==
+              static_cast<uint8_t>(simd::Cmp::kEq));
+static_assert(static_cast<uint8_t>(CompareOp::kNeq) ==
+              static_cast<uint8_t>(simd::Cmp::kNeq));
+static_assert(static_cast<uint8_t>(CompareOp::kLt) ==
+              static_cast<uint8_t>(simd::Cmp::kLt));
+static_assert(static_cast<uint8_t>(CompareOp::kLe) ==
+              static_cast<uint8_t>(simd::Cmp::kLe));
+static_assert(static_cast<uint8_t>(CompareOp::kGt) ==
+              static_cast<uint8_t>(simd::Cmp::kGt));
+static_assert(static_cast<uint8_t>(CompareOp::kGe) ==
+              static_cast<uint8_t>(simd::Cmp::kGe));
 
-template <typename Cmp>
-size_t FilterRowsImpl(const Value* values, const uint8_t* valid, uint32_t* rows,
-                      size_t n, Value rhs, Cmp cmp) {
-  size_t out = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const uint32_t row = rows[i];
-    rows[out] = row;
-    out += valid[row] && cmp(values[row], rhs) ? 1 : 0;
-  }
-  return out;
-}
-
-/// Dispatches on the comparison operator once, outside the row loop.
-template <typename Fn>
-auto WithComparator(CompareOp op, Fn fn) {
-  switch (op) {
-    case CompareOp::kEq:
-      return fn([](Value a, Value b) { return a == b; });
-    case CompareOp::kNeq:
-      return fn([](Value a, Value b) { return a != b; });
-    case CompareOp::kLt:
-      return fn([](Value a, Value b) { return a < b; });
-    case CompareOp::kLe:
-      return fn([](Value a, Value b) { return a <= b; });
-    case CompareOp::kGt:
-      return fn([](Value a, Value b) { return a > b; });
-    case CompareOp::kGe:
-      return fn([](Value a, Value b) { return a >= b; });
-  }
-  return fn([](Value, Value) { return false; });
+simd::Cmp ToSimdCmp(CompareOp op) {
+  return static_cast<simd::Cmp>(static_cast<uint8_t>(op));
 }
 
 }  // namespace
@@ -57,27 +34,32 @@ size_t Column::FilterRange(size_t begin, size_t end, CompareOp op, Value value,
                            std::vector<uint32_t>* sel) const {
   end = std::min(end, values_.size());
   if (begin >= end) return 0;
-  return WithComparator(op, [&](auto cmp) {
-    return FilterRangeImpl(values_.data(), valid_.data(), begin, end, value,
-                           sel, cmp);
-  });
+  // Give the kernel the full end - begin capacity it requires, then shrink
+  // back to the actual match count.
+  const size_t before = sel->size();
+  sel->resize(before + (end - begin));
+  const size_t count = FilterRangeRaw(begin, end, op, value, sel->data() + before);
+  sel->resize(before + count);
+  return count;
+}
+
+size_t Column::FilterRangeRaw(size_t begin, size_t end, CompareOp op,
+                              Value value, uint32_t* out) const {
+  end = std::min(end, values_.size());
+  if (begin >= end) return 0;
+  return simd::Active().filter_range(values_.data(), valid_.data(), begin, end,
+                                     ToSimdCmp(op), value, out);
 }
 
 size_t Column::FilterRows(uint32_t* rows, size_t n, CompareOp op,
                           Value value) const {
-  return WithComparator(op, [&](auto cmp) {
-    return FilterRowsImpl(values_.data(), valid_.data(), rows, n, value, cmp);
-  });
+  return simd::Active().filter_rows(values_.data(), valid_.data(), rows, n,
+                                    ToSimdCmp(op), value);
 }
 
 void Column::Gather(const uint32_t* rows, size_t n, Value* keys,
                     uint8_t* valid) const {
-  const Value* values = values_.data();
-  const uint8_t* ok = valid_.data();
-  for (size_t i = 0; i < n; ++i) {
-    keys[i] = values[rows[i]];
-    valid[i] = ok[rows[i]];
-  }
+  simd::Active().gather(values_.data(), valid_.data(), rows, n, keys, valid);
 }
 
 size_t Column::null_count() const {

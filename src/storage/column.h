@@ -53,6 +53,13 @@ class Column {
   size_t FilterRange(size_t begin, size_t end, CompareOp op, Value value,
                      std::vector<uint32_t>* sel) const;
 
+  /// Raw-buffer variant for arena-backed callers: writes the passing row ids
+  /// to `out`, which must have capacity for end - begin entries (the SIMD
+  /// tiers store up to one full vector past the final count). Returns the
+  /// count.
+  size_t FilterRangeRaw(size_t begin, size_t end, CompareOp op, Value value,
+                        uint32_t* out) const;
+
   /// Compacts the selection vector `rows[0, n)` in place, keeping (in
   /// order) the ids whose value is non-NULL and satisfies `op value`.
   /// Returns the new count.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/arena.h"
+
 namespace cardbench {
 
 std::vector<CompiledPredicate> CompilePredicates(
@@ -52,29 +54,40 @@ size_t FilterRangeConjunction(const std::vector<CompiledPredicate>& predicates,
 
 size_t FilterRowsConjunction(const std::vector<CompiledPredicate>& predicates,
                              std::vector<uint32_t>* sel) {
-  for (const auto& pred : predicates) {
-    if (sel->empty()) break;
-    const size_t kept =
-        pred.column->FilterRows(sel->data(), sel->size(), pred.op, pred.value);
-    sel->resize(kept);
-  }
+  sel->resize(FilterRowsConjunction(predicates, sel->data(), sel->size()));
   return sel->size();
+}
+
+size_t FilterRowsConjunction(const std::vector<CompiledPredicate>& predicates,
+                             uint32_t* rows, size_t n) {
+  for (const auto& pred : predicates) {
+    if (n == 0) break;
+    n = pred.column->FilterRows(rows, n, pred.op, pred.value);
+  }
+  return n;
 }
 
 uint64_t CountRangeConjunction(const std::vector<CompiledPredicate>& predicates,
                                size_t begin, size_t end) {
   if (begin >= end) return 0;
   if (predicates.empty()) return end - begin;
-  // Batched: the range kernel fills a bounded scratch selection vector, the
-  // remaining predicates refine it, and only the surviving count is kept.
+  // Batched: the range kernel fills a bounded arena-backed scratch buffer,
+  // the remaining predicates refine it, and only the surviving count is
+  // kept. The scratch frame unwinds before returning, so steady-state
+  // counting allocates zero heap.
   constexpr size_t kCountBatch = 4096;
   uint64_t count = 0;
-  std::vector<uint32_t> scratch;
-  scratch.reserve(kCountBatch);
+  ArenaFrame frame(&ThreadLocalArena());
+  uint32_t* scratch = frame.arena()->AllocateArray<uint32_t>(kCountBatch);
   for (size_t lo = begin; lo < end; lo += kCountBatch) {
     const size_t hi = std::min(end, lo + kCountBatch);
-    scratch.clear();
-    count += FilterRangeConjunction(predicates, lo, hi, &scratch);
+    size_t kept = predicates[0].column->FilterRangeRaw(
+        lo, hi, predicates[0].op, predicates[0].value, scratch);
+    for (size_t p = 1; p < predicates.size() && kept > 0; ++p) {
+      kept = predicates[p].column->FilterRows(scratch, kept, predicates[p].op,
+                                              predicates[p].value);
+    }
+    count += kept;
   }
   return count;
 }

@@ -60,6 +60,11 @@ size_t FilterRangeConjunction(const std::vector<CompiledPredicate>& predicates,
 size_t FilterRowsConjunction(const std::vector<CompiledPredicate>& predicates,
                              std::vector<uint32_t>* sel);
 
+/// Raw-buffer variant for arena-backed callers: refines rows[0, n) in place
+/// and returns the surviving count.
+size_t FilterRowsConjunction(const std::vector<CompiledPredicate>& predicates,
+                             uint32_t* rows, size_t n);
+
 /// Number of rows in [begin, end) passing every compiled predicate, without
 /// materializing a selection vector.
 uint64_t CountRangeConjunction(const std::vector<CompiledPredicate>& predicates,

@@ -8,7 +8,10 @@
 //   - the top-level value is a non-empty object or a non-empty array of
 //     objects;
 //   - object keys are non-empty and unique per object;
-//   - when a "bench" key is present it is a non-empty string.
+//   - when a "bench" key is present it is a non-empty string;
+//   - when a "cpu" key is present it is an object with non-empty "model"
+//     and "simd" strings (the provenance stamp every bench JSON records so
+//     perf numbers are comparable across machines).
 //
 // Usage: check_bench_json FILE...   (exit 0 iff every file validates)
 
@@ -44,6 +47,21 @@ Status ValidateObject(const JsonValue& value) {
   if (bench != nullptr &&
       (bench->kind != JsonValue::Kind::kString || bench->string.empty())) {
     return Status::InvalidArgument("\"bench\" must be a non-empty string");
+  }
+  const JsonValue* cpu = value.Find("cpu");
+  if (cpu != nullptr) {
+    if (cpu->kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("\"cpu\" must be an object");
+    }
+    for (const char* field : {"model", "simd"}) {
+      const JsonValue* v = cpu->Find(field);
+      if (v == nullptr || v->kind != JsonValue::Kind::kString ||
+          v->string.empty()) {
+        return Status::InvalidArgument(std::string("\"cpu\" needs a non-empty "
+                                                   "string \"") +
+                                       field + "\"");
+      }
+    }
   }
   return Status::OK();
 }
