@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Kernel-layer perf regression gate (registered with ctest as
-# `check_perf_floor`): runs the bench_kernels micro-bench, then compares its
-# per-tier speedups against the checked-in floors in bench/perf_floor.json.
-# A change that silently drops a vector tier to scalar-level throughput
-# fails here instead of landing.
+# Perf regression gate (registered with ctest as `check_perf_floor`): runs
+# the bench_kernels micro-bench and the bench_micro_join --quick sweep, then
+# compares per-tier kernel speedups and join build/probe throughput against
+# the checked-in floors in bench/perf_floor.json. A change that silently
+# drops a vector tier to scalar-level throughput, or the radix join below
+# the legacy hash-map baseline, fails here instead of landing.
 #
 # If scripts/perf_stat.sh has left a bench_perf_counters.json around, its
 # hardware counters (IPC, miss rates) are gated too; without one — perf is
@@ -18,7 +19,8 @@ BIN_DIR=${BIN_DIR:-build/tools}
 BENCH_DIR=${BENCH_DIR:-build/bench}
 FLOOR=bench/perf_floor.json
 
-for bin in "$BIN_DIR/check_perf_floor" "$BENCH_DIR/bench_kernels"; do
+for bin in "$BIN_DIR/check_perf_floor" "$BENCH_DIR/bench_kernels" \
+           "$BENCH_DIR/bench_micro_join"; do
   if [ ! -x "$bin" ]; then
     echo "check_perf_floor: missing binary $bin (build it first)" >&2
     exit 1
@@ -30,10 +32,11 @@ trap 'rm -rf "$WORK_DIR"' EXIT
 
 "$BENCH_DIR/bench_kernels" --reps=2000 --json="$WORK_DIR/bench_kernels.json" \
   > /dev/null
+"$BENCH_DIR/bench_micro_join" --quick \
+  --json="$WORK_DIR/bench_micro_join.json" > /dev/null
 
+MEASURED=("$WORK_DIR/bench_kernels.json" "$WORK_DIR/bench_micro_join.json")
 if [ -f bench_perf_counters.json ]; then
-  "$BIN_DIR/check_perf_floor" "$FLOOR" "$WORK_DIR/bench_kernels.json" \
-    bench_perf_counters.json
-else
-  "$BIN_DIR/check_perf_floor" "$FLOOR" "$WORK_DIR/bench_kernels.json"
+  MEASURED+=(bench_perf_counters.json)
 fi
+"$BIN_DIR/check_perf_floor" "$FLOOR" "${MEASURED[@]}"

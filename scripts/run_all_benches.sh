@@ -71,6 +71,12 @@ run bench_micro_executor
 # bench_micro_planner.json with the plans/sec and dispatch-overhead numbers.
 run bench_micro_planner
 [ -f bench_micro_planner.json ] && mv bench_micro_planner.json "$LOGS/"
+# Join-table micro-bench: radix-partitioned build/probe vs the legacy
+# unordered_map across rows x radix_bits x threads; emits
+# bench_micro_join.json with ns-per-row and speedup-vs-legacy per point.
+"$BENCH/bench_micro_join" --json=bench_micro_join.json \
+  > "$LOGS/bench_micro_join.log" 2>&1
+[ -f bench_micro_join.json ] && mv bench_micro_join.json "$LOGS/"
 # Network serving sweep: the workload over loopback TCP through cardserved
 # (closed-loop concurrency levels + open-loop overload shedding); emits
 # bench_server_throughput.json with the per-estimator latency curves.
@@ -94,7 +100,7 @@ bash scripts/perf_stat.sh >> "$LOGS/bench_kernels.log" 2>&1
 # clear the checked-in speedup floors (same check ctest runs as
 # `check_perf_floor`).
 bash scripts/check_bench_json.sh || echo "[run_all_benches] WARNING: bench JSON validation failed"
-bash scripts/check_perf_floor.sh || echo "[run_all_benches] WARNING: kernel perf floors violated"
+bash scripts/check_perf_floor.sh || echo "[run_all_benches] WARNING: perf floors violated"
 
 # Collect in paper order.
 : > bench_output.txt
@@ -104,8 +110,8 @@ for name in bench_table1_datasets bench_table2_workloads \
             bench_table7_qerror_perror bench_figure2_case_study \
             bench_figure3_practicality bench_ablation_fanout \
             bench_sensitivity_noise bench_micro_inference \
-            bench_micro_executor bench_micro_planner bench_kernels \
-            bench_server_throughput bench_drift; do
+            bench_micro_executor bench_micro_planner bench_micro_join \
+            bench_kernels bench_server_throughput bench_drift; do
   {
     echo "================================================================"
     echo "==== $name"

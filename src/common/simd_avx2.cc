@@ -145,22 +145,47 @@ size_t FilterRangeAvx2T(const int64_t* values, const uint8_t* valid,
 template <Cmp kOp>
 size_t FilterRowsAvx2T(const int64_t* values, const uint8_t* valid,
                        uint32_t* rows, size_t n, int64_t rhs) {
+  // 8 elements per iteration: two 4-wide vpgatherqq for the values (the
+  // wider batch amortizes the gather's micro-coded startup, which made the
+  // 4-wide version lose to branchless scalar), a pinsrb-built vector for
+  // the valid bytes (movemask beats the scalar shift-or chain), and a
+  // shuffle-table compaction per half.
   size_t out = 0;
   size_t i = 0;
   const __m256i vrhs = _mm256_set1_epi64x(rhs);
-  for (; i + 4 <= n; i += 4) {
-    const __m128i rid =
+  for (; i + 8 <= n; i += 8) {
+    const __m128i rid_lo =
         _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + i));
-    const __m256i v = _mm256_i32gather_epi64(
-        reinterpret_cast<const long long*>(values), rid, 8);
-    uint32_t m = CmpMask4x64<kOp>(v, vrhs);
-    m &= (valid[rows[i]] ? 1u : 0u) | (valid[rows[i + 1]] ? 2u : 0u) |
-         (valid[rows[i + 2]] ? 4u : 0u) | (valid[rows[i + 3]] ? 8u : 0u);
-    // In-place compaction: out <= i, and rows[i..i+3] are already loaded,
-    // so the (full-vector) store never clobbers unread input.
+    const __m128i rid_hi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + i + 4));
+    const __m256i v_lo = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(values), rid_lo, 8);
+    const __m256i v_hi = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(values), rid_hi, 8);
+    __m128i vbytes = _mm_setzero_si128();
+    vbytes = _mm_insert_epi8(vbytes, valid[rows[i + 0]], 0);
+    vbytes = _mm_insert_epi8(vbytes, valid[rows[i + 1]], 1);
+    vbytes = _mm_insert_epi8(vbytes, valid[rows[i + 2]], 2);
+    vbytes = _mm_insert_epi8(vbytes, valid[rows[i + 3]], 3);
+    vbytes = _mm_insert_epi8(vbytes, valid[rows[i + 4]], 4);
+    vbytes = _mm_insert_epi8(vbytes, valid[rows[i + 5]], 5);
+    vbytes = _mm_insert_epi8(vbytes, valid[rows[i + 6]], 6);
+    vbytes = _mm_insert_epi8(vbytes, valid[rows[i + 7]], 7);
+    const uint32_t vm = static_cast<uint32_t>(_mm_movemask_epi8(
+        _mm_cmpgt_epi8(vbytes, _mm_setzero_si128())));
+    const uint32_t m =
+        (CmpMask4x64<kOp>(v_lo, vrhs) | (CmpMask4x64<kOp>(v_hi, vrhs) << 4)) &
+        vm;
+    // In-place compaction: out <= i, and rows[i..i+7] are already loaded,
+    // so the (full-vector) stores never clobber unread input.
+    const uint32_t m_lo = m & 0xFu;
     _mm_storeu_si128(reinterpret_cast<__m128i*>(rows + out),
-                     Compress4(rid, m));
-    out += static_cast<size_t>(__builtin_popcount(m));
+                     Compress4(rid_lo, m_lo));
+    out += static_cast<size_t>(__builtin_popcount(m_lo));
+    const uint32_t m_hi = m >> 4;
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(rows + out),
+                     Compress4(rid_hi, m_hi));
+    out += static_cast<size_t>(__builtin_popcount(m_hi));
   }
   for (; i < n; ++i) {
     const uint32_t row = rows[i];

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "exec/join_hash.h"
 #include "exec/row_batch.h"
 #include "storage/filter.h"
 
@@ -89,21 +90,28 @@ class KeyScratch {
       rows = arena->AllocateArray<uint32_t>(capacity);
       keys = arena->AllocateArray<Value>(capacity);
       valid = arena->AllocateArray<uint8_t>(capacity);
+      hashes = arena->AllocateArray<uint64_t>(capacity);
     } else {
       heap_.Resize(capacity);
       rows = heap_.rows.data();
       keys = heap_.keys.data();
       valid = heap_.valid.data();
+      heap_hashes_.resize(capacity);
+      hashes = heap_hashes_.data();
     }
   }
 
   uint32_t* rows = nullptr;
   Value* keys = nullptr;
   uint8_t* valid = nullptr;
+  /// Per-batch key hashes of the radix probe (computed once, then used for
+  /// both the prefetch lookahead and the table walk).
+  uint64_t* hashes = nullptr;
 
  private:
   ArenaFrame frame_;
   KeyBatch heap_;
+  std::vector<uint64_t> heap_hashes_;
 };
 
 int LookupId(const std::unordered_map<std::string, int>& ids,
@@ -378,6 +386,120 @@ void HashProbeMorsel(const TupleSet& left, const TupleSet& right,
   if (count_out != nullptr) *count_out += count;
 }
 
+/// JoinKeySource over a TupleSet's key column: batched row-id gathers
+/// through Column::Gather, exactly like the probe side's key access. Called
+/// from build morsel workers for disjoint ranges; the row-id scratch comes
+/// from the calling worker's arena (or the heap, per `use_arena`).
+class TupleKeySource final : public JoinKeySource {
+ public:
+  TupleKeySource(const TupleSet& ts, const ColRef& key, bool use_arena)
+      : ts_(ts), key_(key), use_arena_(use_arena) {}
+
+  void GatherKeys(size_t lo, size_t hi, Value* keys,
+                  uint8_t* valid) const override {
+    const size_t n = hi - lo;
+    ArenaFrame frame(use_arena_ ? &ThreadLocalArena() : nullptr);
+    std::vector<uint32_t> heap;
+    uint32_t* rows;
+    if (frame.arena() != nullptr) {
+      rows = frame.arena()->AllocateArray<uint32_t>(n);
+    } else {
+      heap.resize(n);
+      rows = heap.data();
+    }
+    for (size_t t = lo; t < hi; ++t) {
+      rows[t - lo] = ts_.Row(t, static_cast<size_t>(key_.component));
+    }
+    key_.column->Gather(rows, n, keys, valid);
+  }
+
+ private:
+  const TupleSet& ts_;
+  const ColRef& key_;
+  bool use_arena_;
+};
+
+/// RadixProbeMorsel is HashProbeMorsel's counterpart over the radix table:
+/// same batching, budget checks, count fast path, extra-edge evaluation and
+/// emission order (ForEachMatch enumerates ascending build rows, as the
+/// legacy bucket vectors did), plus a software-prefetch pipeline — while
+/// probe i walks the table, the tag/key lines of probe i + distance are
+/// already on their way up the cache hierarchy.
+void RadixProbeMorsel(const TupleSet& left, const TupleSet& right,
+                      const ColRef& lkey, const JoinHashTable& ht,
+                      const std::vector<std::pair<ColRef, ColRef>>& extra,
+                      size_t batch_size, bool use_arena,
+                      size_t prefetch_distance, size_t t_lo, size_t t_hi,
+                      Budget budget, EmitCap* cap, std::vector<uint32_t>* dst,
+                      uint64_t* count_out) {
+  const size_t larity = left.arity();
+  const size_t rarity = right.arity();
+  KeyScratch kb(use_arena, std::min(batch_size, t_hi - t_lo));
+  uint64_t count = 0;
+  size_t since_check = 0;
+  if (!budget.CheckTime()) return;
+  for (size_t b = t_lo; b < t_hi; b += batch_size) {
+    const size_t e = std::min(t_hi, b + batch_size);
+    if (since_check >= kBudgetCheckInterval) {
+      since_check = 0;
+      if (!budget.CheckTime()) return;
+    }
+    for (size_t t = b; t < e; ++t) {
+      kb.rows[t - b] = left.Row(t, static_cast<size_t>(lkey.component));
+    }
+    lkey.column->Gather(kb.rows, e - b, kb.keys, kb.valid);
+    const size_t n = e - b;
+    for (size_t i = 0; i < n; ++i) {
+      kb.hashes[i] = kb.valid[i] ? JoinKeyHash(kb.keys[i]) : 0;
+    }
+    for (size_t i = 0; i < std::min(prefetch_distance, n); ++i) {
+      if (kb.valid[i]) ht.Prefetch(kb.hashes[i]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (prefetch_distance != 0 && i + prefetch_distance < n &&
+          kb.valid[i + prefetch_distance]) {
+        ht.Prefetch(kb.hashes[i + prefetch_distance]);
+      }
+      if (!kb.valid[i]) continue;
+      if (dst == nullptr && extra.empty()) {
+        // Count-only without post-join filters: no per-match work at all.
+        const uint64_t matches = ht.CountMatches(kb.keys[i], kb.hashes[i]);
+        count += matches;
+        since_check += matches;
+        continue;
+      }
+      const size_t lt = b + i;
+      bool cut_off = false;
+      ht.ForEachMatch(kb.keys[i], kb.hashes[i], [&](uint32_t rt) {
+        if (++since_check >= kBudgetCheckInterval) {
+          since_check = 0;
+          if (!budget.CheckTime()) {
+            cut_off = true;
+            return false;
+          }
+        }
+        if (!extra.empty() && !ExtraEdgesMatch(extra, left, lt, right, rt)) {
+          return true;
+        }
+        if (dst != nullptr) {
+          if (!cap->Admit()) {
+            cut_off = true;
+            return false;
+          }
+          for (size_t c = 0; c < larity; ++c) dst->push_back(left.Row(lt, c));
+          for (size_t c = 0; c < rarity; ++c) dst->push_back(right.Row(rt, c));
+        } else {
+          ++count;
+        }
+        return true;
+      });
+      if (cut_off) return;
+    }
+    since_check += n;
+  }
+  if (count_out != nullptr) *count_out += count;
+}
+
 /// Index-nested-loop probe over the outer tuples [t_lo, t_hi): batched
 /// outer-key gathers, inner index lookups, compiled inner filters, extra
 /// edges. Budget-checked per posting-list entry batch (a huge posting list
@@ -596,6 +718,57 @@ void Executor::RunProbeMorsels(
   }
 }
 
+Status Executor::HashJoinDriver(const PlanNode& plan, const TupleSet& left,
+                                const TupleSet& right, Ctx& ctx, TupleSet* out,
+                                uint64_t* count) const {
+  Budget budget{&ctx.watch, ctx.limits, &ctx.timed_out};
+  EmitCap cap(ctx.limits->max_intermediate_tuples, budget);
+  EmitCap* cap_ptr = out != nullptr ? &cap : nullptr;
+  EdgeRefs refs;
+  CARDBENCH_RETURN_IF_ERROR(
+      ResolveEdges(db_, table_ids_, plan, left, right, &refs));
+
+  if (options_.join_impl == JoinImpl::kLegacy) {
+    // Build on the right (inner) side, probe with the left.
+    HashTable ht;
+    BuildHashTable(right, refs.rkey, options_.batch_size, options_.use_arena,
+                   budget, &ht);
+    if (ctx.TimedOut()) return Status::OK();
+    RunProbeMorsels(
+        left.size(), ctx, out, count,
+        [&](size_t lo, size_t hi, std::vector<uint32_t>* dst, uint64_t* cnt) {
+          HashProbeMorsel(left, right, refs.lkey, ht, refs.extra,
+                          options_.batch_size, options_.use_arena, lo, hi,
+                          budget, cap_ptr, dst, cnt);
+        });
+    return Status::OK();
+  }
+
+  TupleKeySource source(right, refs.rkey, options_.use_arena);
+  JoinHashConfig config;
+  config.radix_bits = options_.radix_bits;
+  config.prefetch_distance = options_.prefetch_distance;
+  config.batch_size = options_.batch_size;
+  config.use_arena = options_.use_arena;
+  JoinHashTable ht;
+  const bool built = ht.Build(
+      source, right.size(), config,
+      [this](size_t n, const std::function<void(size_t)>& fn) {
+        ForEachMorsel(n, fn);
+      },
+      [&budget] { return budget.CheckTime(); });
+  if (!built || ctx.TimedOut()) return Status::OK();
+  RunProbeMorsels(
+      left.size(), ctx, out, count,
+      [&](size_t lo, size_t hi, std::vector<uint32_t>* dst, uint64_t* cnt) {
+        RadixProbeMorsel(left, right, refs.lkey, ht, refs.extra,
+                         options_.batch_size, options_.use_arena,
+                         options_.prefetch_distance, lo, hi, budget, cap_ptr,
+                         dst, cnt);
+      });
+  return Status::OK();
+}
+
 Status Executor::ExecuteScan(const PlanNode& plan, Ctx& ctx,
                              TupleSet* out) const {
   const Table* table = db_.FindTable(plan.table);
@@ -717,25 +890,13 @@ Status Executor::ExecuteJoin(const PlanNode& plan, Ctx& ctx,
     out->table_ids.push_back(right.table_ids[i]);
   }
 
+  if (plan.join_method == JoinMethod::kHashJoin) {
+    return HashJoinDriver(plan, left, right, ctx, out, nullptr);
+  }
+
   EdgeRefs refs;
   CARDBENCH_RETURN_IF_ERROR(
       ResolveEdges(db_, table_ids_, plan, left, right, &refs));
-
-  if (plan.join_method == JoinMethod::kHashJoin) {
-    // Build on the right (inner) side, probe with the left.
-    HashTable ht;
-    BuildHashTable(right, refs.rkey, options_.batch_size, options_.use_arena,
-                   budget, &ht);
-    if (ctx.TimedOut()) return Status::OK();
-    RunProbeMorsels(
-        left.size(), ctx, out, nullptr,
-        [&](size_t lo, size_t hi, std::vector<uint32_t>* dst, uint64_t* cnt) {
-          HashProbeMorsel(left, right, refs.lkey, ht, refs.extra,
-                          options_.batch_size, options_.use_arena, lo, hi,
-                          budget, &cap, dst, cnt);
-        });
-    return Status::OK();
-  }
 
   // Merge join: sort both inputs by key (NULLs dropped), then walk equal
   // runs, emitting their cross products.
@@ -793,14 +954,14 @@ Status Executor::CountNode(const PlanNode& plan, Ctx& ctx,
   TupleSet right;
   CARDBENCH_RETURN_IF_ERROR(ExecuteNode(*plan.right, ctx, &right));
   if (ctx.TimedOut()) return Status::OK();
-  EdgeRefs refs;
-  CARDBENCH_RETURN_IF_ERROR(
-      ResolveEdges(db_, table_ids_, plan, left, right, &refs));
 
   // Merge-count: the counting semantics are identical across join
   // algorithms, but the root method matters for timing — merge join pays
   // the sort, hash join the build.
   if (plan.join_method == JoinMethod::kMergeJoin) {
+    EdgeRefs refs;
+    CARDBENCH_RETURN_IF_ERROR(
+        ResolveEdges(db_, table_ids_, plan, left, right, &refs));
     const auto lkeys = SortedKeys(left, refs.lkey, options_.batch_size,
                                   options_.use_arena, budget);
     const auto rkeys = SortedKeys(right, refs.rkey, options_.batch_size,
@@ -811,18 +972,9 @@ Status Executor::CountNode(const PlanNode& plan, Ctx& ctx,
     return Status::OK();
   }
 
-  HashTable ht;
-  BuildHashTable(right, refs.rkey, options_.batch_size, options_.use_arena,
-                 budget, &ht);
-  if (ctx.TimedOut()) return Status::OK();
-  RunProbeMorsels(
-      left.size(), ctx, nullptr, count,
-      [&](size_t lo, size_t hi, std::vector<uint32_t>* dst, uint64_t* cnt) {
-        HashProbeMorsel(left, right, refs.lkey, ht, refs.extra,
-                        options_.batch_size, options_.use_arena, lo, hi,
-                        budget, nullptr, dst, cnt);
-      });
-  return Status::OK();
+  // Hash-count: the same driver ExecuteJoin materializes through, in its
+  // count-only mode (no emission, no cap, bucket-size fast path).
+  return HashJoinDriver(plan, left, right, ctx, nullptr, count);
 }
 
 Result<ExecResult> Executor::ExecuteCount(const PlanNode& plan,

@@ -104,6 +104,46 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
         std::fprintf(stderr, "--arena must be on/off, got %s\n", arg.c_str());
         std::exit(2);
       }
+    } else if (StartsWith(arg, "--join-impl=")) {
+      const std::string v = value_of("--join-impl=");
+      if (v == "radix") {
+        flags.join_impl = JoinImpl::kRadix;
+      } else if (v == "legacy") {
+        flags.join_impl = JoinImpl::kLegacy;
+      } else {
+        std::fprintf(stderr, "--join-impl must be radix/legacy, got %s\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+    } else if (StartsWith(arg, "--radix-bits=")) {
+      size_t parsed = 0;
+      bool ok = true;
+      try {
+        parsed = std::stoul(value_of("--radix-bits="));
+      } catch (const std::exception&) {
+        ok = false;
+      }
+      if (!ok || parsed > 12) {
+        std::fprintf(stderr, "--radix-bits must be in [0, 12], got %s\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      flags.radix_bits = parsed;
+    } else if (StartsWith(arg, "--prefetch-distance=")) {
+      size_t parsed = 0;
+      bool ok = true;
+      try {
+        parsed = std::stoul(value_of("--prefetch-distance="));
+      } catch (const std::exception&) {
+        ok = false;
+      }
+      if (!ok || parsed > 64) {
+        std::fprintf(stderr,
+                     "--prefetch-distance must be in [0, 64], got %s\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      flags.prefetch_distance = parsed;
     } else if (StartsWith(arg, "--seed=")) {
       flags.seed = std::stoull(value_of("--seed="));
     } else if (StartsWith(arg, "--verbose=")) {
@@ -114,7 +154,9 @@ BenchFlags ParseBenchFlags(int argc, char** argv) {
                    "--exec-timeout=S --exec-repeats=N --cache-dir=D "
                    "--model-dir=D --estimators=a,b --training-queries=N "
                    "--threads=N --queue-depth=N --exec-threads=N "
-                   "--batch-size=N --arena=on|off --seed=N --verbose=L\n",
+                   "--batch-size=N --arena=on|off --join-impl=radix|legacy "
+                   "--radix-bits=N --prefetch-distance=N --seed=N "
+                   "--verbose=L\n",
                    arg.c_str());
       std::exit(2);
     }

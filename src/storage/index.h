@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "storage/column.h"
 
 namespace cardbench {
@@ -12,7 +13,10 @@ namespace cardbench {
 /// Hash index from column value to the sorted list of row ids holding it.
 /// NULLs are not indexed (SQL equi-join semantics: NULL joins nothing).
 /// Used by index scans, index-nested-loop joins, wander-join sampling and
-/// fanout-column construction.
+/// fanout-column construction. Keyed by the shared 64-bit finalizer hash
+/// (common/hash.h) — the same function the radix join derives its
+/// partition/slot/tag bits from — instead of std::hash's identity mapping,
+/// which clumps the sequential key columns this index mostly serves.
 class HashIndex {
  public:
   /// Builds the index over `column` in one pass.
@@ -27,13 +31,15 @@ class HashIndex {
   /// Total indexed (non-NULL) entries.
   size_t num_entries() const { return num_entries_; }
 
+  /// Map type: value-keyed postings under the shared finalizer hash.
+  using Map = std::unordered_map<Value, std::vector<uint32_t>, ValueHash64>;
+
   /// Iteration over (value, row ids) pairs, e.g. for degree statistics.
-  const std::unordered_map<Value, std::vector<uint32_t>>& entries() const {
-    return map_;
-  }
+  /// Iteration order is unspecified; callers must be order-insensitive.
+  const Map& entries() const { return map_; }
 
  private:
-  std::unordered_map<Value, std::vector<uint32_t>> map_;
+  Map map_;
   size_t num_entries_ = 0;
   static const std::vector<uint32_t> kEmpty;
 };

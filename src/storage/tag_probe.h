@@ -1,0 +1,57 @@
+#ifndef CARDBENCH_STORAGE_TAG_PROBE_H_
+#define CARDBENCH_STORAGE_TAG_PROBE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace cardbench {
+
+/// Tag-vector probe kernel of the open-addressing join table (see
+/// src/exec/join_hash.h): each slot carries a 1-byte tag derived from the
+/// key's hash (0 = empty), and a probe scans tags in groups of 16,
+/// rejecting non-matching slots without ever touching the 8-byte key
+/// array — a bloom-style early-out that keeps the hot probe loop inside
+/// one cache line per group.
+///
+/// Lives alongside the SIMD layer rather than inside the KernelTable: the
+/// kernels are exact bit operations (no cross-tier reduction contract to
+/// maintain) and SSE2 is the x86-64 baseline, so a single guarded inline
+/// implementation with a scalar fallback covers every host the dispatch
+/// tiers do. Callers must pad the tag array so 16 bytes are readable from
+/// any probed slot (the join table mirrors its first 15 tags past the end
+/// of each partition).
+inline constexpr size_t kTagGroupWidth = 16;
+
+/// Slots holding this tag are empty. Occupied slots store a tag with the
+/// high bit set (see join_hash.h's TagOfHash), so 0 never collides.
+inline constexpr uint8_t kEmptyTag = 0;
+
+/// Bitmask over tags[0, 16): bit i set iff tags[i] == tag.
+inline uint32_t TagMatchMask16(const uint8_t* tags, uint8_t tag) {
+#if defined(__SSE2__)
+  const __m128i group =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags));
+  const __m128i match =
+      _mm_cmpeq_epi8(group, _mm_set1_epi8(static_cast<char>(tag)));
+  return static_cast<uint32_t>(_mm_movemask_epi8(match));
+#else
+  uint32_t mask = 0;
+  for (size_t i = 0; i < kTagGroupWidth; ++i) {
+    mask |= (tags[i] == tag ? 1u : 0u) << i;
+  }
+  return mask;
+#endif
+}
+
+/// Bitmask over tags[0, 16): bit i set iff tags[i] is empty.
+inline uint32_t TagEmptyMask16(const uint8_t* tags) {
+  return TagMatchMask16(tags, kEmptyTag);
+}
+
+}  // namespace cardbench
+
+#endif  // CARDBENCH_STORAGE_TAG_PROBE_H_

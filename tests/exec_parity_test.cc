@@ -176,6 +176,114 @@ TEST_F(ExecParityTest, IntermediateCapEnforcedByEveryJoinMethod) {
   }
 }
 
+// New-vs-legacy join parity (the JoinImpl A/B seam): the radix table must
+// produce bit-identical tuples and counts to the legacy chained map across
+// partition fan-outs, thread counts and allocation strategies. The legacy
+// serial run is the baseline.
+TEST_F(ExecParityTest, RadixJoinBitIdenticalToLegacyAcrossConfigs) {
+  ExecOptions legacy;
+  legacy.join_impl = JoinImpl::kLegacy;
+  Executor baseline(*db_, ExecLimits(), legacy);
+  for (ScanMethod sm : kScanMethods) {
+    const auto plan = TwoWayPlan(JoinMethod::kHashJoin, sm);
+    const auto expected = baseline.Materialize(*plan);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    ASSERT_GT(expected->size(), 0u);
+    for (size_t radix_bits : {size_t{0}, size_t{4}, size_t{8}}) {
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        for (bool arena : {true, false}) {
+          ExecOptions options;
+          options.join_impl = JoinImpl::kRadix;
+          options.radix_bits = radix_bits;
+          options.num_threads = threads;
+          options.use_arena = arena;
+          Executor exec(*db_, ExecLimits(), options);
+          auto count = exec.ExecuteCount(*plan);
+          auto tuples = exec.Materialize(*plan);
+          ASSERT_TRUE(count.ok()) << count.status().ToString();
+          ASSERT_TRUE(tuples.ok()) << tuples.status().ToString();
+          EXPECT_EQ(count->count, expected->size())
+              << ScanMethodName(sm) << " radix_bits=" << radix_bits
+              << " threads=" << threads << " arena=" << arena;
+          EXPECT_EQ(tuples->data, expected->data)
+              << ScanMethodName(sm) << " radix_bits=" << radix_bits
+              << " threads=" << threads << " arena=" << arena;
+        }
+      }
+    }
+  }
+}
+
+// The prefetch distance is a pure performance knob: distance 0 (off) and a
+// deep lookahead must match the default exactly.
+TEST_F(ExecParityTest, PrefetchDistanceDoesNotAffectResults) {
+  Executor baseline(*db_);
+  const auto plan = TwoWayPlan(JoinMethod::kHashJoin, ScanMethod::kSeqScan);
+  const auto expected = baseline.Materialize(*plan);
+  ASSERT_TRUE(expected.ok());
+  for (size_t distance : {size_t{0}, size_t{1}, size_t{32}}) {
+    ExecOptions options;
+    options.prefetch_distance = distance;
+    Executor exec(*db_, ExecLimits(), options);
+    auto tuples = exec.Materialize(*plan);
+    ASSERT_TRUE(tuples.ok()) << tuples.status().ToString();
+    EXPECT_EQ(tuples->data, expected->data) << "distance=" << distance;
+  }
+}
+
+// Extra (non-primary) join edges run through the per-match filter path of
+// both table implementations; they must agree there too.
+TEST_F(ExecParityTest, ExtraEdgesAgreeAcrossJoinImpls) {
+  auto make_plan = [] {
+    auto plan = TwoWayPlan(JoinMethod::kHashJoin, ScanMethod::kSeqScan);
+    plan->extra_edges = {{"users", "Reputation", "comments", "Score"}};
+    return plan;
+  };
+  ExecOptions legacy;
+  legacy.join_impl = JoinImpl::kLegacy;
+  Executor baseline(*db_, ExecLimits(), legacy);
+  const auto expected = baseline.Materialize(*make_plan());
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ExecOptions options;
+    options.num_threads = threads;
+    Executor exec(*db_, ExecLimits(), options);
+    auto count = exec.ExecuteCount(*make_plan());
+    auto tuples = exec.Materialize(*make_plan());
+    ASSERT_TRUE(count.ok() && tuples.ok());
+    EXPECT_EQ(count->count, expected->size()) << "threads=" << threads;
+    EXPECT_EQ(tuples->data, expected->data) << "threads=" << threads;
+  }
+}
+
+// Budget cut-offs must trip identically through both join implementations:
+// an expired wall clock and an exhausted intermediate cap both unwind.
+TEST_F(ExecParityTest, BudgetCutOffsTripUnderBothJoinImpls) {
+  for (JoinImpl impl : {JoinImpl::kRadix, JoinImpl::kLegacy}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      ExecOptions options;
+      options.join_impl = impl;
+      options.num_threads = threads;
+
+      ExecLimits expired;
+      expired.timeout_seconds = 0.0;
+      Executor timed(*db_, expired, options);
+      auto result =
+          timed.ExecuteCount(*TwoWayPlan(JoinMethod::kHashJoin,
+                                         ScanMethod::kSeqScan));
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_TRUE(result->timed_out) << "threads=" << threads;
+
+      ExecLimits capped;
+      capped.max_intermediate_tuples = 4;
+      Executor small(*db_, capped, options);
+      auto tuples = small.Materialize(*TwoWayPlan(JoinMethod::kHashJoin,
+                                                  ScanMethod::kSeqScan));
+      EXPECT_FALSE(tuples.ok()) << "threads=" << threads;
+    }
+  }
+}
+
 TEST_F(ExecParityTest, ConcurrentCallersShareOneExecutor) {
   // The serving layer calls one Executor from many threads; results must
   // match the single-caller run.

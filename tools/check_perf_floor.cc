@@ -1,25 +1,32 @@
-// Perf regression gate over the kernel layer's micro-bench artifacts.
+// Perf regression gate over the kernel and join layers' micro-bench
+// artifacts.
 //
-//   check_perf_floor FLOOR.json MEASURED.json [COUNTERS.json]
+//   check_perf_floor FLOOR.json MEASURED.json [MEASURED.json ...]
 //
 // FLOOR.json (checked in as bench/perf_floor.json) pins the minimum
-// acceptable vector-tier speedups:
+// acceptable vector-tier speedups and join-table throughput:
 //   {
 //     "kernel_floors": [
 //       {"kernel": "dot", "level": "avx2", "min_speedup_vs_scalar": 2.0}, ...
 //     ],
+//     "join_floors": [
+//       {"rows": 262144, "radix_bits": 4, "threads": 4,
+//        "max_build_ns_per_row": 60, "max_probe_ns_per_row": 40,
+//        "min_probe_speedup_vs_legacy": 2.0}, ...
+//     ],
 //     "counter_floors": {"min_ipc": 1.0, "max_branch_miss_rate": 0.05,
 //                        "max_cache_miss_rate": 0.2}
 //   }
-// MEASURED.json is bench_kernels --json output. A floor whose (kernel,
-// level) pair is absent from the measurement — e.g. an avx512 floor on an
-// avx2-only host — is skipped, so the gate is portable across machines.
-//
-// COUNTERS.json (optional) is scripts/perf_stat.sh output
-// (bench_perf_counters.json); counter_floors are enforced only when the
-// file is given AND its "counters" object is non-null (perf may be
-// unavailable in containers — that run records null and the gate degrades
-// to the speedup floors alone).
+// Each MEASURED file is dispatched by content: a "bench" of
+// "bench_kernels" is checked against kernel_floors, "bench_micro_join"
+// against join_floors, and a file carrying a "counters" object
+// (scripts/perf_stat.sh output) against counter_floors. A floor whose
+// measurement point is absent — e.g. an avx512 floor on an avx2-only host,
+// or a sweep point the quick bench mode skips — is reported as SKIP, so
+// the gate is portable across machines. Counter floors are enforced only
+// when the counters object is non-null (perf may be unavailable in
+// containers — that run records null and the gate degrades to the other
+// floors).
 //
 // Exit 0 iff every applicable floor holds.
 
@@ -101,6 +108,78 @@ int CheckKernelFloors(const JsonValue& floor, const JsonValue& measured) {
   return failures;
 }
 
+/// The bench_micro_join config matching (rows, radix_bits, threads), or
+/// nullptr when the sweep did not include that point.
+const JsonValue* FindJoinConfig(const JsonValue& measured, double rows,
+                                double radix_bits, double threads) {
+  const JsonValue* configs = measured.Find("configs");
+  if (configs == nullptr || configs->kind != JsonValue::Kind::kArray) {
+    return nullptr;
+  }
+  for (const JsonValue& c : configs->array) {
+    if (JsonNumberOr(c.Find("rows"), -1.0) == rows &&
+        JsonNumberOr(c.Find("radix_bits"), -1.0) == radix_bits &&
+        JsonNumberOr(c.Find("threads"), -1.0) == threads) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+int CheckJoinFloors(const JsonValue& floor, const JsonValue& measured) {
+  const JsonValue* floors = floor.Find("join_floors");
+  if (floors == nullptr || floors->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "floor file has no \"join_floors\" array\n");
+    return 1;
+  }
+  int failures = 0;
+  for (const JsonValue& f : floors->array) {
+    const double rows = JsonNumberOr(f.Find("rows"), -1.0);
+    const double radix_bits = JsonNumberOr(f.Find("radix_bits"), -1.0);
+    const double threads = JsonNumberOr(f.Find("threads"), -1.0);
+    if (rows < 0.0 || radix_bits < 0.0 || threads < 0.0) {
+      std::fprintf(stderr, "malformed join floor entry\n");
+      ++failures;
+      continue;
+    }
+    char label[96];
+    std::snprintf(label, sizeof(label), "join r%.0f b%.0f t%.0f", rows,
+                  radix_bits, threads);
+    const JsonValue* config =
+        FindJoinConfig(measured, rows, radix_bits, threads);
+    if (config == nullptr) {
+      std::printf("SKIP %-24s (not measured in this run)\n", label);
+      continue;
+    }
+    const struct {
+      const char* metric;
+      const char* bound;
+      bool is_ceiling;
+    } kBounds[] = {
+        {"build_ns_per_row", "max_build_ns_per_row", true},
+        {"probe_ns_per_row", "max_probe_ns_per_row", true},
+        {"probe_speedup_vs_legacy", "min_probe_speedup_vs_legacy", false},
+    };
+    for (const auto& b : kBounds) {
+      const double bound = JsonNumberOr(f.Find(b.bound), 0.0);
+      if (bound <= 0.0) continue;  // bound not pinned for this point
+      const double got = JsonNumberOr(config->Find(b.metric), -1.0);
+      if (got < 0.0) {
+        std::printf("FAIL %-24s %s missing from measurement\n", label,
+                    b.metric);
+        ++failures;
+        continue;
+      }
+      const bool ok = b.is_ceiling ? got <= bound : got >= bound;
+      std::printf("%s %-24s %s %.2f %s %.2f\n", ok ? "OK  " : "FAIL", label,
+                  b.metric, got, b.is_ceiling ? "<= ceiling" : ">= floor",
+                  bound);
+      if (!ok) ++failures;
+    }
+  }
+  return failures;
+}
+
 int CheckCounterFloors(const JsonValue& floor, const JsonValue& counters) {
   const JsonValue* limits = floor.Find("counter_floors");
   if (limits == nullptr || limits->kind != JsonValue::Kind::kObject) return 0;
@@ -141,9 +220,8 @@ int CheckCounterFloors(const JsonValue& floor, const JsonValue& counters) {
 }
 
 int Run(int argc, char** argv) {
-  if (argc < 3 || argc > 4) {
-    std::fprintf(stderr,
-                 "usage: %s FLOOR.json MEASURED.json [COUNTERS.json]\n",
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s FLOOR.json MEASURED.json [MEASURED.json ...]\n",
                  argv[0]);
     return 2;
   }
@@ -152,21 +230,28 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "floor: %s\n", floor.status().ToString().c_str());
     return 2;
   }
-  auto measured = LoadJson(argv[2]);
-  if (!measured.ok()) {
-    std::fprintf(stderr, "measured: %s\n",
-                 measured.status().ToString().c_str());
-    return 2;
-  }
-  int failures = CheckKernelFloors(*floor, *measured);
-  if (argc == 4) {
-    auto counters = LoadJson(argv[3]);
-    if (!counters.ok()) {
-      std::fprintf(stderr, "counters: %s\n",
-                   counters.status().ToString().c_str());
+  int failures = 0;
+  for (int i = 2; i < argc; ++i) {
+    auto measured = LoadJson(argv[i]);
+    if (!measured.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[i],
+                   measured.status().ToString().c_str());
       return 2;
     }
-    failures += CheckCounterFloors(*floor, *counters);
+    const std::string bench = JsonStringOr(measured->Find("bench"), "");
+    if (bench == "bench_kernels") {
+      failures += CheckKernelFloors(*floor, *measured);
+    } else if (bench == "bench_micro_join") {
+      failures += CheckJoinFloors(*floor, *measured);
+    } else if (measured->Find("counters") != nullptr) {
+      failures += CheckCounterFloors(*floor, *measured);
+    } else {
+      std::fprintf(stderr,
+                   "%s: unrecognized measurement (no known \"bench\" tag and "
+                   "no \"counters\" object)\n",
+                   argv[i]);
+      return 2;
+    }
   }
   if (failures != 0) {
     std::printf("check_perf_floor: %d floor(s) violated\n", failures);
